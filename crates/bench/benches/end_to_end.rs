@@ -1,0 +1,47 @@
+//! End-to-end bench: Spec-QP vs TriniT per dataset and k on a workload
+//! sample — the headline comparison behind Figures 6–9, in Criterion form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{TwitterConfig, TwitterGenerator, XkgConfig, XkgGenerator};
+use specqp::Engine;
+
+fn bench_dataset(c: &mut Criterion, name: &str, ds: &datagen::Dataset, sample: usize) {
+    let engine = Engine::new(&ds.graph, &ds.registry);
+    let queries: Vec<_> = ds.workload.queries.iter().take(sample).collect();
+    for q in &queries {
+        engine.warm(q, 20);
+    }
+    let mut group = c.benchmark_group(format!("end_to_end_{name}"));
+    group.sample_size(10);
+    for &k in &[10usize, 20] {
+        group.bench_with_input(BenchmarkId::new("specqp", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &queries {
+                    total += engine.run_specqp(q, k).answers.len();
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("trinit", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &queries {
+                    total += engine.run_trinit(q, k).answers.len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let xkg = XkgGenerator::new(XkgConfig::small(0xE2E)).generate();
+    bench_dataset(c, "xkg", &xkg, 6);
+    let twitter = TwitterGenerator::new(TwitterConfig::small(0xE2E)).generate();
+    bench_dataset(c, "twitter", &twitter, 6);
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

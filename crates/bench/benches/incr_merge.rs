@@ -1,0 +1,72 @@
+//! Microbench: Incremental Merge throughput as a function of the number of
+//! relaxation lists and list length (the per-pattern operator of Fig. 1/2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use operators::{Binding, BoxedStream, IncrementalMerge, PartialAnswer, RankedStream, VecStream};
+use sparql::Var;
+use specqp_common::{Score, TermId};
+
+fn make_list(len: usize, weight: f64, salt: u32) -> Vec<PartialAnswer> {
+    (0..len)
+        .map(|i| {
+            PartialAnswer::new(
+                Binding::from_pairs(vec![(Var(0), TermId(salt * 100_000 + i as u32))]),
+                Score::new(weight * (1.0 - i as f64 / len as f64)),
+            )
+        })
+        .collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_merge");
+    for &n_lists in &[2usize, 5, 10, 20] {
+        group.bench_with_input(
+            BenchmarkId::new("drain_lists", n_lists),
+            &n_lists,
+            |b, &n_lists| {
+                b.iter(|| {
+                    let inputs: Vec<BoxedStream<'static>> = (0..n_lists)
+                        .map(|i| {
+                            Box::new(VecStream::new(make_list(
+                                1_000,
+                                1.0 - i as f64 * 0.04,
+                                i as u32,
+                            ))) as BoxedStream<'static>
+                        })
+                        .collect();
+                    let mut merge = IncrementalMerge::new(inputs);
+                    let mut n = 0usize;
+                    while merge.next().is_some() {
+                        n += 1;
+                    }
+                    n
+                })
+            },
+        );
+    }
+    for &len in &[100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("top100_of_len", len), &len, |b, &len| {
+            b.iter(|| {
+                let inputs: Vec<BoxedStream<'static>> = (0..10)
+                    .map(|i| {
+                        Box::new(VecStream::new(make_list(len, 1.0 - i as f64 * 0.05, i)))
+                            as BoxedStream<'static>
+                    })
+                    .collect();
+                let mut merge = IncrementalMerge::new(inputs);
+                let mut out = Vec::with_capacity(100);
+                for _ in 0..100 {
+                    match merge.next() {
+                        Some(a) => out.push(a),
+                        None => break,
+                    }
+                }
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

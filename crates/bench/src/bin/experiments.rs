@@ -1,0 +1,193 @@
+//! Regenerates every table and figure of the Spec-QP paper's evaluation.
+//!
+//! ```text
+//! cargo run -p bench --release --bin experiments -- --all
+//! cargo run -p bench --release --bin experiments -- table2 table3
+//! cargo run -p bench --release --bin experiments -- fig6 --scale small
+//! ```
+//!
+//! Artifacts: tables on stdout, raw per-query CSVs under `results/`.
+
+use bench::{
+    measure_workload, render_fig_by_relaxed, render_fig_by_tp, render_table2, render_table3,
+    render_table4, DatasetReport, KS,
+};
+use datagen::{Dataset, TwitterConfig, TwitterGenerator, XkgConfig, XkgGenerator};
+use std::time::Instant;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Scale {
+    Small,
+    Full,
+}
+
+struct Args {
+    experiments: Vec<String>,
+    scale: Scale,
+}
+
+fn parse_args() -> Args {
+    let mut experiments = Vec::new();
+    let mut scale = Scale::Full;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--all" => experiments.extend(
+                [
+                    "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "ablation",
+                ]
+                .map(String::from),
+            ),
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => {
+                        eprintln!("unknown scale {other:?}, expected small|full");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [--all] [table2 table3 table4 fig6 fig7 fig8 fig9 ablation] [--scale small|full]"
+                );
+                std::process::exit(0);
+            }
+            exp => experiments.push(exp.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.extend(
+            ["table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9"].map(String::from),
+        );
+    }
+    experiments.dedup();
+    Args { experiments, scale }
+}
+
+fn build_xkg(scale: Scale) -> Dataset {
+    let cfg = match scale {
+        Scale::Full => XkgConfig::default(),
+        Scale::Small => {
+            let mut c = XkgConfig::small(0x5eed001);
+            c.queries = 18;
+            c
+        }
+    };
+    XkgGenerator::new(cfg).generate()
+}
+
+fn build_twitter(scale: Scale) -> Dataset {
+    let cfg = match scale {
+        Scale::Full => TwitterConfig::default(),
+        Scale::Small => {
+            let mut c = TwitterConfig::small(0x71177e4);
+            c.queries = 12;
+            c
+        }
+    };
+    TwitterGenerator::new(cfg).generate()
+}
+
+fn main() {
+    let args = parse_args();
+    let need_xkg = args
+        .experiments
+        .iter()
+        .any(|e| {
+            matches!(
+                e.as_str(),
+                "table2" | "table3" | "table4" | "fig6" | "fig7" | "ablation"
+            )
+        });
+    let need_twitter = args
+        .experiments
+        .iter()
+        .any(|e| matches!(e.as_str(), "table2" | "table3" | "table4" | "fig8" | "fig9"));
+
+    let mut xkg_report: Option<DatasetReport> = None;
+    let mut twitter_report: Option<DatasetReport> = None;
+    let mut ablation_out: Option<String> = None;
+
+    if need_xkg {
+        let t0 = Instant::now();
+        let ds = build_xkg(args.scale);
+        eprintln!("built {} in {:.1?}", ds.summary(), t0.elapsed());
+        if args.experiments.iter().any(|e| e == "ablation") {
+            let t0 = Instant::now();
+            ablation_out = Some(bench::ablation_summary(&ds, 10));
+            eprintln!("ran planner ablation in {:.1?}", t0.elapsed());
+        }
+        if args.experiments.iter().any(|e| e != "ablation") {
+            let t0 = Instant::now();
+            let report = measure_workload(&ds, &KS, |m| eprintln!("{m}"));
+            eprintln!("measured xkg in {:.1?}", t0.elapsed());
+            write_csv(&report);
+            xkg_report = Some(report);
+        }
+    }
+    if need_twitter {
+        let t0 = Instant::now();
+        let ds = build_twitter(args.scale);
+        eprintln!("built {} in {:.1?}", ds.summary(), t0.elapsed());
+        let t0 = Instant::now();
+        let report = measure_workload(&ds, &KS, |m| eprintln!("{m}"));
+        eprintln!("measured twitter in {:.1?}", t0.elapsed());
+        write_csv(&report);
+        twitter_report = Some(report);
+    }
+
+    let both: Vec<&DatasetReport> = [xkg_report.as_ref(), twitter_report.as_ref()]
+        .into_iter()
+        .flatten()
+        .collect();
+
+    for exp in &args.experiments {
+        println!();
+        match exp.as_str() {
+            "table2" => println!("{}", render_table2(&both, &KS)),
+            "table3" => println!("{}", render_table3(&both, &KS)),
+            "table4" => println!("{}", render_table4(&both, &KS)),
+            "fig6" => {
+                if let Some(r) = &xkg_report {
+                    println!("{}", render_fig_by_tp(r, &KS, "Figure 6 (XKG)"));
+                }
+            }
+            "fig7" => {
+                if let Some(r) = &xkg_report {
+                    println!("{}", render_fig_by_relaxed(r, &KS, "Figure 7 (XKG)"));
+                }
+            }
+            "fig8" => {
+                if let Some(r) = &twitter_report {
+                    println!("{}", render_fig_by_tp(r, &KS, "Figure 8 (Twitter)"));
+                }
+            }
+            "fig9" => {
+                if let Some(r) = &twitter_report {
+                    println!("{}", render_fig_by_relaxed(r, &KS, "Figure 9 (Twitter)"));
+                }
+            }
+            "ablation" => {
+                if let Some(a) = &ablation_out {
+                    println!("{a}");
+                }
+            }
+            other => eprintln!("unknown experiment {other:?} — skipped"),
+        }
+    }
+}
+
+fn write_csv(report: &DatasetReport) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{}.csv", report.name));
+        if let Err(e) = std::fs::write(&path, bench::tables::to_csv(report)) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

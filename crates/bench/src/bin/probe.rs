@@ -1,0 +1,115 @@
+//! Diagnostic probe: dissects PLANGEN's decision for one workload query —
+//! per-pattern estimates, the chosen plan, the ground-truth required set,
+//! and the head of both answer lists.
+//!
+//! ```text
+//! cargo run -p bench --release --bin probe -- xkg 2 10
+//! ```
+
+use datagen::{TwitterConfig, TwitterGenerator, XkgConfig, XkgGenerator};
+use specqp::{required_relaxations, Engine};
+use specqp_stats::{
+    expected_score_at_rank, CardinalityEstimator, ExactCardinality, ScoreEstimator,
+    StatsCatalog,
+};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dataset_name = args.next().unwrap_or_else(|| "xkg".into());
+    let qid: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let scale_small = args.next().map(|s| s == "small").unwrap_or(true);
+
+    let ds = match dataset_name.as_str() {
+        "xkg" => {
+            let mut c = if scale_small {
+                XkgConfig::small(0x5eed001)
+            } else {
+                XkgConfig::default()
+            };
+            if scale_small {
+                c.queries = 18;
+            }
+            XkgGenerator::new(c).generate()
+        }
+        "twitter" => {
+            let mut c = if scale_small {
+                TwitterConfig::small(0x71177e4)
+            } else {
+                TwitterConfig::default()
+            };
+            if scale_small {
+                c.queries = 12;
+            }
+            TwitterGenerator::new(c).generate()
+        }
+        other => {
+            eprintln!("unknown dataset {other}");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", ds.summary());
+    let query = &ds.workload.queries[qid];
+    let dict = ds.graph.dictionary();
+    println!("query {qid} (k={k}):\n{}", query.display(dict));
+
+    let catalog = StatsCatalog::new();
+    let card = ExactCardinality::new();
+    let est = ScoreEstimator::new(&catalog, &card);
+
+    let original: Vec<_> = query.patterns().iter().map(|p| (*p, 1.0)).collect();
+    let e_orig = est.estimate(&ds.graph, &original);
+    println!(
+        "original: n={} E(k={k})={:?} E(1)={:?}",
+        e_orig.n,
+        e_orig.expected_score_at_rank(k),
+        e_orig.expected_top_score()
+    );
+
+    for (i, p) in query.patterns().iter().enumerate() {
+        let stats = catalog.stats(&ds.graph, p);
+        let m = stats.map(|s| s.m).unwrap_or(0);
+        let sigma = stats.map(|s| s.sigma_r).unwrap_or(0.0);
+        let top = ds.registry.top_relaxation_for(p);
+        print!("q{i}: m={m} sigma_r={sigma:.4}");
+        if let Some(t) = &top {
+            let mut relaxed = original.clone();
+            relaxed[i] = (t.pattern, t.weight);
+            let e_rel = est.estimate(&ds.graph, &relaxed);
+            let n_rel = card.cardinality(
+                &ds.graph,
+                &relaxed.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            );
+            print!(
+                "  top-relax w={:.3} n'={} E'(1)={:?}",
+                t.weight,
+                n_rel,
+                e_rel.expected_top_score()
+            );
+            // What the *actual* best relaxed answer would be, via ranks:
+            if let Some(d) = &e_rel.dist {
+                let _ = expected_score_at_rank(d, e_rel.n, 1);
+            }
+        } else {
+            print!("  (no relaxations)");
+        }
+        println!();
+    }
+
+    let engine = Engine::new(&ds.graph, &ds.registry);
+    let spec = engine.run_specqp(query, k);
+    let trinit = engine.run_trinit(query, k);
+    let required = required_relaxations(&ds.graph, query, &ds.registry, &trinit.answers);
+    println!("plan singletons: {:?}", spec.plan.singletons());
+    println!("required (ground truth): {required:?}");
+    println!("true top-{k} scores: {:?}", trinit
+        .answers
+        .iter()
+        .map(|a| (a.score.value() * 1000.0).round() / 1000.0)
+        .collect::<Vec<_>>());
+    println!("spec top-{k} scores: {:?}", spec
+        .answers
+        .iter()
+        .map(|a| (a.score.value() * 1000.0).round() / 1000.0)
+        .collect::<Vec<_>>());
+}

@@ -1,0 +1,293 @@
+//! Rendering of the paper's tables and figures from measurements.
+//!
+//! Figures 6–9 are bar charts in the paper; here each figure is rendered as
+//! the table of the bar heights (runtimes in milliseconds and memory-object
+//! counts, TriniT `T` vs Spec-QP `S`), one row per group, one panel per k —
+//! the same information the charts plot.
+
+use crate::harness::DatasetReport;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Table 2: precision (= recall) per dataset per k.
+pub fn render_table2(reports: &[&DatasetReport], ks: &[usize]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 2: Precision (and Recall) over each dataset.");
+    let _ = write!(s, "{:>4}", "k");
+    for r in reports {
+        let _ = write!(s, " {:>10}", r.name);
+    }
+    let _ = writeln!(s);
+    for &k in ks {
+        let _ = write!(s, "{k:>4}");
+        for r in reports {
+            let (mut sum, mut n) = (0.0, 0usize);
+            for row in r.for_k(k) {
+                sum += row.precision;
+                n += 1;
+            }
+            let avg = if n > 0 { sum / n as f64 } else { 0.0 };
+            let _ = write!(s, " {avg:>10.2}");
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// Table 3: prediction accuracy grouped by the number of relaxations
+/// required to generate the true top-k. Each cell is `exact(total)`.
+pub fn render_table3(reports: &[&DatasetReport], ks: &[usize]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Table 3: Prediction accuracy by #relaxations required (exact(total))."
+    );
+    let _ = write!(s, "{:<28}", "Dataset");
+    for r in reports {
+        for &k in ks {
+            let _ = write!(s, " {:>12}", format!("{} k={k}", r.name));
+        }
+    }
+    let _ = writeln!(s);
+    let max_req = reports
+        .iter()
+        .flat_map(|r| r.rows.iter().map(|row| row.relaxed_required))
+        .max()
+        .unwrap_or(0);
+    for req in 0..=max_req {
+        let _ = write!(s, "{:<28}", format!("queries requiring {req} relaxation(s)"));
+        let mut any = false;
+        let mut line = String::new();
+        for r in reports {
+            for &k in ks {
+                let mut exact = 0usize;
+                let mut total = 0usize;
+                for row in r.for_k(k).filter(|row| row.relaxed_required == req) {
+                    total += 1;
+                    if row.prediction_exact {
+                        exact += 1;
+                    }
+                }
+                if total > 0 {
+                    any = true;
+                    let _ = write!(line, " {:>12}", format!("{exact}({total})"));
+                } else {
+                    let _ = write!(line, " {:>12}", "-");
+                }
+            }
+        }
+        if any {
+            let _ = writeln!(s, "{line}");
+        } else {
+            // Trim all-empty rows except req 0 (informative for our data).
+            let _ = writeln!(s, "{line}");
+        }
+    }
+    s
+}
+
+/// Table 4: average score deviation (± std-dev, % deviation) grouped by
+/// #TP per query, per dataset, per k.
+pub fn render_table4(reports: &[&DatasetReport], ks: &[usize]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Table 4: Average score deviations from the true top-k (mean(pct%)±std)."
+    );
+    for r in reports {
+        let mut tps: Vec<usize> = r.rows.iter().map(|row| row.tp).collect();
+        tps.sort_unstable();
+        tps.dedup();
+        let _ = write!(s, "{:<10}{:>4}", r.name, "k");
+        for &tp in &tps {
+            let _ = write!(s, " {:>22}", format!("#TP={tp}"));
+        }
+        let _ = writeln!(s);
+        for &k in ks {
+            let _ = write!(s, "{:<10}{k:>4}", "");
+            for &tp in &tps {
+                let rows: Vec<_> = r.for_k(k).filter(|row| row.tp == tp).collect();
+                if rows.is_empty() {
+                    let _ = write!(s, " {:>22}", "-");
+                    continue;
+                }
+                let n = rows.len() as f64;
+                let mean = rows.iter().map(|x| x.error.mean_abs).sum::<f64>() / n;
+                let pct = rows.iter().map(|x| x.error.mean_pct).sum::<f64>() / n;
+                let std = rows.iter().map(|x| x.error.std_dev).sum::<f64>() / n;
+                let _ = write!(s, " {:>22}", format!("{mean:.2}({pct:.0}%)±{std:.2}"));
+            }
+            let _ = writeln!(s);
+        }
+    }
+    s
+}
+
+/// Figures 6 (XKG) / 8 (Twitter): runtimes and memory grouped by the number
+/// of triple patterns, one panel per k, bars T (TriniT) and S (Spec-QP).
+pub fn render_fig_by_tp(report: &DatasetReport, ks: &[usize], figure_name: &str) -> String {
+    render_grouped(report, ks, figure_name, "#TP", |row| row.tp)
+}
+
+/// Figures 7 (XKG) / 9 (Twitter): the same, grouped by the number of triple
+/// patterns Spec-QP decided to relax.
+pub fn render_fig_by_relaxed(report: &DatasetReport, ks: &[usize], figure_name: &str) -> String {
+    render_grouped(report, ks, figure_name, "#relaxed", |row| {
+        row.relaxed_by_spec
+    })
+}
+
+fn render_grouped(
+    report: &DatasetReport,
+    ks: &[usize],
+    figure_name: &str,
+    group_label: &str,
+    group_of: impl Fn(&crate::harness::QueryMeasurement) -> usize,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{figure_name}: runtimes (ms) and memory (answer objects), T=TriniT S=Spec-QP, grouped by {group_label}."
+    );
+    for &k in ks {
+        let mut groups: BTreeMap<usize, Vec<&crate::harness::QueryMeasurement>> = BTreeMap::new();
+        for row in report.for_k(k) {
+            groups.entry(group_of(row)).or_default().push(row);
+        }
+        let _ = writeln!(s, "  k={k}:");
+        let _ = writeln!(
+            s,
+            "    {group_label:>9} {:>8} {:>12} {:>12} {:>14} {:>14} {:>8}",
+            "queries", "T time", "S time", "T memory", "S memory", "S/T"
+        );
+        for (g, rows) in groups {
+            let n = rows.len() as f64;
+            let t_ms = rows.iter().map(|r| r.trinit_total_ms).sum::<f64>() / n;
+            let s_ms = rows.iter().map(|r| r.spec_total_ms).sum::<f64>() / n;
+            let t_mem = rows.iter().map(|r| r.trinit_mem as f64).sum::<f64>() / n;
+            let s_mem = rows.iter().map(|r| r.spec_mem as f64).sum::<f64>() / n;
+            let ratio = if t_ms > 0.0 { s_ms / t_ms } else { 1.0 };
+            let _ = writeln!(
+                s,
+                "    {g:>9} {:>8} {t_ms:>12.2} {s_ms:>12.2} {t_mem:>14.0} {s_mem:>14.0} {ratio:>8.2}",
+                rows.len()
+            );
+        }
+    }
+    s
+}
+
+/// CSV dump of the raw measurement rows (one file per dataset), for
+/// re-plotting.
+pub fn to_csv(report: &DatasetReport) -> String {
+    let mut s = String::from(
+        "qid,tp,k,spec_plan_ms,spec_total_ms,trinit_total_ms,spec_mem,trinit_mem,relaxed_by_spec,relaxed_required,prediction_exact,prediction_covering,precision,err_mean,err_std,err_pct\n",
+    );
+    for r in &report.rows {
+        let _ = writeln!(
+            s,
+            "{},{},{},{:.4},{:.4},{:.4},{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.2}",
+            r.qid,
+            r.tp,
+            r.k,
+            r.spec_plan_ms,
+            r.spec_total_ms,
+            r.trinit_total_ms,
+            r.spec_mem,
+            r.trinit_mem,
+            r.relaxed_by_spec,
+            r.relaxed_required,
+            r.prediction_exact,
+            r.prediction_covering,
+            r.precision,
+            r.error.mean_abs,
+            r.error.std_dev,
+            r.error.mean_pct,
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::QueryMeasurement;
+    use specqp::ScoreError;
+
+    fn row(qid: usize, tp: usize, k: usize, relaxed: usize, required: usize) -> QueryMeasurement {
+        QueryMeasurement {
+            qid,
+            tp,
+            k,
+            spec_plan_ms: 0.5,
+            spec_total_ms: 5.0,
+            trinit_total_ms: 10.0,
+            spec_mem: 100,
+            trinit_mem: 200,
+            relaxed_by_spec: relaxed,
+            relaxed_required: required,
+            prediction_exact: relaxed == required,
+            prediction_covering: relaxed >= required,
+            precision: 0.9,
+            error: ScoreError {
+                mean_abs: 0.1,
+                std_dev: 0.05,
+                mean_pct: 5.0,
+            },
+        }
+    }
+
+    fn report() -> DatasetReport {
+        DatasetReport {
+            name: "xkg".into(),
+            rows: vec![
+                row(0, 2, 10, 1, 1),
+                row(1, 3, 10, 2, 3),
+                row(0, 2, 15, 2, 2),
+                row(1, 3, 15, 3, 3),
+            ],
+        }
+    }
+
+    #[test]
+    fn table2_has_avg_precision() {
+        let r = report();
+        let out = render_table2(&[&r], &[10, 15]);
+        assert!(out.contains("xkg"));
+        assert!(out.contains("0.90"));
+    }
+
+    #[test]
+    fn table3_counts_exact_over_total() {
+        let r = report();
+        let out = render_table3(&[&r], &[10, 15]);
+        assert!(out.contains("1(1)"), "{out}");
+    }
+
+    #[test]
+    fn table4_formats_error() {
+        let r = report();
+        let out = render_table4(&[&r], &[10, 15]);
+        assert!(out.contains("0.10(5%)±0.05"), "{out}");
+    }
+
+    #[test]
+    fn figures_group_rows() {
+        let r = report();
+        let by_tp = render_fig_by_tp(&r, &[10], "Figure 6");
+        assert!(by_tp.contains("k=10"));
+        assert!(by_tp.contains("Figure 6"));
+        let by_rel = render_fig_by_relaxed(&r, &[10], "Figure 7");
+        assert!(by_rel.contains("#relaxed"));
+    }
+
+    #[test]
+    fn csv_roundtrip_columns() {
+        let r = report();
+        let csv = to_csv(&r);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0].split(',').count(), 16);
+        assert_eq!(lines[1].split(',').count(), 16);
+    }
+}

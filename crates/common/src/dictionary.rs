@@ -1,0 +1,110 @@
+//! String ⇄ id interning.
+
+use crate::{FxHashMap, TermId};
+
+/// A bidirectional dictionary mapping term strings (IRIs, literals, textual
+/// tokens) to dense [`TermId`]s.
+///
+/// Ids are assigned in first-seen order starting at 0, so they can directly
+/// index side arrays.
+#[derive(Default, Debug, Clone)]
+pub struct Dictionary {
+    by_name: FxHashMap<Box<str>, TermId>,
+    by_id: Vec<Box<str>>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or newly assigned).
+    pub fn intern(&mut self, name: &str) -> TermId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = TermId::from_index(self.by_id.len());
+        let boxed: Box<str> = name.into();
+        self.by_id.push(boxed.clone());
+        self.by_name.insert(boxed, id);
+        id
+    }
+
+    /// Looks up an existing term without interning.
+    pub fn lookup(&self, name: &str) -> Option<TermId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the string for `id`, if assigned.
+    pub fn name(&self, id: TermId) -> Option<&str> {
+        self.by_id.get(id.index()).map(|s| &**s)
+    }
+
+    /// Returns the string for `id`, or a placeholder for unknown ids.
+    /// Convenient for diagnostics.
+    pub fn name_or_unknown(&self, id: TermId) -> &str {
+        self.name(id).unwrap_or("<?unknown?>")
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// `true` if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TermId::from_index(i), &**s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("singer");
+        let b = d.intern("singer");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_in_first_seen_order() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("a"), TermId(0));
+        assert_eq!(d.intern("b"), TermId(1));
+        assert_eq!(d.intern("a"), TermId(0));
+        assert_eq!(d.intern("c"), TermId(2));
+    }
+
+    #[test]
+    fn lookup_and_name_roundtrip() {
+        let mut d = Dictionary::new();
+        let id = d.intern("vocalist");
+        assert_eq!(d.lookup("vocalist"), Some(id));
+        assert_eq!(d.lookup("missing"), None);
+        assert_eq!(d.name(id), Some("vocalist"));
+        assert_eq!(d.name(TermId(99)), None);
+        assert_eq!(d.name_or_unknown(TermId(99)), "<?unknown?>");
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut d = Dictionary::new();
+        d.intern("x");
+        d.intern("y");
+        let v: Vec<_> = d.iter().map(|(i, n)| (i.0, n.to_string())).collect();
+        assert_eq!(v, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+}

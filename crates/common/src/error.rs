@@ -1,0 +1,64 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors surfaced by the Spec-QP engine and its substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A SPARQL-subset query failed to parse. Carries a human-readable
+    /// message with position information.
+    Parse(String),
+    /// A query referenced a term that is not in the dictionary.
+    UnknownTerm(String),
+    /// A query is structurally invalid (e.g. empty, disconnected join graph,
+    /// or no projected variable).
+    InvalidQuery(String),
+    /// Statistics were requested for a pattern that has no catalog entry.
+    MissingStatistics(String),
+    /// A dataset/workload generator was configured inconsistently.
+    InvalidConfig(String),
+    /// Catch-all for internal invariant violations that should be reported
+    /// as bugs rather than panicking in release builds.
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::UnknownTerm(t) => write!(f, "unknown term: {t}"),
+            Error::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            Error::MissingStatistics(m) => write!(f, "missing statistics: {m}"),
+            Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Error::Parse("bad token".into()).to_string(),
+            "parse error: bad token"
+        );
+        assert_eq!(
+            Error::UnknownTerm("<x>".into()).to_string(),
+            "unknown term: <x>"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Internal("x".into()));
+    }
+}

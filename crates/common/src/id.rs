@@ -1,0 +1,87 @@
+//! Dictionary-encoded term identifiers.
+
+use std::fmt;
+
+/// Identifier of an RDF term (entity, predicate, literal, or textual token)
+/// in a [`Dictionary`](https://docs.rs/kgstore)-encoded knowledge graph.
+///
+/// `TermId` is a plain `u32` newtype: 4 bytes keeps triples at 16 bytes
+/// (3 ids + f32 would be 16; we use f64 scores stored separately in hot
+/// paths) and comfortably addresses the ~10⁸-triple graphs the paper uses.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// Largest representable id, used as a sentinel by some indexes.
+    pub const MAX: TermId = TermId(u32::MAX);
+
+    /// Returns the raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `TermId` from a raw index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        assert!(i <= u32::MAX as usize, "term id overflow: {i}");
+        TermId(i as u32)
+    }
+}
+
+impl fmt::Debug for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for TermId {
+    fn from(v: u32) -> Self {
+        TermId(v)
+    }
+}
+
+impl From<TermId> for u32 {
+    fn from(v: TermId) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = TermId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(TermId(42), id);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(TermId(1) < TermId(2));
+        assert!(TermId::MAX > TermId(0));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(TermId(7).to_string(), "7");
+        assert_eq!(format!("{:?}", TermId(7)), "t7");
+    }
+
+    #[test]
+    #[should_panic(expected = "term id overflow")]
+    fn from_index_overflow_panics() {
+        let _ = TermId::from_index(u32::MAX as usize + 1);
+    }
+}

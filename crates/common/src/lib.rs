@@ -1,0 +1,24 @@
+//! Shared utilities for the Spec-QP workspace.
+//!
+//! This crate holds the small, dependency-free building blocks used by every
+//! other crate in the workspace:
+//!
+//! * [`TermId`] — dictionary-encoded identifier for RDF terms,
+//! * [`Score`] — a totally ordered, non-NaN `f64` wrapper used for triple and
+//!   answer scores,
+//! * [`FxHashMap`]/[`FxHashSet`] — hash collections with a fast
+//!   multiply-rotate hasher (FxHash), appropriate for integer-like keys on a
+//!   trusted, in-process workload,
+//! * [`Error`] — the workspace-wide error type.
+
+pub mod dictionary;
+pub mod error;
+pub mod hash;
+pub mod id;
+pub mod score;
+
+pub use dictionary::Dictionary;
+pub use error::{Error, Result};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use id::TermId;
+pub use score::Score;

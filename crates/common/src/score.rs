@@ -1,0 +1,238 @@
+//! Totally ordered floating-point scores.
+//!
+//! Triple scores (Def. 1 of the paper) and answer scores (Def. 6) are
+//! non-negative reals. Rust's `f64` is only `PartialOrd`, which makes it
+//! awkward inside `BinaryHeap`s and sort keys, so the workspace uses this
+//! thin wrapper that guarantees the value is never NaN and therefore admits
+//! a total order.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A non-NaN `f64` with a total order. The canonical score type of the
+/// workspace.
+///
+/// Construction via [`Score::new`] panics on NaN (scores are produced by the
+/// engine from counts and weights, so a NaN always indicates a logic error);
+/// [`Score::try_new`] is available where the input is untrusted.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Score(f64);
+
+impl Score {
+    /// The zero score.
+    pub const ZERO: Score = Score(0.0);
+    /// The unit score — the head of every normalized match list (Def. 5).
+    pub const ONE: Score = Score(1.0);
+
+    /// Wraps a finite-or-infinite (but non-NaN) float.
+    ///
+    /// # Panics
+    /// Panics if `v` is NaN.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "score must not be NaN");
+        Score(v)
+    }
+
+    /// Fallible constructor: returns `None` for NaN.
+    #[inline]
+    pub fn try_new(v: f64) -> Option<Self> {
+        if v.is_nan() {
+            None
+        } else {
+            Some(Score(v))
+        }
+    }
+
+    /// Returns the wrapped value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The larger of two scores.
+    #[inline]
+    pub fn max(self, other: Score) -> Score {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two scores.
+    #[inline]
+    pub fn min(self, other: Score) -> Score {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Absolute difference between two scores.
+    #[inline]
+    pub fn abs_diff(self, other: Score) -> Score {
+        Score((self.0 - other.0).abs())
+    }
+
+    /// `true` if the two scores differ by at most `eps`.
+    #[inline]
+    pub fn approx_eq(self, other: Score, eps: f64) -> bool {
+        (self.0 - other.0).abs() <= eps
+    }
+}
+
+impl Eq for Score {}
+
+impl PartialOrd for Score {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Score {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: construction forbids NaN.
+        self.0.partial_cmp(&other.0).expect("scores are never NaN")
+    }
+}
+
+impl Add for Score {
+    type Output = Score;
+    #[inline]
+    fn add(self, rhs: Score) -> Score {
+        Score(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Score {
+    #[inline]
+    fn add_assign(&mut self, rhs: Score) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Score {
+    type Output = Score;
+    #[inline]
+    fn sub(self, rhs: Score) -> Score {
+        Score(self.0 - rhs.0)
+    }
+}
+
+impl Mul for Score {
+    type Output = Score;
+    #[inline]
+    fn mul(self, rhs: Score) -> Score {
+        Score(self.0 * rhs.0)
+    }
+}
+
+impl Mul<f64> for Score {
+    type Output = Score;
+    #[inline]
+    fn mul(self, rhs: f64) -> Score {
+        Score::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Score {
+    type Output = Score;
+    #[inline]
+    fn div(self, rhs: f64) -> Score {
+        Score::new(self.0 / rhs)
+    }
+}
+
+impl Sum for Score {
+    fn sum<I: Iterator<Item = Score>>(iter: I) -> Score {
+        iter.fold(Score::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for Score {
+    #[inline]
+    fn from(v: f64) -> Self {
+        Score::new(v)
+    }
+}
+
+impl From<Score> for f64 {
+    #[inline]
+    fn from(s: Score) -> f64 {
+        s.0
+    }
+}
+
+impl fmt::Debug for Score {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.0)
+    }
+}
+
+impl fmt::Display for Score {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}", prec, self.0)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_allows_sorting() {
+        let mut v = vec![Score::new(0.3), Score::new(1.2), Score::new(0.0)];
+        v.sort();
+        assert_eq!(v, vec![Score::ZERO, Score::new(0.3), Score::new(1.2)]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Score::new(0.5);
+        let b = Score::new(0.25);
+        assert_eq!((a + b).value(), 0.75);
+        assert_eq!((a - b).value(), 0.25);
+        assert_eq!((a * b).value(), 0.125);
+        assert_eq!((a * 2.0).value(), 1.0);
+        assert_eq!((a / 2.0).value(), 0.25);
+    }
+
+    #[test]
+    fn sum_of_scores() {
+        let s: Score = [0.1, 0.2, 0.3].iter().map(|&v| Score::new(v)).sum();
+        assert!(s.approx_eq(Score::new(0.6), 1e-12));
+    }
+
+    #[test]
+    fn min_max_absdiff() {
+        let a = Score::new(0.9);
+        let b = Score::new(0.4);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert!(a.abs_diff(b).approx_eq(Score::new(0.5), 1e-12));
+        assert!(b.abs_diff(a).approx_eq(Score::new(0.5), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        let _ = Score::new(f64::NAN);
+    }
+
+    #[test]
+    fn try_new_rejects_nan_only() {
+        assert!(Score::try_new(f64::NAN).is_none());
+        assert!(Score::try_new(f64::INFINITY).is_some());
+        assert!(Score::try_new(-1.0).is_some());
+    }
+}

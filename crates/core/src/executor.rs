@@ -1,0 +1,508 @@
+//! Plan execution: operator-tree construction (§3.2.2) and the reference
+//! executors.
+//!
+//! Given a [`QueryPlan`]:
+//!
+//! 1. the **join group** becomes a left-deep chain of rank joins over plain
+//!    [`PatternScan`]s (no relaxations),
+//! 2. every **singleton** becomes an [`IncrementalMerge`] over the
+//!    pattern's scan (weight 1) and one scan per relaxation (weight `wᵢ`),
+//! 3. the join-group stream and the singleton streams are combined with
+//!    further rank joins (Fig. 5).
+//!
+//! The TriniT baseline (§2.1, Fig. 2) is simply
+//! [`QueryPlan::all_relaxed`] run through the same machinery. [`run_naive`]
+//! is a brute-force executor (materialize + hash join + sort) used as ground
+//! truth by the test suite.
+
+use crate::plan::QueryPlan;
+use operators::{
+    top_k, BoxedStream, IncrementalMerge, MetricsHandle, PartialAnswer, PatternScan, Projected,
+    PullStrategy, RankJoin, RankedStream, Scaled,
+};
+use kgstore::KnowledgeGraph;
+use relax::{ChainRuleSet, RelaxationRegistry};
+use sparql::{Query, Var};
+use specqp_common::{FxHashMap, Score};
+
+/// Builds the operator tree for `plan` over `query`.
+///
+/// Returns the root stream; pull [`top_k`] answers from it. Every operator
+/// shares `metrics`, so the paper's "answer objects created" counter
+/// aggregates the whole tree.
+pub fn build_plan_stream<'g>(
+    graph: &'g KnowledgeGraph,
+    query: &Query,
+    plan: &QueryPlan,
+    registry: &RelaxationRegistry,
+    metrics: MetricsHandle,
+    strategy: PullStrategy,
+) -> BoxedStream<'g> {
+    static NO_CHAINS: std::sync::OnceLock<ChainRuleSet> = std::sync::OnceLock::new();
+    build_plan_stream_with_chains(
+        graph,
+        query,
+        plan,
+        registry,
+        NO_CHAINS.get_or_init(ChainRuleSet::new),
+        metrics,
+        strategy,
+    )
+}
+
+/// [`build_plan_stream`] plus chain relaxations (the paper's future-work
+/// extension): every singleton's incremental merge additionally consumes,
+/// per applicable [`ChainRule`](relax::ChainRule), a rank join over the
+/// chain's scans, scaled into `[0, w]` (`w/len` per hop) and projected back
+/// onto the original pattern's variables so Def.-8 max-deduplication still
+/// applies.
+#[allow(clippy::too_many_arguments)]
+pub fn build_plan_stream_with_chains<'g>(
+    graph: &'g KnowledgeGraph,
+    query: &Query,
+    plan: &QueryPlan,
+    registry: &RelaxationRegistry,
+    chains: &ChainRuleSet,
+    metrics: MetricsHandle,
+    strategy: PullStrategy,
+) -> BoxedStream<'g> {
+    assert_eq!(plan.len(), query.len(), "plan/query arity mismatch");
+    let patterns = query.patterns();
+    let mut next_fresh = query.var_count() as u32;
+
+    // Each entry: (stream, variables it binds — sorted).
+    let mut parts: Vec<(BoxedStream<'g>, Vec<Var>)> = Vec::new();
+
+    // 1. Join group: left-deep rank joins over bare scans.
+    let join_group = plan.join_group();
+    if !join_group.is_empty() {
+        let mut acc: Option<(BoxedStream<'g>, Vec<Var>)> = None;
+        for &i in &join_group {
+            let scan: BoxedStream<'g> = Box::new(PatternScan::new(
+                graph,
+                patterns[i],
+                Score::ONE,
+                metrics.clone(),
+            ));
+            let vars: Vec<Var> = collect_vars(&[patterns[i]]);
+            acc = Some(match acc {
+                None => (scan, vars),
+                Some((left, lvars)) => join(left, lvars, scan, vars, strategy, &metrics),
+            });
+        }
+        parts.push(acc.expect("non-empty join group"));
+    }
+
+    // 2. Singletons: incremental merges over the pattern + its relaxations
+    //    (term rules and, if configured, chain rules).
+    for i in plan.singletons() {
+        let mut inputs: Vec<BoxedStream<'g>> = Vec::new();
+        inputs.push(Box::new(PatternScan::new(
+            graph,
+            patterns[i],
+            Score::ONE,
+            metrics.clone(),
+        )));
+        for r in registry.relaxations_for(&patterns[i]) {
+            inputs.push(Box::new(PatternScan::new(
+                graph,
+                r.pattern,
+                Score::new(r.weight),
+                metrics.clone(),
+            )));
+        }
+        for c in chains.chain_relaxations_for(&patterns[i], next_fresh) {
+            next_fresh += c.fresh_vars.len() as u32;
+            inputs.push(build_chain_stream(graph, &c, &patterns[i], &metrics, strategy));
+        }
+        let merge: BoxedStream<'g> = Box::new(IncrementalMerge::new(inputs));
+        parts.push((merge, collect_vars(&[patterns[i]])));
+    }
+
+    // 3. Combine all parts with rank joins, left-deep in construction order.
+    let mut iter = parts.into_iter();
+    let (mut acc, mut acc_vars) = iter.next().expect("plan covers ≥1 pattern");
+    for (stream, vars) in iter {
+        let joined = join(acc, acc_vars, stream, vars, strategy, &metrics);
+        acc = joined.0;
+        acc_vars = joined.1;
+    }
+    acc
+}
+
+fn join<'g>(
+    left: BoxedStream<'g>,
+    lvars: Vec<Var>,
+    right: BoxedStream<'g>,
+    rvars: Vec<Var>,
+    strategy: PullStrategy,
+    metrics: &MetricsHandle,
+) -> (BoxedStream<'g>, Vec<Var>) {
+    let shared: Vec<Var> = lvars.iter().copied().filter(|v| rvars.contains(v)).collect();
+    let mut union = lvars;
+    for v in rvars {
+        if !union.contains(&v) {
+            union.push(v);
+        }
+    }
+    union.sort();
+    let stream: BoxedStream<'g> = Box::new(RankJoin::new(
+        left,
+        right,
+        shared,
+        strategy,
+        metrics.clone(),
+    ));
+    (stream, union)
+}
+
+fn collect_vars(patterns: &[sparql::TriplePattern]) -> Vec<Var> {
+    let mut vars: Vec<Var> = Vec::new();
+    for p in patterns {
+        for v in p.vars() {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    vars.sort();
+    vars
+}
+
+/// Builds the ranked stream of one instantiated chain relaxation: a
+/// left-deep rank join over the chain's pattern scans, scaled by `w/len`
+/// and projected onto the original pattern's variables.
+fn build_chain_stream<'g>(
+    graph: &'g KnowledgeGraph,
+    chain: &relax::ChainRelaxation,
+    original: &sparql::TriplePattern,
+    metrics: &MetricsHandle,
+    strategy: PullStrategy,
+) -> BoxedStream<'g> {
+    let mut acc: Option<(BoxedStream<'g>, Vec<Var>)> = None;
+    for p in &chain.patterns {
+        let scan: BoxedStream<'g> =
+            Box::new(PatternScan::new(graph, *p, Score::ONE, metrics.clone()));
+        let vars = collect_vars(std::slice::from_ref(p));
+        acc = Some(match acc {
+            None => (scan, vars),
+            Some((left, lvars)) => join(left, lvars, scan, vars, strategy, metrics),
+        });
+    }
+    let (stream, _) = acc.expect("chains have ≥ 2 patterns");
+    let keep = collect_vars(std::slice::from_ref(original));
+    Box::new(Projected::new(
+        Scaled::new(stream, chain.weight / chain.patterns.len() as f64),
+        keep,
+    ))
+}
+
+/// Executes `plan` to the top-`k` answers.
+pub fn run_plan(
+    graph: &KnowledgeGraph,
+    query: &Query,
+    plan: &QueryPlan,
+    registry: &RelaxationRegistry,
+    metrics: MetricsHandle,
+    strategy: PullStrategy,
+    k: usize,
+) -> Vec<PartialAnswer> {
+    let mut stream = build_plan_stream(graph, query, plan, registry, metrics, strategy);
+    top_k(&mut stream, k)
+}
+
+/// Executes `plan` to the top-`k` answers with chain relaxations enabled.
+#[allow(clippy::too_many_arguments)]
+pub fn run_plan_with_chains(
+    graph: &KnowledgeGraph,
+    query: &Query,
+    plan: &QueryPlan,
+    registry: &RelaxationRegistry,
+    chains: &ChainRuleSet,
+    metrics: MetricsHandle,
+    strategy: PullStrategy,
+    k: usize,
+) -> Vec<PartialAnswer> {
+    let mut stream =
+        build_plan_stream_with_chains(graph, query, plan, registry, chains, metrics, strategy);
+    top_k(&mut stream, k)
+}
+
+/// Brute-force ground truth: for every pattern, materialize the merged
+/// (original + relaxations, max-score-deduplicated) binding list; hash-join
+/// all lists; sort by total score descending (deterministic tie-break);
+/// truncate to `k`.
+///
+/// Exhaustive and allocation-heavy by design — use only on test-sized data.
+pub fn run_naive(
+    graph: &KnowledgeGraph,
+    query: &Query,
+    registry: &RelaxationRegistry,
+    k: usize,
+) -> Vec<PartialAnswer> {
+    let metrics = operators::OpMetrics::new_handle();
+    let patterns = query.patterns();
+
+    // Materialize the merged list of each pattern.
+    let mut lists: Vec<Vec<PartialAnswer>> = Vec::with_capacity(patterns.len());
+    for p in patterns {
+        let mut inputs: Vec<BoxedStream<'_>> = Vec::new();
+        inputs.push(Box::new(PatternScan::new(
+            graph,
+            *p,
+            Score::ONE,
+            metrics.clone(),
+        )));
+        for r in registry.relaxations_for(p) {
+            inputs.push(Box::new(PatternScan::new(
+                graph,
+                r.pattern,
+                Score::new(r.weight),
+                metrics.clone(),
+            )));
+        }
+        let mut merge = IncrementalMerge::new(inputs);
+        let mut list = Vec::new();
+        while let Some(a) = merge.next() {
+            list.push(a);
+        }
+        lists.push(list);
+    }
+
+    // Fold with hash joins on the shared variables.
+    let mut acc: Vec<PartialAnswer> = lists[0].clone();
+    let mut acc_vars = collect_vars(&patterns[..1]);
+    for (idx, list) in lists.iter().enumerate().skip(1) {
+        let vars = collect_vars(&patterns[idx..=idx]);
+        let shared: Vec<Var> = acc_vars
+            .iter()
+            .copied()
+            .filter(|v| vars.contains(v))
+            .collect();
+        let mut table: FxHashMap<Box<[specqp_common::TermId]>, Vec<&PartialAnswer>> =
+            FxHashMap::default();
+        for a in &acc {
+            table
+                .entry(a.binding.key_for(&shared).expect("acc binds shared vars"))
+                .or_default()
+                .push(a);
+        }
+        let mut next: Vec<PartialAnswer> = Vec::new();
+        for b in list {
+            let key = b.binding.key_for(&shared).expect("list binds shared vars");
+            if let Some(partners) = table.get(&key) {
+                for a in partners {
+                    next.push(PartialAnswer::new(
+                        a.binding.merged(&b.binding),
+                        a.score + b.score,
+                    ));
+                }
+            }
+        }
+        for v in vars {
+            if !acc_vars.contains(&v) {
+                acc_vars.push(v);
+            }
+        }
+        acc_vars.sort();
+        acc = next;
+    }
+
+    acc.sort_by(|a, b| b.cmp(a));
+    acc.truncate(k);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgstore::KnowledgeGraphBuilder;
+    use operators::OpMetrics;
+    use relax::{Position, TermRule};
+    use sparql::QueryBuilder;
+
+    /// Music KG: singers/lyricists with one relaxation each.
+    fn setup() -> (KnowledgeGraph, RelaxationRegistry) {
+        let mut b = KnowledgeGraphBuilder::new();
+        for (e, c, s) in [
+            ("shakira", "singer", 100.0),
+            ("beyonce", "singer", 90.0),
+            ("adele", "vocalist", 95.0),
+            ("sia", "vocalist", 60.0),
+            ("shakira", "lyricist", 50.0),
+            ("adele", "lyricist", 45.0),
+            ("sia", "writer", 40.0),
+            ("beyonce", "writer", 30.0),
+        ] {
+            b.add(e, "type", c, s);
+        }
+        let g = b.build();
+        let d = g.dictionary();
+        let ty = d.lookup("type").unwrap();
+        let mut reg = RelaxationRegistry::new();
+        reg.add(TermRule::with_context(
+            Position::Object,
+            d.lookup("singer").unwrap(),
+            d.lookup("vocalist").unwrap(),
+            0.8,
+            ty,
+        ));
+        reg.add(TermRule::with_context(
+            Position::Object,
+            d.lookup("lyricist").unwrap(),
+            d.lookup("writer").unwrap(),
+            0.7,
+            ty,
+        ));
+        (g, reg)
+    }
+
+    fn query(g: &KnowledgeGraph) -> Query {
+        let d = g.dictionary();
+        let ty = d.lookup("type").unwrap();
+        let mut b = QueryBuilder::new();
+        let s = b.var("s");
+        b.pattern(s, ty, d.lookup("singer").unwrap());
+        b.pattern(s, ty, d.lookup("lyricist").unwrap());
+        b.project(s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn trinit_plan_matches_naive_ground_truth() {
+        let (g, reg) = setup();
+        let q = query(&g);
+        let naive = run_naive(&g, &q, &reg, 10);
+        let m = OpMetrics::new_handle();
+        let trinit = run_plan(
+            &g,
+            &q,
+            &QueryPlan::all_relaxed(2),
+            &reg,
+            m,
+            PullStrategy::Adaptive,
+            10,
+        );
+        assert_eq!(naive.len(), trinit.len());
+        for (a, b) in naive.iter().zip(&trinit) {
+            assert!(
+                a.score.approx_eq(b.score, 1e-9),
+                "{:?} vs {:?}",
+                a,
+                b
+            );
+            assert_eq!(a.binding, b.binding);
+        }
+    }
+
+    #[test]
+    fn bare_plan_only_sees_original_matches() {
+        let (g, reg) = setup();
+        let q = query(&g);
+        let m = OpMetrics::new_handle();
+        let bare = run_plan(
+            &g,
+            &q,
+            &QueryPlan::none_relaxed(2),
+            &reg,
+            m,
+            PullStrategy::Adaptive,
+            10,
+        );
+        // Only shakira is both singer and lyricist without relaxations.
+        assert_eq!(bare.len(), 1);
+        let d = g.dictionary();
+        assert_eq!(
+            bare[0].binding.get(sparql::Var(0)),
+            Some(d.lookup("shakira").unwrap())
+        );
+        assert!(bare[0].score.approx_eq(Score::new(2.0), 1e-9));
+    }
+
+    #[test]
+    fn mixed_plan_is_subset_of_trinit_with_correct_scores() {
+        let (g, reg) = setup();
+        let q = query(&g);
+        let trinit = run_naive(&g, &q, &reg, 10);
+        for plan in [
+            QueryPlan::new(2, &[0]),
+            QueryPlan::new(2, &[1]),
+            QueryPlan::new(2, &[0, 1]),
+            QueryPlan::new(2, &[]),
+        ] {
+            let m = OpMetrics::new_handle();
+            let res = run_plan(&g, &q, &plan, &reg, m, PullStrategy::Adaptive, 10);
+            // Every Spec-QP answer must appear in the full relaxed space
+            // with the same score (plans only *prune* relaxations).
+            for a in &res {
+                let hit = trinit.iter().find(|t| t.binding == a.binding);
+                if let Some(t) = hit {
+                    assert!(a.score <= t.score + Score::new(1e-9));
+                }
+            }
+            // Output is sorted.
+            for w in res.windows(2) {
+                assert!(w[0].score >= w[1].score);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_with_fewer_merges_creates_fewer_objects() {
+        let (g, reg) = setup();
+        let q = query(&g);
+        let m_trinit = OpMetrics::new_handle();
+        let _ = run_plan(
+            &g,
+            &q,
+            &QueryPlan::all_relaxed(2),
+            &reg,
+            m_trinit.clone(),
+            PullStrategy::Adaptive,
+            3,
+        );
+        let m_spec = OpMetrics::new_handle();
+        let _ = run_plan(
+            &g,
+            &q,
+            &QueryPlan::none_relaxed(2),
+            &reg,
+            m_spec.clone(),
+            PullStrategy::Adaptive,
+            3,
+        );
+        assert!(
+            m_spec.answers_created() <= m_trinit.answers_created(),
+            "bare {} vs trinit {}",
+            m_spec.answers_created(),
+            m_trinit.answers_created()
+        );
+    }
+
+    #[test]
+    fn single_pattern_query_runs() {
+        let (g, reg) = setup();
+        let d = g.dictionary();
+        let ty = d.lookup("type").unwrap();
+        let mut b = QueryBuilder::new();
+        let s = b.var("s");
+        b.pattern(s, ty, d.lookup("singer").unwrap());
+        b.project(s);
+        let q = b.build().unwrap();
+        let m = OpMetrics::new_handle();
+        let res = run_plan(
+            &g,
+            &q,
+            &QueryPlan::all_relaxed(1),
+            &reg,
+            m,
+            PullStrategy::Adaptive,
+            4,
+        );
+        // singer: shakira(1.0), beyonce(0.9); vocalist relaxed: adele(0.8),
+        // sia ≈ 0.505.
+        assert_eq!(res.len(), 4);
+        assert!(res[0].score.approx_eq(Score::new(1.0), 1e-9));
+        assert!(res[2].score.approx_eq(Score::new(0.8), 1e-9));
+    }
+}

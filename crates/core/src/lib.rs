@@ -1,0 +1,81 @@
+//! **Spec-QP** — speculative query planning for top-k joins over knowledge
+//! graphs.
+//!
+//! This crate is the paper's primary contribution (§3): given a triple-
+//! pattern query whose patterns carry weighted relaxations, predict — from
+//! precomputed score-distribution statistics alone — *which patterns'
+//! relaxations can contribute answers to the top-k*, and build a query plan
+//! that processes only those through [Incremental
+//! Merge](operators::IncrementalMerge) operators while the rest are joined
+//! directly over their sorted match lists.
+//!
+//! # Pieces
+//!
+//! * [`QueryPlan`] — the partition `{join group} ∪ {singletons}` of §3.2,
+//! * [`plan_query`] — Algorithm 1 (PLANGEN),
+//! * [`executor`] — turns a plan into an operator tree and runs it; also
+//!   provides the **TriniT baseline** (every pattern relaxed, Fig. 2) and a
+//!   **naive materialize-everything executor** used as ground truth in
+//!   tests,
+//! * [`Engine`] — a one-stop façade owning the statistics catalog and
+//!   cardinality oracle,
+//! * [`evaluation`] — the paper's quality metrics (§4.3): precision/recall,
+//!   prediction accuracy, average score error,
+//! * [`RunReport`] — timing + the "number of answer objects created" memory
+//!   metric.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use kgstore::KnowledgeGraphBuilder;
+//! use relax::{Position, RelaxationRegistry, TermRule};
+//! use specqp::Engine;
+//! use sparql::parse_query;
+//!
+//! // A tiny KG: singers and vocalists with popularity scores.
+//! let mut b = KnowledgeGraphBuilder::new();
+//! b.add("shakira", "rdf:type", "singer", 100.0);
+//! b.add("adele", "rdf:type", "vocalist", 90.0);
+//! b.add("shakira", "rdf:type", "lyricist", 40.0);
+//! b.add("adele", "rdf:type", "lyricist", 35.0);
+//! let kg = b.build();
+//!
+//! // One mined relaxation: singer → vocalist at weight 0.8.
+//! let d = kg.dictionary();
+//! let mut reg = RelaxationRegistry::new();
+//! reg.add(TermRule::with_context(
+//!     Position::Object,
+//!     d.lookup("singer").unwrap(),
+//!     d.lookup("vocalist").unwrap(),
+//!     0.8,
+//!     d.lookup("rdf:type").unwrap(),
+//! ));
+//!
+//! let engine = Engine::new(&kg, &reg);
+//! let q = parse_query(
+//!     "SELECT ?s WHERE { ?s <rdf:type> <singer> . ?s <rdf:type> <lyricist> }",
+//!     kg.dictionary(),
+//! )
+//! .unwrap();
+//! let out = engine.run_specqp(&q, 2);
+//! assert!(!out.answers.is_empty());
+//! ```
+
+pub mod engine;
+pub mod evaluation;
+pub mod executor;
+pub mod plan;
+pub mod plangen;
+pub mod trace;
+
+pub use engine::{Engine, EngineConfig, QueryOutcome};
+pub use evaluation::{
+    precision_at_k, prediction_covering, prediction_exact, required_relaxations, score_error,
+    ScoreError,
+};
+pub use executor::{
+    build_plan_stream, build_plan_stream_with_chains, run_naive, run_plan, run_plan_with_chains,
+};
+pub use plan::QueryPlan;
+pub use plangen::plan_query;
+pub use trace::RunReport;

@@ -1,0 +1,180 @@
+//! Query plans: the join-group/singleton partition of §3.2.
+//!
+//! A plan for `Q = {q₁ … qₙ}` is a partition where one subset (the **join
+//! group**) holds the patterns whose relaxations were pruned, and every
+//! other subset is a **singleton** holding one pattern that keeps its
+//! relaxations. The paper's example: plan `{{q₁,q₃},{q₂}}` processes q₂
+//! through an incremental merge and joins q₁, q₃ directly.
+
+use sparql::Query;
+use specqp_common::Dictionary;
+
+/// A speculative query plan: which patterns are processed *with* their
+/// relaxations (singletons) and which are joined bare (join group).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueryPlan {
+    /// `relaxed[i]` ⇔ pattern `i` is a singleton (gets an incremental
+    /// merge).
+    relaxed: Vec<bool>,
+}
+
+impl QueryPlan {
+    /// Plan with the given singleton pattern indices.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn new(n_patterns: usize, singleton_indices: &[usize]) -> Self {
+        let mut relaxed = vec![false; n_patterns];
+        for &i in singleton_indices {
+            assert!(i < n_patterns, "pattern index {i} out of range");
+            relaxed[i] = true;
+        }
+        QueryPlan { relaxed }
+    }
+
+    /// The TriniT plan: every pattern is a singleton (`{{q₁},{q₂},…}`,
+    /// Fig. 2).
+    pub fn all_relaxed(n_patterns: usize) -> Self {
+        QueryPlan {
+            relaxed: vec![true; n_patterns],
+        }
+    }
+
+    /// The no-relaxation plan: plain rank joins over the original patterns.
+    pub fn none_relaxed(n_patterns: usize) -> Self {
+        QueryPlan {
+            relaxed: vec![false; n_patterns],
+        }
+    }
+
+    /// Number of patterns covered by the plan.
+    pub fn len(&self) -> usize {
+        self.relaxed.len()
+    }
+
+    /// `true` for the empty plan (no patterns).
+    pub fn is_empty(&self) -> bool {
+        self.relaxed.is_empty()
+    }
+
+    /// `true` if pattern `i` keeps its relaxations.
+    pub fn is_relaxed(&self, i: usize) -> bool {
+        self.relaxed[i]
+    }
+
+    /// Indices of the join group (non-relaxed patterns), ascending.
+    pub fn join_group(&self) -> Vec<usize> {
+        (0..self.relaxed.len()).filter(|&i| !self.relaxed[i]).collect()
+    }
+
+    /// Indices of the singletons (relaxed patterns), ascending.
+    pub fn singletons(&self) -> Vec<usize> {
+        (0..self.relaxed.len()).filter(|&i| self.relaxed[i]).collect()
+    }
+
+    /// Number of patterns whose relaxations are processed — the grouping
+    /// key of Figures 7 and 9.
+    pub fn relaxed_count(&self) -> usize {
+        self.relaxed.iter().filter(|&&r| r).count()
+    }
+
+    /// `true` iff the partition covers each pattern exactly once (always
+    /// true by construction; kept as an invariant check for property
+    /// tests).
+    pub fn is_valid_partition(&self) -> bool {
+        let jg = self.join_group();
+        let sg = self.singletons();
+        jg.len() + sg.len() == self.relaxed.len()
+            && jg.iter().all(|i| !sg.contains(i))
+    }
+
+    /// Human-readable plan description mirroring the paper's notation.
+    pub fn explain(&self, query: &Query, dict: &Dictionary) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let jg = self.join_group();
+        let _ = writeln!(s, "Spec-QP plan over {} patterns:", self.len());
+        if jg.is_empty() {
+            let _ = writeln!(s, "  join group: (empty — all patterns relaxed)");
+        } else {
+            let _ = writeln!(s, "  join group (rank joins over sorted lists):");
+            for i in jg {
+                let p = &query.patterns()[i];
+                let _ = writeln!(s, "    q{}: {}", i + 1, render(p, query, dict));
+            }
+        }
+        for i in self.singletons() {
+            let p = &query.patterns()[i];
+            let _ = writeln!(
+                s,
+                "  singleton (incremental merge): q{}: {}",
+                i + 1,
+                render(p, query, dict)
+            );
+        }
+        s
+    }
+}
+
+fn render(p: &sparql::TriplePattern, query: &Query, dict: &Dictionary) -> String {
+    let term = |t: sparql::Term| match t {
+        sparql::Term::Var(v) => format!("?{}", query.var_name(v)),
+        sparql::Term::Const(id) => format!("<{}>", dict.name_or_unknown(id)),
+    };
+    format!("{} {} {}", term(p.s), term(p.p), term(p.o))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparql::QueryBuilder;
+    use specqp_common::TermId;
+
+    #[test]
+    fn partition_accessors() {
+        let p = QueryPlan::new(4, &[1, 3]);
+        assert_eq!(p.join_group(), vec![0, 2]);
+        assert_eq!(p.singletons(), vec![1, 3]);
+        assert_eq!(p.relaxed_count(), 2);
+        assert!(p.is_relaxed(1));
+        assert!(!p.is_relaxed(0));
+        assert!(p.is_valid_partition());
+    }
+
+    #[test]
+    fn trinit_and_bare_plans() {
+        let t = QueryPlan::all_relaxed(3);
+        assert_eq!(t.relaxed_count(), 3);
+        assert!(t.join_group().is_empty());
+        let b = QueryPlan::none_relaxed(3);
+        assert_eq!(b.relaxed_count(), 0);
+        assert_eq!(b.join_group(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_singleton_panics() {
+        let _ = QueryPlan::new(2, &[5]);
+    }
+
+    #[test]
+    fn explain_mentions_groups() {
+        let mut d = Dictionary::new();
+        let ty = d.intern("type");
+        let a = d.intern("a");
+        let c = d.intern("c");
+        let mut b = QueryBuilder::new();
+        let s = b.var("s");
+        b.pattern(s, ty, a);
+        b.pattern(s, ty, c);
+        b.project(s);
+        let q = b.build().unwrap();
+        let _ = TermId(0);
+        let plan = QueryPlan::new(2, &[1]);
+        let text = plan.explain(&q, &d);
+        assert!(text.contains("join group"));
+        assert!(text.contains("singleton"));
+        assert!(text.contains("<a>"));
+        assert!(text.contains("<c>"));
+    }
+}

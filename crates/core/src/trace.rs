@@ -1,0 +1,45 @@
+//! Timing and memory reports for query runs.
+
+use std::time::Duration;
+
+/// What one query execution cost (§4.3's efficiency metrics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Time spent in PLANGEN (zero for the TriniT baseline, which has no
+    /// speculation step).
+    pub planning: Duration,
+    /// Time spent pulling the top-k through the operator tree.
+    pub execution: Duration,
+    /// The paper's memory proxy: answer objects created by scans, merges
+    /// and joins.
+    pub answers_created: u64,
+    /// Sequential (sorted) accesses to input lists.
+    pub sorted_accesses: u64,
+    /// Random accesses (hash probes enumerated).
+    pub random_accesses: u64,
+    /// Priority-queue pushes inside rank joins.
+    pub heap_pushes: u64,
+}
+
+impl RunReport {
+    /// Planning + execution — the "runtimes" plotted in Figures 6–9
+    /// ("We measure the time taken to plan and execute each query").
+    pub fn total_time(&self) -> Duration {
+        self.planning + self.execution
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_sum() {
+        let r = RunReport {
+            planning: Duration::from_millis(2),
+            execution: Duration::from_millis(40),
+            ..Default::default()
+        };
+        assert_eq!(r.total_time(), Duration::from_millis(42));
+    }
+}

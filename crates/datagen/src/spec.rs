@@ -1,0 +1,31 @@
+//! The generated-dataset bundle.
+
+use crate::workload::Workload;
+use kgstore::KnowledgeGraph;
+use relax::RelaxationRegistry;
+
+/// Everything one experiment needs: the graph, the mined relaxation rules
+/// and the query workload.
+pub struct Dataset {
+    /// Dataset name ("xkg" / "twitter").
+    pub name: String,
+    /// The scored knowledge graph.
+    pub graph: KnowledgeGraph,
+    /// Mined relaxation rules.
+    pub registry: RelaxationRegistry,
+    /// Benchmark queries.
+    pub workload: Workload,
+}
+
+impl Dataset {
+    /// Sanity summary used by the experiment harness banner.
+    pub fn summary(&self) -> String {
+        format!(
+            "dataset {}: {} triples, {} relaxation rules, {} queries",
+            self.name,
+            self.graph.len(),
+            self.registry.len(),
+            self.workload.len()
+        )
+    }
+}

@@ -1,0 +1,153 @@
+//! Pattern-signature indexes with score-sorted posting lists.
+//!
+//! For every signature with 1 or 2 bound components there is a hash map from
+//! the bound key to a posting list of triple indexes, sorted by descending
+//! triple score (ties broken by triple index for determinism). The fully
+//! unbound signature keeps one global sorted list; the fully bound signature
+//! keeps a membership map.
+//!
+//! This mirrors what the paper gets from its PostgreSQL backend: "the
+//! database engine used to retrieve the matches for triple patterns in
+//! sorted order" (§4.4) — every access path streams matches best-first.
+
+use crate::pattern_key::pack2;
+use crate::triple::ScoredTriple;
+use specqp_common::{FxHashMap, TermId};
+
+/// Immutable indexes over a triple table. Built once by
+/// [`KnowledgeGraphBuilder::build`](crate::KnowledgeGraphBuilder::build).
+#[derive(Debug, Default)]
+pub struct PatternIndexes {
+    /// (s,p,o) → triple index (duplicates are merged by the builder).
+    pub(crate) spo: FxHashMap<(TermId, TermId, TermId), u32>,
+    /// (s,p) → postings
+    pub(crate) sp: FxHashMap<u64, Vec<u32>>,
+    /// (s,o) → postings
+    pub(crate) so: FxHashMap<u64, Vec<u32>>,
+    /// (p,o) → postings
+    pub(crate) po: FxHashMap<u64, Vec<u32>>,
+    /// s → postings
+    pub(crate) s: FxHashMap<TermId, Vec<u32>>,
+    /// p → postings
+    pub(crate) p: FxHashMap<TermId, Vec<u32>>,
+    /// o → postings
+    pub(crate) o: FxHashMap<TermId, Vec<u32>>,
+    /// all triples, score-descending
+    pub(crate) all: Vec<u32>,
+}
+
+impl PatternIndexes {
+    /// Builds all indexes for `triples`. Each posting list ends up sorted by
+    /// `(score desc, triple index asc)`.
+    pub(crate) fn build(triples: &[ScoredTriple]) -> Self {
+        let mut idx = PatternIndexes {
+            all: (0..triples.len() as u32).collect(),
+            ..PatternIndexes::default()
+        };
+        for (i, st) in triples.iter().enumerate() {
+            let i = i as u32;
+            let t = st.triple;
+            idx.spo.insert((t.s, t.p, t.o), i);
+            idx.sp.entry(pack2(t.s, t.p)).or_default().push(i);
+            idx.so.entry(pack2(t.s, t.o)).or_default().push(i);
+            idx.po.entry(pack2(t.p, t.o)).or_default().push(i);
+            idx.s.entry(t.s).or_default().push(i);
+            idx.p.entry(t.p).or_default().push(i);
+            idx.o.entry(t.o).or_default().push(i);
+        }
+        let by_score_desc = |a: &u32, b: &u32| {
+            let (sa, sb) = (triples[*a as usize].score, triples[*b as usize].score);
+            sb.cmp(&sa).then_with(|| a.cmp(b))
+        };
+        for list in idx.sp.values_mut() {
+            list.sort_unstable_by(by_score_desc);
+        }
+        for list in idx.so.values_mut() {
+            list.sort_unstable_by(by_score_desc);
+        }
+        for list in idx.po.values_mut() {
+            list.sort_unstable_by(by_score_desc);
+        }
+        for list in idx.s.values_mut() {
+            list.sort_unstable_by(by_score_desc);
+        }
+        for list in idx.p.values_mut() {
+            list.sort_unstable_by(by_score_desc);
+        }
+        for list in idx.o.values_mut() {
+            list.sort_unstable_by(by_score_desc);
+        }
+        idx.all.sort_unstable_by(by_score_desc);
+        idx
+    }
+
+    /// Approximate heap size of the indexes in bytes (diagnostics only).
+    pub fn approx_bytes(&self) -> usize {
+        fn map_bytes<K, V>(len: usize) -> usize {
+            len * (std::mem::size_of::<K>() + std::mem::size_of::<V>() + 8)
+        }
+        let postings: usize = self
+            .sp
+            .values()
+            .chain(self.so.values())
+            .chain(self.po.values())
+            .chain(self.s.values())
+            .chain(self.p.values())
+            .chain(self.o.values())
+            .map(|v| v.len() * 4)
+            .sum::<usize>()
+            + self.all.len() * 4;
+        postings
+            + map_bytes::<(TermId, TermId, TermId), u32>(self.spo.len())
+            + map_bytes::<u64, Vec<u32>>(self.sp.len() + self.so.len() + self.po.len())
+            + map_bytes::<TermId, Vec<u32>>(self.s.len() + self.p.len() + self.o.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specqp_common::Score;
+
+    fn t(s: u32, p: u32, o: u32, score: f64) -> ScoredTriple {
+        ScoredTriple::new(TermId(s), TermId(p), TermId(o), Score::new(score))
+    }
+
+    #[test]
+    fn posting_lists_sorted_by_score_desc() {
+        let triples = vec![
+            t(1, 10, 100, 1.0),
+            t(2, 10, 100, 5.0),
+            t(3, 10, 100, 3.0),
+            t(1, 10, 101, 9.0),
+        ];
+        let idx = PatternIndexes::build(&triples);
+        let list = &idx.po[&pack2(TermId(10), TermId(100))];
+        let scores: Vec<f64> = list
+            .iter()
+            .map(|&i| triples[i as usize].score.value())
+            .collect();
+        assert_eq!(scores, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn ties_break_by_triple_index() {
+        let triples = vec![t(1, 10, 100, 2.0), t(2, 10, 100, 2.0), t(3, 10, 100, 2.0)];
+        let idx = PatternIndexes::build(&triples);
+        let list = &idx.po[&pack2(TermId(10), TermId(100))];
+        assert_eq!(list, &vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn all_lists_cover_each_triple() {
+        let triples = vec![t(1, 10, 100, 1.0), t(2, 11, 101, 2.0)];
+        let idx = PatternIndexes::build(&triples);
+        assert_eq!(idx.all.len(), 2);
+        assert_eq!(idx.s.len(), 2);
+        assert_eq!(idx.p.len(), 2);
+        assert_eq!(idx.o.len(), 2);
+        assert_eq!(idx.spo.len(), 2);
+        // global list is sorted desc
+        assert_eq!(idx.all, vec![1, 0]);
+    }
+}

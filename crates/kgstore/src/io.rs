@@ -1,0 +1,154 @@
+//! Loading and saving scored triples.
+//!
+//! The on-disk format is a scored TSV — one triple per line:
+//!
+//! ```text
+//! subject<TAB>predicate<TAB>object<TAB>score
+//! ```
+//!
+//! Lines starting with `#` and blank lines are skipped; the score column is
+//! optional and defaults to 1.0 (so plain three-column dumps of unscored
+//! KGs load too). This covers both of the paper's data shapes — YAGO-style
+//! entity triples with inlink counts and tweet–tag triples with retweet
+//! counts — without committing to a full RDF serialization parser.
+
+use crate::builder::{DuplicatePolicy, KnowledgeGraphBuilder};
+use crate::store::KnowledgeGraph;
+use specqp_common::{Error, Result};
+use std::io::{BufRead, Write};
+
+/// Reads a scored-TSV stream into a builder (so callers can keep adding
+/// triples or pick a duplicate policy first).
+pub fn read_tsv_into(
+    reader: impl BufRead,
+    builder: &mut KnowledgeGraphBuilder,
+) -> Result<usize> {
+    let mut added = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| Error::Parse(format!("line {}: {e}", lineno + 1)))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut cols = trimmed.split('\t');
+        let (Some(s), Some(p), Some(o)) = (cols.next(), cols.next(), cols.next()) else {
+            return Err(Error::Parse(format!(
+                "line {}: expected at least 3 tab-separated columns",
+                lineno + 1
+            )));
+        };
+        let score = match cols.next() {
+            None | Some("") => 1.0,
+            Some(raw) => raw.trim().parse::<f64>().map_err(|e| {
+                Error::Parse(format!("line {}: bad score {raw:?}: {e}", lineno + 1))
+            })?,
+        };
+        if !score.is_finite() || score < 0.0 {
+            return Err(Error::Parse(format!(
+                "line {}: score must be finite and non-negative, got {score}",
+                lineno + 1
+            )));
+        }
+        builder.add(s.trim(), p.trim(), o.trim(), score);
+        added += 1;
+    }
+    Ok(added)
+}
+
+/// Reads a scored-TSV stream into a fresh graph (duplicates keep the max
+/// score, matching [`DuplicatePolicy::Max`]).
+pub fn read_tsv(reader: impl BufRead) -> Result<KnowledgeGraph> {
+    let mut b = KnowledgeGraphBuilder::with_policy(DuplicatePolicy::Max);
+    read_tsv_into(reader, &mut b)?;
+    Ok(b.build())
+}
+
+/// Writes the graph as scored TSV, one triple per storage row, resolving
+/// ids through the graph's dictionary.
+pub fn write_tsv(graph: &KnowledgeGraph, mut writer: impl Write) -> Result<()> {
+    let dict = graph.dictionary();
+    for st in graph.triples() {
+        writeln!(
+            writer,
+            "{}\t{}\t{}\t{}",
+            dict.name_or_unknown(st.triple.s),
+            dict.name_or_unknown(st.triple.p),
+            dict.name_or_unknown(st.triple.o),
+            st.score.value(),
+        )
+        .map_err(|e| Error::Internal(format!("write failed: {e}")))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PatternKey;
+
+    #[test]
+    fn load_with_scores_and_comments() {
+        let data = "\
+# a comment
+alice\trdf:type\tsinger\t12.5
+
+bob\trdf:type\tsinger\t3
+carol\trdf:type\tsinger
+";
+        let g = read_tsv(data.as_bytes()).unwrap();
+        assert_eq!(g.len(), 3);
+        let d = g.dictionary();
+        let ty = d.lookup("rdf:type").unwrap();
+        let singer = d.lookup("singer").unwrap();
+        let list = g.matches(PatternKey::po(ty, singer));
+        assert_eq!(list.score_at(0).value(), 12.5);
+        // Missing score column defaults to 1.0.
+        assert_eq!(list.score_at(2).value(), 1.0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_triples_and_scores() {
+        let data = "a\tp\tb\t2\nb\tp\tc\t7\na\tq\tc\t1\n";
+        let g = read_tsv(data.as_bytes()).unwrap();
+        let mut out = Vec::new();
+        write_tsv(&g, &mut out).unwrap();
+        let g2 = read_tsv(out.as_slice()).unwrap();
+        assert_eq!(g.len(), g2.len());
+        for st in g.triples() {
+            let d = g.dictionary();
+            let d2 = g2.dictionary();
+            let s = d2.lookup(d.name_or_unknown(st.triple.s)).unwrap();
+            let p = d2.lookup(d.name_or_unknown(st.triple.p)).unwrap();
+            let o = d2.lookup(d.name_or_unknown(st.triple.o)).unwrap();
+            assert_eq!(g2.score_of(s, p, o), Some(st.score));
+        }
+    }
+
+    #[test]
+    fn duplicate_lines_keep_max_score() {
+        let data = "a\tp\tb\t2\na\tp\tb\t9\na\tp\tb\t4\n";
+        let g = read_tsv(data.as_bytes()).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.triples()[0].score.value(), 9.0);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let e = read_tsv("just-one-column\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("line 1"), "{e}");
+        let e = read_tsv("a\tp\tb\tNaN\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("line 1"), "{e}");
+        let e = read_tsv("a\tp\tb\t-3\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("non-negative"), "{e}");
+    }
+
+    #[test]
+    fn read_into_existing_builder_composes() {
+        let mut b = KnowledgeGraphBuilder::new();
+        b.add("x", "p", "y", 1.0);
+        let n = read_tsv_into("a\tp\tb\t2\n".as_bytes(), &mut b).unwrap();
+        assert_eq!(n, 1);
+        let g = b.build();
+        assert_eq!(g.len(), 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! Lookup keys for triple-pattern matching.
+//!
+//! A [`PatternKey`] is the storage-level view of a triple pattern: each of
+//! s/p/o is either a bound [`TermId`] or a wildcard. Which components are
+//! bound determines the [`Signature`], which selects the index used to
+//! answer the lookup.
+
+use specqp_common::TermId;
+use std::fmt;
+
+/// One of the eight bound/unbound combinations of 〈s,p,o〉.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Signature {
+    /// all three bound — membership test
+    Spo,
+    /// subject+predicate bound
+    SpX,
+    /// subject+object bound
+    SxO,
+    /// predicate+object bound
+    XpO,
+    /// subject bound
+    Sxx,
+    /// predicate bound
+    XpX,
+    /// object bound
+    XxO,
+    /// nothing bound — full scan
+    Xxx,
+}
+
+/// A triple-pattern lookup key: `None` components are wildcards.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternKey {
+    /// Bound subject, if any.
+    pub s: Option<TermId>,
+    /// Bound predicate, if any.
+    pub p: Option<TermId>,
+    /// Bound object, if any.
+    pub o: Option<TermId>,
+}
+
+impl PatternKey {
+    /// Key with all three components bound.
+    pub fn spo(s: TermId, p: TermId, o: TermId) -> Self {
+        PatternKey {
+            s: Some(s),
+            p: Some(p),
+            o: Some(o),
+        }
+    }
+
+    /// Key with subject and predicate bound (`s p ?o`).
+    pub fn sp(s: TermId, p: TermId) -> Self {
+        PatternKey {
+            s: Some(s),
+            p: Some(p),
+            o: None,
+        }
+    }
+
+    /// Key with subject and object bound (`s ?p o`).
+    pub fn so(s: TermId, o: TermId) -> Self {
+        PatternKey {
+            s: Some(s),
+            p: None,
+            o: Some(o),
+        }
+    }
+
+    /// Key with predicate and object bound (`?s p o`) — the classic
+    /// "type pattern" shape of the paper's examples.
+    pub fn po(p: TermId, o: TermId) -> Self {
+        PatternKey {
+            s: None,
+            p: Some(p),
+            o: Some(o),
+        }
+    }
+
+    /// Key with only the subject bound.
+    pub fn s_only(s: TermId) -> Self {
+        PatternKey {
+            s: Some(s),
+            p: None,
+            o: None,
+        }
+    }
+
+    /// Key with only the predicate bound.
+    pub fn p_only(p: TermId) -> Self {
+        PatternKey {
+            s: None,
+            p: Some(p),
+            o: None,
+        }
+    }
+
+    /// Key with only the object bound.
+    pub fn o_only(o: TermId) -> Self {
+        PatternKey {
+            s: None,
+            p: None,
+            o: Some(o),
+        }
+    }
+
+    /// Key with nothing bound (matches every triple).
+    pub fn any() -> Self {
+        PatternKey {
+            s: None,
+            p: None,
+            o: None,
+        }
+    }
+
+    /// The signature (which components are bound).
+    pub fn signature(&self) -> Signature {
+        match (self.s.is_some(), self.p.is_some(), self.o.is_some()) {
+            (true, true, true) => Signature::Spo,
+            (true, true, false) => Signature::SpX,
+            (true, false, true) => Signature::SxO,
+            (false, true, true) => Signature::XpO,
+            (true, false, false) => Signature::Sxx,
+            (false, true, false) => Signature::XpX,
+            (false, false, true) => Signature::XxO,
+            (false, false, false) => Signature::Xxx,
+        }
+    }
+
+    /// Number of bound components.
+    pub fn bound_count(&self) -> usize {
+        self.s.is_some() as usize + self.p.is_some() as usize + self.o.is_some() as usize
+    }
+
+    /// `true` if `t` matches this key.
+    pub fn matches(&self, t: &crate::Triple) -> bool {
+        self.s.is_none_or(|s| s == t.s)
+            && self.p.is_none_or(|p| p == t.p)
+            && self.o.is_none_or(|o| o == t.o)
+    }
+}
+
+/// Packs two 32-bit ids into one 64-bit map key.
+#[inline]
+pub(crate) fn pack2(a: TermId, b: TermId) -> u64 {
+    (u64::from(a.0) << 32) | u64::from(b.0)
+}
+
+impl fmt::Debug for PatternKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn part(x: Option<TermId>) -> String {
+            x.map_or("?".to_string(), |t| t.to_string())
+        }
+        write!(
+            f,
+            "({} {} {})",
+            part(self.s),
+            part(self.p),
+            part(self.o)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triple;
+
+    #[test]
+    fn signatures() {
+        assert_eq!(
+            PatternKey::spo(TermId(1), TermId(2), TermId(3)).signature(),
+            Signature::Spo
+        );
+        assert_eq!(PatternKey::sp(TermId(1), TermId(2)).signature(), Signature::SpX);
+        assert_eq!(PatternKey::so(TermId(1), TermId(3)).signature(), Signature::SxO);
+        assert_eq!(PatternKey::po(TermId(2), TermId(3)).signature(), Signature::XpO);
+        assert_eq!(PatternKey::s_only(TermId(1)).signature(), Signature::Sxx);
+        assert_eq!(PatternKey::p_only(TermId(2)).signature(), Signature::XpX);
+        assert_eq!(PatternKey::o_only(TermId(3)).signature(), Signature::XxO);
+        assert_eq!(PatternKey::any().signature(), Signature::Xxx);
+    }
+
+    #[test]
+    fn bound_count() {
+        assert_eq!(PatternKey::any().bound_count(), 0);
+        assert_eq!(PatternKey::p_only(TermId(0)).bound_count(), 1);
+        assert_eq!(PatternKey::po(TermId(0), TermId(1)).bound_count(), 2);
+        assert_eq!(
+            PatternKey::spo(TermId(0), TermId(1), TermId(2)).bound_count(),
+            3
+        );
+    }
+
+    #[test]
+    fn matching() {
+        let t = Triple::new(TermId(1), TermId(2), TermId(3));
+        assert!(PatternKey::any().matches(&t));
+        assert!(PatternKey::po(TermId(2), TermId(3)).matches(&t));
+        assert!(!PatternKey::po(TermId(2), TermId(4)).matches(&t));
+        assert!(PatternKey::spo(TermId(1), TermId(2), TermId(3)).matches(&t));
+        assert!(!PatternKey::s_only(TermId(9)).matches(&t));
+    }
+
+    #[test]
+    fn pack2_is_injective_on_samples() {
+        assert_ne!(pack2(TermId(1), TermId(2)), pack2(TermId(2), TermId(1)));
+        assert_eq!(pack2(TermId(1), TermId(2)), pack2(TermId(1), TermId(2)));
+    }
+}

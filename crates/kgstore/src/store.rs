@@ -1,0 +1,343 @@
+//! The immutable knowledge graph and its match-list access path.
+
+use specqp_common::Dictionary;
+use crate::index::PatternIndexes;
+use crate::pattern_key::{pack2, PatternKey, Signature};
+use crate::triple::{ScoredTriple, Triple};
+use specqp_common::{Score, TermId};
+
+/// An immutable, fully indexed scored knowledge graph (Def. 1).
+///
+/// Build one with [`KnowledgeGraphBuilder`](crate::KnowledgeGraphBuilder).
+/// All lookup methods return matches sorted by descending raw score.
+#[derive(Debug)]
+pub struct KnowledgeGraph {
+    pub(crate) dict: Dictionary,
+    pub(crate) triples: Vec<ScoredTriple>,
+    pub(crate) indexes: PatternIndexes,
+}
+
+static EMPTY: [u32; 0] = [];
+
+impl KnowledgeGraph {
+    /// The term dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Number of stored triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// `true` if the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// The triple at storage index `i`.
+    #[inline]
+    pub fn triple(&self, i: u32) -> &ScoredTriple {
+        &self.triples[i as usize]
+    }
+
+    /// All triples in storage order.
+    pub fn triples(&self) -> &[ScoredTriple] {
+        &self.triples
+    }
+
+    /// Raw score of the triple at storage index `i`.
+    #[inline]
+    pub fn score(&self, i: u32) -> Score {
+        self.triples[i as usize].score
+    }
+
+    /// Returns the score-descending [`MatchList`] for `key`.
+    ///
+    /// Fully bound keys yield a 0- or 1-element list; everything else is a
+    /// posting-list lookup; the all-wildcard key returns the global list.
+    pub fn matches(&self, key: PatternKey) -> MatchList<'_> {
+        let ids: &[u32] = match key.signature() {
+            Signature::Spo => {
+                let (s, p, o) = (key.s.unwrap(), key.p.unwrap(), key.o.unwrap());
+                match self.indexes.spo.get(&(s, p, o)) {
+                    Some(i) => {
+                        // Return a 1-element slice borrowed from a per-call
+                        // allocation-free path: we keep singleton lists in the
+                        // `sp` index (s,p) filtered below instead. Simpler: use
+                        // the (s,p) postings and filter on o lazily — but that
+                        // breaks the "slice" contract. We store the singleton
+                        // in the po postings and search it.
+                        let list = self
+                            .indexes
+                            .po
+                            .get(&pack2(p, o))
+                            .map(|v| &v[..])
+                            .unwrap_or(&EMPTY);
+                        // Find position of `i` — lists are tiny for spo keys.
+                        match list.iter().position(|x| x == i) {
+                            Some(pos) => &list[pos..=pos],
+                            None => &EMPTY,
+                        }
+                    }
+                    None => &EMPTY,
+                }
+            }
+            Signature::SpX => self
+                .indexes
+                .sp
+                .get(&pack2(key.s.unwrap(), key.p.unwrap()))
+                .map(|v| &v[..])
+                .unwrap_or(&EMPTY),
+            Signature::SxO => self
+                .indexes
+                .so
+                .get(&pack2(key.s.unwrap(), key.o.unwrap()))
+                .map(|v| &v[..])
+                .unwrap_or(&EMPTY),
+            Signature::XpO => self
+                .indexes
+                .po
+                .get(&pack2(key.p.unwrap(), key.o.unwrap()))
+                .map(|v| &v[..])
+                .unwrap_or(&EMPTY),
+            Signature::Sxx => self
+                .indexes
+                .s
+                .get(&key.s.unwrap())
+                .map(|v| &v[..])
+                .unwrap_or(&EMPTY),
+            Signature::XpX => self
+                .indexes
+                .p
+                .get(&key.p.unwrap())
+                .map(|v| &v[..])
+                .unwrap_or(&EMPTY),
+            Signature::XxO => self
+                .indexes
+                .o
+                .get(&key.o.unwrap())
+                .map(|v| &v[..])
+                .unwrap_or(&EMPTY),
+            Signature::Xxx => &self.indexes.all,
+        };
+        MatchList { graph: self, ids }
+    }
+
+    /// Number of triples matching `key` (the `mᵢ` statistic of §3.1.1).
+    pub fn cardinality(&self, key: PatternKey) -> usize {
+        self.matches(key).len()
+    }
+
+    /// `true` if a triple with exactly these components exists.
+    pub fn contains(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        self.indexes.spo.contains_key(&(s, p, o))
+    }
+
+    /// The raw score of an exact triple, if present.
+    pub fn score_of(&self, s: TermId, p: TermId, o: TermId) -> Option<Score> {
+        self.indexes
+            .spo
+            .get(&(s, p, o))
+            .map(|&i| self.triples[i as usize].score)
+    }
+
+    /// Approximate resident bytes (diagnostics).
+    pub fn approx_bytes(&self) -> usize {
+        self.triples.len() * std::mem::size_of::<ScoredTriple>() + self.indexes.approx_bytes()
+    }
+}
+
+/// A borrowed, score-descending list of triples matching one pattern.
+///
+/// This is the storage-level contract every operator relies on: positional
+/// access is by *rank* (0 = best). `max_score` is the normalizer of Def. 5.
+#[derive(Clone, Copy)]
+pub struct MatchList<'g> {
+    graph: &'g KnowledgeGraph,
+    ids: &'g [u32],
+}
+
+impl<'g> MatchList<'g> {
+    /// Number of matches (`mᵢ`).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when no triple matches.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Storage index of the match at `rank` (0 = highest score).
+    #[inline]
+    pub fn id_at(&self, rank: usize) -> u32 {
+        self.ids[rank]
+    }
+
+    /// The triple at `rank`.
+    #[inline]
+    pub fn triple_at(&self, rank: usize) -> &'g Triple {
+        &self.graph.triples[self.ids[rank] as usize].triple
+    }
+
+    /// Raw score at `rank`.
+    #[inline]
+    pub fn score_at(&self, rank: usize) -> Score {
+        self.graph.triples[self.ids[rank] as usize].score
+    }
+
+    /// The maximum raw score (score at rank 0), i.e. the Def.-5 normalizer
+    /// `max_{t∈A(q)} S(t)`. Zero for empty lists.
+    pub fn max_score(&self) -> Score {
+        if self.ids.is_empty() {
+            Score::ZERO
+        } else {
+            self.score_at(0)
+        }
+    }
+
+    /// Normalized score at `rank`: `S(t|q) = S(t)/max` ∈ [0,1] (Def. 5).
+    /// Zero for an empty list.
+    pub fn normalized_score_at(&self, rank: usize) -> Score {
+        let max = self.max_score();
+        if max == Score::ZERO {
+            Score::ZERO
+        } else {
+            self.score_at(rank) / max.value()
+        }
+    }
+
+    /// Iterates `(storage index, raw score)` in descending-score order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Score)> + 'g {
+        let graph = self.graph;
+        self.ids
+            .iter()
+            .map(move |&i| (i, graph.triples[i as usize].score))
+    }
+
+    /// Iterates the matching triples in descending-score order.
+    pub fn iter_triples(&self) -> impl Iterator<Item = (&'g Triple, Score)> + 'g {
+        let graph = self.graph;
+        self.ids.iter().map(move |&i| {
+            let st = &graph.triples[i as usize];
+            (&st.triple, st.score)
+        })
+    }
+
+    /// Sum of raw scores over ranks `0..=rank` (the `S_r` statistic).
+    pub fn cumulative_score(&self, rank: usize) -> Score {
+        self.ids[..=rank]
+            .iter()
+            .map(|&i| self.graph.triples[i as usize].score)
+            .sum()
+    }
+
+    /// Sum of all raw scores (`S_m`).
+    pub fn total_score(&self) -> Score {
+        self.iter().map(|(_, s)| s).sum()
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g KnowledgeGraph {
+        self.graph
+    }
+}
+
+impl std::fmt::Debug for MatchList<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MatchList(len={})", self.ids.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KnowledgeGraphBuilder;
+
+    fn sample() -> KnowledgeGraph {
+        let mut b = KnowledgeGraphBuilder::new();
+        b.add("a", "type", "singer", 10.0);
+        b.add("b", "type", "singer", 4.0);
+        b.add("c", "type", "singer", 2.0);
+        b.add("a", "type", "lyricist", 7.0);
+        b.add("a", "plays", "guitar", 3.0);
+        b.build()
+    }
+
+    #[test]
+    fn po_lookup_sorted_and_normalized() {
+        let kg = sample();
+        let ty = kg.dictionary().lookup("type").unwrap();
+        let singer = kg.dictionary().lookup("singer").unwrap();
+        let m = kg.matches(PatternKey::po(ty, singer));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.score_at(0).value(), 10.0);
+        assert_eq!(m.score_at(2).value(), 2.0);
+        assert_eq!(m.max_score().value(), 10.0);
+        assert_eq!(m.normalized_score_at(0).value(), 1.0);
+        assert_eq!(m.normalized_score_at(1).value(), 0.4);
+    }
+
+    #[test]
+    fn cumulative_and_total_scores() {
+        let kg = sample();
+        let ty = kg.dictionary().lookup("type").unwrap();
+        let singer = kg.dictionary().lookup("singer").unwrap();
+        let m = kg.matches(PatternKey::po(ty, singer));
+        assert_eq!(m.cumulative_score(0).value(), 10.0);
+        assert_eq!(m.cumulative_score(1).value(), 14.0);
+        assert_eq!(m.total_score().value(), 16.0);
+    }
+
+    #[test]
+    fn missing_key_gives_empty_list() {
+        let kg = sample();
+        let m = kg.matches(PatternKey::p_only(TermId(999)));
+        assert!(m.is_empty());
+        assert_eq!(m.max_score(), Score::ZERO);
+    }
+
+    #[test]
+    fn every_signature_answers() {
+        let kg = sample();
+        let d = kg.dictionary();
+        let (a, ty, singer) = (
+            d.lookup("a").unwrap(),
+            d.lookup("type").unwrap(),
+            d.lookup("singer").unwrap(),
+        );
+        assert_eq!(kg.matches(PatternKey::spo(a, ty, singer)).len(), 1);
+        assert_eq!(kg.matches(PatternKey::sp(a, ty)).len(), 2);
+        assert_eq!(kg.matches(PatternKey::so(a, singer)).len(), 1);
+        assert_eq!(kg.matches(PatternKey::po(ty, singer)).len(), 3);
+        assert_eq!(kg.matches(PatternKey::s_only(a)).len(), 3);
+        assert_eq!(kg.matches(PatternKey::p_only(ty)).len(), 4);
+        assert_eq!(kg.matches(PatternKey::o_only(singer)).len(), 3);
+        assert_eq!(kg.matches(PatternKey::any()).len(), 5);
+    }
+
+    #[test]
+    fn spo_absent_triple_is_empty() {
+        let kg = sample();
+        let d = kg.dictionary();
+        let (a, ty, guitar) = (
+            d.lookup("a").unwrap(),
+            d.lookup("type").unwrap(),
+            d.lookup("guitar").unwrap(),
+        );
+        assert!(kg.matches(PatternKey::spo(a, ty, guitar)).is_empty());
+        assert!(!kg.contains(a, ty, guitar));
+        assert_eq!(kg.score_of(a, ty, guitar), None);
+    }
+
+    #[test]
+    fn global_scan_is_score_descending() {
+        let kg = sample();
+        let all = kg.matches(PatternKey::any());
+        let scores: Vec<f64> = all.iter().map(|(_, s)| s.value()).collect();
+        for w in scores.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+}

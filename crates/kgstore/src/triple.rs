@@ -1,0 +1,83 @@
+//! The 〈s,p,o〉 triple data model.
+
+use specqp_common::{Score, TermId};
+use std::fmt;
+
+/// An RDF triple 〈subject, predicate, object〉 over dictionary ids
+/// (Def. 1 of the paper: `t ∈ E×P×E`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject term.
+    pub s: TermId,
+    /// Predicate term.
+    pub p: TermId,
+    /// Object term.
+    pub o: TermId,
+}
+
+impl Triple {
+    /// Creates a triple from its three components.
+    #[inline]
+    pub fn new(s: TermId, p: TermId, o: TermId) -> Self {
+        Triple { s, p, o }
+    }
+}
+
+impl fmt::Debug for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{} {} {}>", self.s, self.p, self.o)
+    }
+}
+
+/// A triple together with its score `S(t)` — confidence / popularity
+/// (inlink count, occurrence frequency, retweet count, …).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ScoredTriple {
+    /// The triple.
+    pub triple: Triple,
+    /// The raw (un-normalized) score `S(t)`.
+    pub score: Score,
+}
+
+impl ScoredTriple {
+    /// Creates a scored triple.
+    #[inline]
+    pub fn new(s: TermId, p: TermId, o: TermId, score: Score) -> Self {
+        ScoredTriple {
+            triple: Triple::new(s, p, o),
+            score,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triple_equality_and_hash() {
+        use specqp_common::FxHashSet;
+        let a = Triple::new(TermId(1), TermId(2), TermId(3));
+        let b = Triple::new(TermId(1), TermId(2), TermId(3));
+        let c = Triple::new(TermId(3), TermId(2), TermId(1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = FxHashSet::default();
+        set.insert(a);
+        assert!(!set.insert(b));
+        assert!(set.insert(c));
+    }
+
+    #[test]
+    fn scored_triple_carries_score() {
+        let st = ScoredTriple::new(TermId(1), TermId(2), TermId(3), Score::new(5.0));
+        assert_eq!(st.score.value(), 5.0);
+        assert_eq!(st.triple.s, TermId(1));
+    }
+
+    #[test]
+    fn debug_format() {
+        let t = Triple::new(TermId(1), TermId(2), TermId(3));
+        assert_eq!(format!("{t:?}"), "<1 2 3>");
+    }
+}

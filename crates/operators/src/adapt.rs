@@ -1,0 +1,131 @@
+//! Stream adapters: score scaling and binding projection.
+//!
+//! These make *derived* answer sources composable with the primitive ones —
+//! most importantly the chain-relaxation streams (the paper's future-work
+//! extension implemented in `relax::chain`), where a rank join over a chain
+//! of patterns must look, to the consuming [`IncrementalMerge`], exactly
+//! like a weighted single-pattern scan: scores scaled into the rule-weight
+//! range and bindings projected onto the original pattern's variables.
+//!
+//! [`IncrementalMerge`]: crate::IncrementalMerge
+
+use crate::answer::PartialAnswer;
+use crate::stream::RankedStream;
+use sparql::Var;
+use specqp_common::Score;
+
+/// Multiplies every answer score (and the upper bound) by a positive
+/// constant. Order is preserved because scaling by a positive factor is
+/// monotone.
+pub struct Scaled<S> {
+    inner: S,
+    factor: f64,
+}
+
+impl<S: RankedStream> Scaled<S> {
+    /// Wraps `inner`, scaling by `factor > 0`.
+    pub fn new(inner: S, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive, got {factor}");
+        Scaled { inner, factor }
+    }
+}
+
+impl<S: RankedStream> RankedStream for Scaled<S> {
+    fn next(&mut self) -> Option<PartialAnswer> {
+        self.inner
+            .next()
+            .map(|a| PartialAnswer::new(a.binding, a.score * self.factor))
+    }
+
+    fn upper_bound(&self) -> Option<Score> {
+        self.inner.upper_bound().map(|b| b * self.factor)
+    }
+}
+
+/// Projects every answer's binding onto a fixed variable set (dropping
+/// auxiliary variables such as the fresh intermediates of a chain
+/// relaxation). Scores and order are untouched; deduplication of answers
+/// that collapse under the projection is the downstream merge's job.
+pub struct Projected<S> {
+    inner: S,
+    keep: Vec<Var>,
+}
+
+impl<S: RankedStream> Projected<S> {
+    /// Wraps `inner`, keeping only `keep` variables in each binding.
+    pub fn new(inner: S, keep: Vec<Var>) -> Self {
+        Projected { inner, keep }
+    }
+}
+
+impl<S: RankedStream> RankedStream for Projected<S> {
+    fn next(&mut self) -> Option<PartialAnswer> {
+        self.inner
+            .next()
+            .map(|a| PartialAnswer::new(a.binding.project(&self.keep), a.score))
+    }
+
+    fn upper_bound(&self) -> Option<Score> {
+        self.inner.upper_bound()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::Binding;
+    use crate::stream::{materialize, VecStream};
+    use specqp_common::TermId;
+
+    fn ans(pairs: &[(u32, u32)], s: f64) -> PartialAnswer {
+        PartialAnswer::new(
+            Binding::from_pairs(pairs.iter().map(|&(v, t)| (Var(v), TermId(t))).collect()),
+            Score::new(s),
+        )
+    }
+
+    #[test]
+    fn scaled_scales_scores_and_bounds() {
+        let mut s = Scaled::new(
+            VecStream::new(vec![ans(&[(0, 1)], 1.0), ans(&[(0, 2)], 0.5)]),
+            0.4,
+        );
+        assert_eq!(s.upper_bound(), Some(Score::new(0.4)));
+        assert!(s.next().unwrap().score.approx_eq(Score::new(0.4), 1e-12));
+        assert!(s.next().unwrap().score.approx_eq(Score::new(0.2), 1e-12));
+        assert_eq!(s.upper_bound(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_rejected() {
+        let _ = Scaled::new(VecStream::new(vec![]), 0.0);
+    }
+
+    #[test]
+    fn projected_drops_aux_vars() {
+        let s = Projected::new(
+            VecStream::new(vec![ans(&[(0, 1), (7, 99)], 1.0)]),
+            vec![Var(0)],
+        );
+        let out = materialize(s);
+        assert_eq!(out[0].binding.len(), 1);
+        assert_eq!(out[0].binding.get(Var(0)), Some(TermId(1)));
+        assert_eq!(out[0].binding.get(Var(7)), None);
+    }
+
+    #[test]
+    fn composition_scaled_then_projected() {
+        let s = Projected::new(
+            Scaled::new(
+                VecStream::new(vec![ans(&[(0, 1), (5, 2)], 0.9), ans(&[(0, 3), (5, 4)], 0.6)]),
+                0.5,
+            ),
+            vec![Var(0)],
+        );
+        let out = materialize(s);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].score.approx_eq(Score::new(0.45), 1e-12));
+        assert_eq!(out[1].binding.len(), 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! The Incremental Merge operator.
+//!
+//! One incremental merge serves one triple pattern *and all of its
+//! relaxations* (Fig. 1/2 of the paper): it consumes the weighted sorted
+//! stream of the original pattern (weight 1) and of each relaxation (weight
+//! `wᵢ`), and produces a single sorted stream. When the same binding is
+//! reachable through several relaxations, only the highest-scoring
+//! occurrence is emitted (Def. 8: "the score of an answer ... is the
+//! maximum score obtained through any relaxation").
+//!
+//! This is the top-k-friendly query-expansion operator of Theobald et al.
+//! (SIGIR'05), reference \[29\] of the paper.
+
+use crate::answer::{Binding, PartialAnswer};
+use crate::stream::{BoxedStream, RankedStream};
+use specqp_common::{FxHashSet, Score};
+
+/// Merges several descending streams into one, deduplicating bindings with
+/// max-score semantics.
+///
+/// The inputs are typically [`PatternScan`](crate::PatternScan)s whose
+/// weights were already applied, so plain score order across inputs is the
+/// correct merge order.
+pub struct IncrementalMerge<'g> {
+    inputs: Vec<BoxedStream<'g>>,
+    /// Peeked head of each input (`None` = exhausted).
+    heads: Vec<Option<PartialAnswer>>,
+    seen: FxHashSet<Binding>,
+}
+
+impl<'g> IncrementalMerge<'g> {
+    /// Builds a merge over `inputs`. The list order is irrelevant.
+    pub fn new(inputs: Vec<BoxedStream<'g>>) -> Self {
+        let mut m = IncrementalMerge {
+            heads: Vec::with_capacity(inputs.len()),
+            inputs,
+            seen: FxHashSet::default(),
+        };
+        for i in 0..m.inputs.len() {
+            let head = m.inputs[i].next();
+            m.heads.push(head);
+        }
+        m
+    }
+
+    /// Index of the input whose head has the maximum score (deterministic:
+    /// first such input wins ties).
+    fn best_input(&self) -> Option<usize> {
+        let mut best: Option<(usize, &PartialAnswer)> = None;
+        for (i, h) in self.heads.iter().enumerate() {
+            if let Some(a) = h {
+                match best {
+                    Some((_, cur)) if cur.score >= a.score => {}
+                    _ => best = Some((i, a)),
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+impl RankedStream for IncrementalMerge<'_> {
+    fn next(&mut self) -> Option<PartialAnswer> {
+        loop {
+            let i = self.best_input()?;
+            let answer = self.heads[i].take().expect("best head exists");
+            self.heads[i] = self.inputs[i].next();
+            if self.seen.insert(answer.binding.clone()) {
+                return Some(answer);
+            }
+            // Duplicate binding from a lower-weighted relaxation: skip —
+            // the earlier emission already carried the maximum score.
+        }
+    }
+
+    fn upper_bound(&self) -> Option<Score> {
+        self.heads
+            .iter()
+            .flatten()
+            .map(|a| a.score)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::Binding;
+    use crate::stream::{materialize, VecStream};
+    use sparql::Var;
+    use specqp_common::TermId;
+
+    fn ans(entity: u32, score: f64) -> PartialAnswer {
+        PartialAnswer::new(
+            Binding::from_pairs(vec![(Var(0), TermId(entity))]),
+            Score::new(score),
+        )
+    }
+
+    fn boxed(items: Vec<PartialAnswer>) -> BoxedStream<'static> {
+        Box::new(VecStream::new(items))
+    }
+
+    #[test]
+    fn merges_in_global_descending_order() {
+        let merge = IncrementalMerge::new(vec![
+            boxed(vec![ans(1, 1.0), ans(2, 0.4)]),
+            boxed(vec![ans(3, 0.8), ans(4, 0.6), ans(5, 0.1)]),
+        ]);
+        let scores: Vec<f64> = materialize(merge).iter().map(|a| a.score.value()).collect();
+        assert_eq!(scores, vec![1.0, 0.8, 0.6, 0.4, 0.1]);
+    }
+
+    #[test]
+    fn dedups_keeping_max_score() {
+        // Entity 7 appears in the original (1.0) and in a relaxation (0.8·…):
+        // only the first (max) emission survives.
+        let merge = IncrementalMerge::new(vec![
+            boxed(vec![ans(7, 1.0), ans(1, 0.9)]),
+            boxed(vec![ans(7, 0.8), ans(2, 0.5)]),
+        ]);
+        let out = materialize(merge);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], ans(7, 1.0));
+        assert_eq!(out[1], ans(1, 0.9));
+        assert_eq!(out[2], ans(2, 0.5));
+    }
+
+    #[test]
+    fn upper_bound_is_max_head() {
+        let mut merge = IncrementalMerge::new(vec![
+            boxed(vec![ans(1, 0.7)]),
+            boxed(vec![ans(2, 0.9), ans(3, 0.2)]),
+        ]);
+        assert_eq!(merge.upper_bound(), Some(Score::new(0.9)));
+        merge.next();
+        assert_eq!(merge.upper_bound(), Some(Score::new(0.7)));
+        merge.next();
+        assert_eq!(merge.upper_bound(), Some(Score::new(0.2)));
+        merge.next();
+        assert_eq!(merge.upper_bound(), None);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut merge = IncrementalMerge::new(vec![boxed(vec![]), boxed(vec![])]);
+        assert_eq!(merge.upper_bound(), None);
+        assert!(merge.next().is_none());
+        let mut none: IncrementalMerge = IncrementalMerge::new(vec![]);
+        assert!(none.next().is_none());
+    }
+
+    #[test]
+    fn matches_naive_merge_on_interleaved_ties() {
+        let merge = IncrementalMerge::new(vec![
+            boxed(vec![ans(1, 0.5), ans(2, 0.5)]),
+            boxed(vec![ans(3, 0.5), ans(4, 0.5)]),
+        ]);
+        let out = materialize(merge);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|a| a.score == Score::new(0.5)));
+    }
+}

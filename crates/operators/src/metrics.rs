@@ -1,0 +1,120 @@
+//! Operator instrumentation.
+//!
+//! The paper reports "no. of answer objects created" as its memory metric
+//! (§4.3). Every operator in this crate routes answer construction through a
+//! shared [`OpMetrics`] handle so that a query run can report exactly that
+//! number, along with list-access counts useful for diagnosing operator
+//! behaviour.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Shared, interior-mutable counters for one query execution.
+///
+/// Execution is single-threaded (operators are pull-based trees), so plain
+/// `Cell`s suffice; the handle is an `Rc` cloned into each operator.
+#[derive(Default, Debug)]
+pub struct OpMetrics {
+    answers_created: Cell<u64>,
+    sorted_accesses: Cell<u64>,
+    random_accesses: Cell<u64>,
+    heap_pushes: Cell<u64>,
+}
+
+/// Cheap cloneable handle to [`OpMetrics`].
+pub type MetricsHandle = Rc<OpMetrics>;
+
+impl OpMetrics {
+    /// Fresh all-zero counters.
+    pub fn new_handle() -> MetricsHandle {
+        Rc::new(OpMetrics::default())
+    }
+
+    /// Records the materialization of one answer object
+    /// (scan emission or join result).
+    #[inline]
+    pub fn count_answer(&self) {
+        self.answers_created.set(self.answers_created.get() + 1);
+    }
+
+    /// Records `n` answer objects at once.
+    #[inline]
+    pub fn count_answers(&self, n: u64) {
+        self.answers_created.set(self.answers_created.get() + n);
+    }
+
+    /// Records one sequential (sorted) access to an input list.
+    #[inline]
+    pub fn count_sorted_access(&self) {
+        self.sorted_accesses.set(self.sorted_accesses.get() + 1);
+    }
+
+    /// Records one random access (hash probe hit enumeration).
+    #[inline]
+    pub fn count_random_access(&self) {
+        self.random_accesses.set(self.random_accesses.get() + 1);
+    }
+
+    /// Records one priority-queue push.
+    #[inline]
+    pub fn count_heap_push(&self) {
+        self.heap_pushes.set(self.heap_pushes.get() + 1);
+    }
+
+    /// Total answer objects created — the paper's memory metric.
+    pub fn answers_created(&self) -> u64 {
+        self.answers_created.get()
+    }
+
+    /// Total sequential list accesses.
+    pub fn sorted_accesses(&self) -> u64 {
+        self.sorted_accesses.get()
+    }
+
+    /// Total random accesses.
+    pub fn random_accesses(&self) -> u64 {
+        self.random_accesses.get()
+    }
+
+    /// Total priority-queue pushes.
+    pub fn heap_pushes(&self) -> u64 {
+        self.heap_pushes.get()
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.answers_created.set(0);
+        self.sorted_accesses.set(0);
+        self.random_accesses.set(0);
+        self.heap_pushes.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = OpMetrics::new_handle();
+        m.count_answer();
+        m.count_answers(4);
+        m.count_sorted_access();
+        m.count_random_access();
+        m.count_heap_push();
+        assert_eq!(m.answers_created(), 5);
+        assert_eq!(m.sorted_accesses(), 1);
+        assert_eq!(m.random_accesses(), 1);
+        assert_eq!(m.heap_pushes(), 1);
+        m.reset();
+        assert_eq!(m.answers_created(), 0);
+    }
+
+    #[test]
+    fn handle_is_shared() {
+        let m = OpMetrics::new_handle();
+        let m2 = Rc::clone(&m);
+        m2.count_answer();
+        assert_eq!(m.answers_created(), 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! The nested-loops rank join (NRJN, ref \[15\]).
+//!
+//! NRJN maintains the same corner-bound threshold as HRJN but stores **no
+//! hash tables**: whenever a new tuple arrives from one input, it is joined
+//! by *re-scanning* the prefix of the other input seen so far. This trades
+//! CPU (O(|L|·|R|) comparisons in the worst case) for memory, exactly the
+//! trade-off discussed in the paper's related work. It is used by the
+//! ablation bench `rank_join.rs`, not by the engine's default plans.
+//!
+//! Because the operator re-scans, its inputs must be materialized vectors.
+
+use crate::answer::PartialAnswer;
+use crate::metrics::MetricsHandle;
+use crate::stream::RankedStream;
+use sparql::Var;
+use specqp_common::Score;
+use std::collections::BinaryHeap;
+
+/// Storage-free rank join over two materialized, descending-sorted inputs.
+pub struct NestedLoopsRankJoin {
+    left: Vec<PartialAnswer>,
+    right: Vec<PartialAnswer>,
+    /// Number of tuples "pulled" (exposed to the join) per side.
+    lseen: usize,
+    rseen: usize,
+    join_vars: Vec<Var>,
+    output: BinaryHeap<PartialAnswer>,
+    pull_left_next: bool,
+    metrics: MetricsHandle,
+}
+
+impl NestedLoopsRankJoin {
+    /// Creates the join; inputs must be sorted by non-increasing score.
+    pub fn new(
+        left: Vec<PartialAnswer>,
+        right: Vec<PartialAnswer>,
+        join_vars: Vec<Var>,
+        metrics: MetricsHandle,
+    ) -> Self {
+        debug_assert!(left.windows(2).all(|w| w[0].score >= w[1].score));
+        debug_assert!(right.windows(2).all(|w| w[0].score >= w[1].score));
+        NestedLoopsRankJoin {
+            left,
+            right,
+            lseen: 0,
+            rseen: 0,
+            join_vars,
+            output: BinaryHeap::new(),
+            pull_left_next: true,
+            metrics,
+        }
+    }
+
+    fn top1(side: &[PartialAnswer]) -> Option<Score> {
+        side.first().map(|a| a.score)
+    }
+
+    fn threshold(&self) -> Option<Score> {
+        let l_more = self.lseen < self.left.len();
+        let r_more = self.rseen < self.right.len();
+        if self.left.is_empty() || self.right.is_empty() {
+            return None;
+        }
+        let cur_l = if self.lseen == 0 {
+            Some(Score::new(f64::INFINITY))
+        } else {
+            Some(self.left[self.lseen - 1].score)
+        };
+        let cur_r = if self.rseen == 0 {
+            Some(Score::new(f64::INFINITY))
+        } else {
+            Some(self.right[self.rseen - 1].score)
+        };
+        let tl = if l_more {
+            cur_l.zip(Self::top1(&self.right)).map(|(a, b)| a + b)
+        } else {
+            None
+        };
+        let tr = if r_more {
+            cur_r.zip(Self::top1(&self.left)).map(|(a, b)| a + b)
+        } else {
+            None
+        };
+        match (tl, tr) {
+            (None, None) => None,
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (Some(a), Some(b)) => Some(a.max(b)),
+        }
+    }
+
+    fn pull_once(&mut self) {
+        let l_more = self.lseen < self.left.len();
+        let r_more = self.rseen < self.right.len();
+        let pull_left = if !l_more {
+            false
+        } else if !r_more {
+            true
+        } else {
+            let side = self.pull_left_next;
+            self.pull_left_next = !side;
+            side
+        };
+
+        if pull_left {
+            let tuple = self.left[self.lseen].clone();
+            self.lseen += 1;
+            self.metrics.count_sorted_access();
+            let key = tuple.binding.key_for(&self.join_vars);
+            // Re-scan the seen prefix of the other side (no hash table).
+            for r in &self.right[..self.rseen] {
+                self.metrics.count_random_access();
+                if r.binding.key_for(&self.join_vars) == key {
+                    let merged =
+                        PartialAnswer::new(tuple.binding.merged(&r.binding), tuple.score + r.score);
+                    self.metrics.count_answer();
+                    self.metrics.count_heap_push();
+                    self.output.push(merged);
+                }
+            }
+        } else {
+            let tuple = self.right[self.rseen].clone();
+            self.rseen += 1;
+            self.metrics.count_sorted_access();
+            let key = tuple.binding.key_for(&self.join_vars);
+            for l in &self.left[..self.lseen] {
+                self.metrics.count_random_access();
+                if l.binding.key_for(&self.join_vars) == key {
+                    let merged =
+                        PartialAnswer::new(l.binding.merged(&tuple.binding), l.score + tuple.score);
+                    self.metrics.count_answer();
+                    self.metrics.count_heap_push();
+                    self.output.push(merged);
+                }
+            }
+        }
+    }
+}
+
+impl RankedStream for NestedLoopsRankJoin {
+    fn next(&mut self) -> Option<PartialAnswer> {
+        loop {
+            match (self.output.peek(), self.threshold()) {
+                (Some(top), Some(t)) if top.score >= t => return self.output.pop(),
+                (Some(_), None) => return self.output.pop(),
+                (None, None) => return None,
+                _ => self.pull_once(),
+            }
+        }
+    }
+
+    fn upper_bound(&self) -> Option<Score> {
+        let heap_top = self.output.peek().map(|a| a.score);
+        match (heap_top, self.threshold()) {
+            (None, None) => None,
+            (Some(h), None) => Some(h),
+            (None, Some(t)) => Some(t),
+            (Some(h), Some(t)) => Some(h.max(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::Binding;
+    use crate::metrics::OpMetrics;
+    use crate::rank_join::{PullStrategy, RankJoin};
+    use crate::stream::{materialize, VecStream};
+    use specqp_common::TermId;
+
+    fn simple(join_val: u32, score: f64) -> PartialAnswer {
+        PartialAnswer::new(
+            Binding::from_pairs(vec![(Var(0), TermId(join_val))]),
+            Score::new(score),
+        )
+    }
+
+    #[test]
+    fn agrees_with_hrjn() {
+        let l: Vec<_> = (0..40).map(|i| simple(i % 6, 1.0 - i as f64 * 0.02)).collect();
+        let r: Vec<_> = (0..40).map(|i| simple(i % 6, 1.0 - i as f64 * 0.025)).collect();
+
+        let m1 = OpMetrics::new_handle();
+        let nrjn = NestedLoopsRankJoin::new(l.clone(), r.clone(), vec![Var(0)], m1);
+        let got = materialize(nrjn);
+
+        let m2 = OpMetrics::new_handle();
+        let hrjn = RankJoin::new(
+            Box::new(VecStream::new(l)),
+            Box::new(VecStream::new(r)),
+            vec![Var(0)],
+            PullStrategy::Alternate,
+            m2,
+        );
+        let want = materialize(hrjn);
+
+        // Same multiset of results and same score sequence.
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.score, b.score);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = OpMetrics::new_handle();
+        let mut j = NestedLoopsRankJoin::new(vec![], vec![simple(1, 1.0)], vec![Var(0)], m);
+        assert!(j.next().is_none());
+        assert_eq!(j.upper_bound(), None);
+    }
+
+    #[test]
+    fn uses_no_hash_storage_but_more_comparisons() {
+        let l: Vec<_> = (0..30).map(|i| simple(i, 1.0 - i as f64 * 0.01)).collect();
+        let r: Vec<_> = (0..30).map(|i| simple(i, 1.0 - i as f64 * 0.01)).collect();
+        let m = OpMetrics::new_handle();
+        let j = NestedLoopsRankJoin::new(l, r, vec![Var(0)], m.clone());
+        let _ = materialize(j);
+        // Quadratic-ish probing shows up as random accesses.
+        assert!(m.random_accesses() > 200, "{}", m.random_accesses());
+    }
+}

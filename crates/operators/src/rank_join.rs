@@ -1,0 +1,424 @@
+//! The HRJN hash rank join (Ilyas et al., VLDB'03; refs \[15,16,17\]).
+//!
+//! A rank join consumes two descending [`RankedStream`]s and produces the
+//! join results in descending order of the score sum, pulling as few input
+//! tuples as possible. It maintains:
+//!
+//! * a hash table per input keyed by the join variables,
+//! * the *corner bound* threshold
+//!   `T = max(top₁(L) + cur(R), cur(L) + top₁(R))` — no unseen combination
+//!   can score above `T`,
+//! * a priority queue of join results found so far; a result is emitted once
+//!   its score is ≥ `T`.
+//!
+//! The pull order is a [`PullStrategy`]: strict alternation (classic HRJN)
+//! or the adaptive strategy of HRJN\* that always pulls from the input
+//! currently responsible for the larger corner-bound term, which tightens
+//! `T` fastest.
+
+use crate::answer::PartialAnswer;
+use crate::metrics::MetricsHandle;
+use crate::stream::{BoxedStream, RankedStream};
+use sparql::Var;
+use specqp_common::{FxHashMap, Score, TermId};
+use std::collections::BinaryHeap;
+
+/// Which input a rank join pulls from next.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PullStrategy {
+    /// Strict left/right alternation (classic HRJN).
+    #[default]
+    Alternate,
+    /// Pull from the side whose corner-bound term is larger (HRJN\*).
+    Adaptive,
+}
+
+#[derive(Default)]
+struct Side {
+    hash: FxHashMap<Box<[TermId]>, Vec<PartialAnswer>>,
+    /// Score of the first tuple ever pulled (top₁).
+    top1: Option<Score>,
+    /// Score of the most recent tuple pulled (cur).
+    cur: Option<Score>,
+    exhausted: bool,
+    pulled: u64,
+}
+
+impl Side {
+    /// The corner-bound term where this side contributes `cur` and the
+    /// other side contributes `top₁`. `None` = no future result can involve
+    /// an unseen tuple of this side.
+    fn bound_with(&self, other_top1: Option<Score>) -> Option<Score> {
+        if self.exhausted {
+            return None;
+        }
+        match (self.cur, other_top1) {
+            // Nothing pulled here yet: unbounded until we see the head —
+            // callers treat `Score::new(f64::INFINITY)` as "must pull".
+            (None, _) => Some(Score::new(f64::INFINITY)),
+            // Other side never produced anything *and is done*: handled by
+            // caller via exhaustion checks; a plain missing top₁ means it
+            // may still produce, so stay conservative.
+            (Some(cur), Some(top1)) => Some(cur + top1),
+            (Some(_), None) => Some(Score::new(f64::INFINITY)),
+        }
+    }
+}
+
+/// Binary hash rank join over two descending streams.
+pub struct RankJoin<'g> {
+    left: BoxedStream<'g>,
+    right: BoxedStream<'g>,
+    lstate: Side,
+    rstate: Side,
+    join_vars: Vec<Var>,
+    output: BinaryHeap<PartialAnswer>,
+    strategy: PullStrategy,
+    pull_left_next: bool,
+    metrics: MetricsHandle,
+}
+
+impl<'g> RankJoin<'g> {
+    /// Creates a rank join of `left ⋈ right` on `join_vars` (the variables
+    /// shared by the two inputs; an empty list yields a ranked cross
+    /// product).
+    pub fn new(
+        left: BoxedStream<'g>,
+        right: BoxedStream<'g>,
+        join_vars: Vec<Var>,
+        strategy: PullStrategy,
+        metrics: MetricsHandle,
+    ) -> Self {
+        RankJoin {
+            left,
+            right,
+            lstate: Side::default(),
+            rstate: Side::default(),
+            join_vars,
+            output: BinaryHeap::new(),
+            strategy,
+            pull_left_next: true,
+            metrics,
+        }
+    }
+
+    /// Total tuples pulled from both inputs (diagnostics / tests of early
+    /// termination).
+    pub fn tuples_pulled(&self) -> u64 {
+        self.lstate.pulled + self.rstate.pulled
+    }
+
+    /// The corner-bound threshold: max over the two one-sided bounds;
+    /// `None` when no unseen combination remains.
+    fn threshold(&self) -> Option<Score> {
+        // A future result needs an unseen tuple from at least one side.
+        // Respect sides that produced nothing at all (top1 = None): if a
+        // side is exhausted with top1 = None, no join result can ever exist.
+        if (self.lstate.exhausted && self.lstate.top1.is_none())
+            || (self.rstate.exhausted && self.rstate.top1.is_none())
+        {
+            return None;
+        }
+        let tl = self.lstate.bound_with(self.rstate.top1);
+        let tr = self.rstate.bound_with(self.lstate.top1);
+        match (tl, tr) {
+            (None, None) => None,
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (Some(a), Some(b)) => Some(a.max(b)),
+        }
+    }
+
+    /// Pulls one tuple from the chosen side, updates bounds, probes the
+    /// other hash table and enqueues any join results.
+    fn pull_once(&mut self) {
+        let pull_left = match self.strategy {
+            PullStrategy::Alternate => {
+                if self.lstate.exhausted {
+                    false
+                } else if self.rstate.exhausted {
+                    true
+                } else {
+                    let side = self.pull_left_next;
+                    self.pull_left_next = !side;
+                    side
+                }
+            }
+            PullStrategy::Adaptive => {
+                if self.lstate.exhausted {
+                    false
+                } else if self.rstate.exhausted {
+                    true
+                } else if self.lstate.top1.is_none() {
+                    // Both corner-bound terms are meaningless until each
+                    // side's head score is known — fetch the heads first.
+                    true
+                } else if self.rstate.top1.is_none() {
+                    false
+                } else {
+                    let tl = self.lstate.bound_with(self.rstate.top1);
+                    let tr = self.rstate.bound_with(self.lstate.top1);
+                    // The larger term is reduced by pulling from the side
+                    // whose `cur` appears in it; `bound_with(self=L)` uses
+                    // cur(L), so pull left when its term is the max.
+                    match (tl, tr) {
+                        (Some(a), Some(b)) => a >= b,
+                        (Some(_), None) => true,
+                        _ => false,
+                    }
+                }
+            }
+        };
+
+        let (src, dst_state, probe_state) = if pull_left {
+            (&mut self.left, &mut self.lstate, &self.rstate)
+        } else {
+            (&mut self.right, &mut self.rstate, &self.lstate)
+        };
+
+        let Some(tuple) = src.next() else {
+            dst_state.exhausted = true;
+            return;
+        };
+        self.metrics.count_sorted_access();
+        dst_state.pulled += 1;
+        if dst_state.top1.is_none() {
+            dst_state.top1 = Some(tuple.score);
+        }
+        dst_state.cur = Some(tuple.score);
+
+        let key = tuple
+            .binding
+            .key_for(&self.join_vars)
+            .expect("join variables must be bound on both inputs");
+
+        // Probe the opposite table and enqueue results.
+        if let Some(partners) = probe_state.hash.get(&key) {
+            for p in partners {
+                self.metrics.count_random_access();
+                let merged = PartialAnswer::new(
+                    tuple.binding.merged(&p.binding),
+                    tuple.score + p.score,
+                );
+                self.metrics.count_answer();
+                self.metrics.count_heap_push();
+                self.output.push(merged);
+            }
+        }
+        dst_state.hash.entry(key).or_default().push(tuple);
+    }
+}
+
+impl RankedStream for RankJoin<'_> {
+    fn next(&mut self) -> Option<PartialAnswer> {
+        loop {
+            match (self.output.peek(), self.threshold()) {
+                (Some(top), Some(t)) if top.score >= t => return self.output.pop(),
+                (Some(_), None) => return self.output.pop(),
+                (None, None) => return None,
+                _ => self.pull_once(),
+            }
+        }
+    }
+
+    fn upper_bound(&self) -> Option<Score> {
+        let heap_top = self.output.peek().map(|a| a.score);
+        match (heap_top, self.threshold()) {
+            (None, None) => None,
+            (Some(h), None) => Some(h),
+            (None, Some(t)) => Some(t),
+            (Some(h), Some(t)) => Some(h.max(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::Binding;
+    use crate::metrics::OpMetrics;
+    use crate::stream::{materialize, VecStream};
+    use specqp_common::TermId;
+
+    /// Answer binding ?0=entity with an extra distinct var per side so the
+    /// merge is observable.
+    fn ans(join_val: u32, side_var: u32, side_val: u32, score: f64) -> PartialAnswer {
+        PartialAnswer::new(
+            Binding::from_pairs(vec![
+                (Var(0), TermId(join_val)),
+                (Var(side_var), TermId(side_val)),
+            ]),
+            Score::new(score),
+        )
+    }
+
+    fn simple(join_val: u32, score: f64) -> PartialAnswer {
+        PartialAnswer::new(
+            Binding::from_pairs(vec![(Var(0), TermId(join_val))]),
+            Score::new(score),
+        )
+    }
+
+    /// Brute-force reference: all compatible pairs, sorted by score sum.
+    fn naive_join(
+        l: &[PartialAnswer],
+        r: &[PartialAnswer],
+        join_vars: &[Var],
+    ) -> Vec<PartialAnswer> {
+        let mut out = Vec::new();
+        for a in l {
+            for b in r {
+                if a.binding.key_for(join_vars) == b.binding.key_for(join_vars) {
+                    out.push(PartialAnswer::new(
+                        a.binding.merged(&b.binding),
+                        a.score + b.score,
+                    ));
+                }
+            }
+        }
+        out.sort_by(|x, y| y.cmp(x));
+        out
+    }
+
+    fn run_join(
+        l: Vec<PartialAnswer>,
+        r: Vec<PartialAnswer>,
+        strategy: PullStrategy,
+    ) -> Vec<PartialAnswer> {
+        let m = OpMetrics::new_handle();
+        let join = RankJoin::new(
+            Box::new(VecStream::new(l)),
+            Box::new(VecStream::new(r)),
+            vec![Var(0)],
+            strategy,
+            m,
+        );
+        materialize(join)
+    }
+
+    #[test]
+    fn join_matches_naive_reference() {
+        let l = vec![simple(1, 1.0), simple(2, 0.8), simple(3, 0.3)];
+        let r = vec![simple(2, 0.9), simple(1, 0.5), simple(9, 0.4)];
+        for strategy in [PullStrategy::Alternate, PullStrategy::Adaptive] {
+            let got = run_join(l.clone(), r.clone(), strategy);
+            let want = naive_join(&l, &r, &[Var(0)]);
+            assert_eq!(got, want, "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn join_merges_side_bindings() {
+        let l = vec![ans(1, 1, 100, 1.0)];
+        let r = vec![ans(1, 2, 200, 0.5)];
+        let out = run_join(l, r, PullStrategy::Alternate);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].binding.get(Var(1)), Some(TermId(100)));
+        assert_eq!(out[0].binding.get(Var(2)), Some(TermId(200)));
+        assert_eq!(out[0].score.value(), 1.5);
+    }
+
+    #[test]
+    fn early_termination_pulls_few_tuples() {
+        // Large inputs where the top answer joins the two heads: after a few
+        // pulls the threshold drops below the found result.
+        let l: Vec<_> = (0..1000)
+            .map(|i| simple(i, 1.0 - i as f64 * 1e-3))
+            .collect();
+        let r: Vec<_> = (0..1000)
+            .map(|i| simple(i, 1.0 - i as f64 * 1e-3))
+            .collect();
+        let m = OpMetrics::new_handle();
+        let mut join = RankJoin::new(
+            Box::new(VecStream::new(l)),
+            Box::new(VecStream::new(r)),
+            vec![Var(0)],
+            PullStrategy::Adaptive,
+            m,
+        );
+        let first = join.next().unwrap();
+        assert_eq!(first.score.value(), 2.0);
+        assert!(
+            join.tuples_pulled() < 100,
+            "pulled {} tuples for top-1",
+            join.tuples_pulled()
+        );
+    }
+
+    #[test]
+    fn empty_side_yields_empty_join() {
+        let out = run_join(vec![], vec![simple(1, 1.0)], PullStrategy::Alternate);
+        assert!(out.is_empty());
+        let out = run_join(vec![simple(1, 1.0)], vec![], PullStrategy::Adaptive);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cross_product_when_no_join_vars() {
+        let m = OpMetrics::new_handle();
+        // Join on no vars: every pair combines; sides bind disjoint vars.
+        let l = vec![
+            PartialAnswer::new(
+                Binding::from_pairs(vec![(Var(1), TermId(10))]),
+                Score::new(1.0),
+            ),
+            PartialAnswer::new(
+                Binding::from_pairs(vec![(Var(1), TermId(11))]),
+                Score::new(0.5),
+            ),
+        ];
+        let r = vec![PartialAnswer::new(
+            Binding::from_pairs(vec![(Var(2), TermId(20))]),
+            Score::new(0.9),
+        )];
+        let join = RankJoin::new(
+            Box::new(VecStream::new(l)),
+            Box::new(VecStream::new(r)),
+            vec![],
+            PullStrategy::Alternate,
+            m,
+        );
+        let out = materialize(join);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].score.value(), 1.9);
+        assert_eq!(out[1].score.value(), 1.4);
+    }
+
+    #[test]
+    fn output_scores_non_increasing() {
+        let l: Vec<_> = (0..50).map(|i| simple(i % 7, 1.0 - i as f64 * 0.01)).collect();
+        let r: Vec<_> = (0..50).map(|i| simple(i % 7, 1.0 - i as f64 * 0.015)).collect();
+        let out = run_join(l, r, PullStrategy::Adaptive);
+        for w in out.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn upper_bound_never_underestimates() {
+        let l: Vec<_> = (0..20).map(|i| simple(i % 5, 1.0 - i as f64 * 0.04)).collect();
+        let r: Vec<_> = (0..20).map(|i| simple(i % 5, 1.0 - i as f64 * 0.03)).collect();
+        let m = OpMetrics::new_handle();
+        let mut join = RankJoin::new(
+            Box::new(VecStream::new(l)),
+            Box::new(VecStream::new(r)),
+            vec![Var(0)],
+            PullStrategy::Alternate,
+            m,
+        );
+        loop {
+            let bound = join.upper_bound();
+            match join.next() {
+                Some(a) => {
+                    let b = bound.expect("bound must exist while answers remain");
+                    assert!(
+                        b >= a.score,
+                        "bound {b:?} underestimates next answer {:?}",
+                        a.score
+                    );
+                }
+                None => break,
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The ranked-stream abstraction all operators implement.
+
+use crate::answer::PartialAnswer;
+use specqp_common::Score;
+
+/// A pull-based stream of [`PartialAnswer`]s in non-increasing score order
+/// that can bound the score of everything it has not yet produced.
+///
+/// The bound is what enables early termination: once a consumer holds `k`
+/// answers with scores ≥ `upper_bound()`, no future answer can displace
+/// them.
+///
+/// # Contract
+/// * `next()` returns answers with non-increasing scores;
+/// * `upper_bound()` returns `None` iff the stream will never produce
+///   another answer; otherwise `Some(b)` with `b ≥` every future score;
+/// * calling `upper_bound()` never advances the stream.
+pub trait RankedStream {
+    /// Produces the next-best answer, or `None` when exhausted.
+    fn next(&mut self) -> Option<PartialAnswer>;
+
+    /// Upper bound on all future answers (see trait docs).
+    fn upper_bound(&self) -> Option<Score>;
+}
+
+/// Convenience alias for boxed operator-tree nodes borrowing a graph for
+/// lifetime `'g`.
+pub type BoxedStream<'g> = Box<dyn RankedStream + 'g>;
+
+impl RankedStream for BoxedStream<'_> {
+    fn next(&mut self) -> Option<PartialAnswer> {
+        (**self).next()
+    }
+    fn upper_bound(&self) -> Option<Score> {
+        (**self).upper_bound()
+    }
+}
+
+/// A stream replaying a pre-sorted vector — used by tests and by the
+/// nested-loops rank join, which requires materialized inputs.
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    items: Vec<PartialAnswer>,
+    pos: usize,
+}
+
+impl VecStream {
+    /// Wraps `items`, which must already be sorted by non-increasing score.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the order is violated.
+    pub fn new(items: Vec<PartialAnswer>) -> Self {
+        debug_assert!(
+            items.windows(2).all(|w| w[0].score >= w[1].score),
+            "VecStream input must be sorted by non-increasing score"
+        );
+        VecStream { items, pos: 0 }
+    }
+
+    /// Sorts `items` by descending score (deterministic tie-break) and wraps
+    /// them.
+    pub fn from_unsorted(mut items: Vec<PartialAnswer>) -> Self {
+        items.sort_by(|a, b| b.cmp(a));
+        VecStream { items, pos: 0 }
+    }
+
+    /// Remaining (unconsumed) items.
+    pub fn remaining(&self) -> usize {
+        self.items.len() - self.pos
+    }
+}
+
+impl RankedStream for VecStream {
+    fn next(&mut self) -> Option<PartialAnswer> {
+        let item = self.items.get(self.pos)?.clone();
+        self.pos += 1;
+        Some(item)
+    }
+
+    fn upper_bound(&self) -> Option<Score> {
+        self.items.get(self.pos).map(|a| a.score)
+    }
+}
+
+/// Drains a stream into a vector (sorted by construction).
+pub fn materialize<S: RankedStream>(mut stream: S) -> Vec<PartialAnswer> {
+    let mut out = Vec::new();
+    while let Some(a) = stream.next() {
+        out.push(a);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::Binding;
+    use sparql::Var;
+    use specqp_common::TermId;
+
+    fn ans(v: u32, s: f64) -> PartialAnswer {
+        PartialAnswer::new(
+            Binding::from_pairs(vec![(Var(0), TermId(v))]),
+            Score::new(s),
+        )
+    }
+
+    #[test]
+    fn vec_stream_replays_in_order() {
+        let mut s = VecStream::new(vec![ans(1, 0.9), ans(2, 0.5), ans(3, 0.1)]);
+        assert_eq!(s.upper_bound(), Some(Score::new(0.9)));
+        assert_eq!(s.next().unwrap().score.value(), 0.9);
+        assert_eq!(s.upper_bound(), Some(Score::new(0.5)));
+        assert_eq!(s.remaining(), 2);
+        assert_eq!(s.next().unwrap().score.value(), 0.5);
+        assert_eq!(s.next().unwrap().score.value(), 0.1);
+        assert_eq!(s.upper_bound(), None);
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn from_unsorted_sorts_descending() {
+        let s = VecStream::from_unsorted(vec![ans(1, 0.1), ans(2, 0.9), ans(3, 0.5)]);
+        let scores: Vec<f64> = materialize(s).iter().map(|a| a.score.value()).collect();
+        assert_eq!(scores, vec![0.9, 0.5, 0.1]);
+    }
+
+    #[test]
+    fn boxed_stream_dispatch() {
+        let mut s: BoxedStream<'static> = Box::new(VecStream::new(vec![ans(1, 1.0)]));
+        assert_eq!(s.upper_bound(), Some(Score::ONE));
+        assert!(s.next().is_some());
+        assert!(s.next().is_none());
+    }
+}

@@ -1,0 +1,94 @@
+//! Top-k collection from a ranked stream.
+
+use crate::answer::{Binding, PartialAnswer};
+use crate::stream::RankedStream;
+use sparql::Var;
+use specqp_common::FxHashSet;
+
+/// Pulls the first `k` answers. Because [`RankedStream`]s produce answers in
+/// non-increasing order, these are exactly the top-k; the early-termination
+/// logic lives inside the operators, which only consume as much of their
+/// inputs as the bounds require.
+pub fn top_k<S: RankedStream + ?Sized>(stream: &mut S, k: usize) -> Vec<PartialAnswer> {
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        match stream.next() {
+            Some(a) => out.push(a),
+            None => break,
+        }
+    }
+    out
+}
+
+/// Pulls answers until `k` *distinct projections* onto `vars` have been
+/// collected; each projected result keeps the score of its best underlying
+/// answer (max semantics — duplicates arrive later and are dropped).
+pub fn top_k_projected<S: RankedStream + ?Sized>(
+    stream: &mut S,
+    k: usize,
+    vars: &[Var],
+) -> Vec<PartialAnswer> {
+    let mut out: Vec<PartialAnswer> = Vec::with_capacity(k);
+    let mut seen: FxHashSet<Binding> = FxHashSet::default();
+    while out.len() < k {
+        match stream.next() {
+            Some(a) => {
+                let projected = a.binding.project(vars);
+                if seen.insert(projected.clone()) {
+                    out.push(PartialAnswer::new(projected, a.score));
+                }
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::VecStream;
+    use specqp_common::{Score, TermId};
+
+    fn ans(pairs: &[(u32, u32)], s: f64) -> PartialAnswer {
+        PartialAnswer::new(
+            Binding::from_pairs(pairs.iter().map(|&(v, t)| (Var(v), TermId(t))).collect()),
+            Score::new(s),
+        )
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let mut s = VecStream::new(vec![
+            ans(&[(0, 1)], 0.9),
+            ans(&[(0, 2)], 0.8),
+            ans(&[(0, 3)], 0.7),
+        ]);
+        let out = top_k(&mut s, 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].score.value(), 0.9);
+    }
+
+    #[test]
+    fn top_k_handles_short_streams() {
+        let mut s = VecStream::new(vec![ans(&[(0, 1)], 0.9)]);
+        assert_eq!(top_k(&mut s, 10).len(), 1);
+        assert_eq!(top_k(&mut s, 10).len(), 0);
+    }
+
+    #[test]
+    fn projection_dedups_with_max_semantics() {
+        // Two answers project to the same ?0; the higher-scoring one (first)
+        // wins. The third distinct projection fills k=2.
+        let mut s = VecStream::new(vec![
+            ans(&[(0, 1), (1, 10)], 0.9),
+            ans(&[(0, 1), (1, 11)], 0.8),
+            ans(&[(0, 2), (1, 12)], 0.7),
+        ]);
+        let out = top_k_projected(&mut s, 2, &[Var(0)]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].binding.get(Var(0)), Some(TermId(1)));
+        assert_eq!(out[0].score.value(), 0.9);
+        assert_eq!(out[1].binding.get(Var(0)), Some(TermId(2)));
+    }
+}

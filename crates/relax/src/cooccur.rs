@@ -1,0 +1,220 @@
+//! Co-occurrence relaxation mining (Twitter-style, §4.2).
+//!
+//! For the tweet dataset the paper derives relaxations from tag
+//! co-occurrence: `r = (T₁, T₂, w)` with
+//!
+//! ```text
+//! w = #tweets_having_T1_and_T2 / #tweets_having_T1
+//! ```
+//!
+//! [`CooccurrenceMiner`] computes exactly that over all `〈s, pred, T〉`
+//! triples of a graph: subjects are "tweets", objects are "terms".
+
+use crate::registry::RelaxationRegistry;
+use crate::rule::{Position, TermRule};
+use kgstore::{KnowledgeGraph, PatternKey};
+use specqp_common::{FxHashMap, TermId};
+
+/// Mines object-position rules with predicate context `predicate` from
+/// subject–term co-occurrence.
+#[derive(Debug, Clone)]
+pub struct CooccurrenceMiner {
+    /// The predicate whose objects are the co-occurring terms (`hasTag`).
+    pub predicate: TermId,
+    /// Rules below this weight are discarded.
+    pub min_weight: f64,
+    /// Cap on rules per source term (best-weight first).
+    pub max_rules_per_term: usize,
+    /// Subjects with more than this many terms are skipped when counting
+    /// pairs (guards against quadratic blow-up on pathological rows).
+    pub max_terms_per_subject: usize,
+}
+
+impl CooccurrenceMiner {
+    /// Miner with the defaults used by the Twitter generator.
+    pub fn new(predicate: TermId) -> Self {
+        CooccurrenceMiner {
+            predicate,
+            min_weight: 0.05,
+            max_rules_per_term: 20,
+            max_terms_per_subject: 64,
+        }
+    }
+
+    /// Computes the rules and returns a fresh registry.
+    pub fn mine(&self, graph: &KnowledgeGraph) -> RelaxationRegistry {
+        let mut reg = RelaxationRegistry::new();
+        self.mine_into(graph, &mut reg);
+        reg
+    }
+
+    /// Computes the rules into an existing registry.
+    pub fn mine_into(&self, graph: &KnowledgeGraph, registry: &mut RelaxationRegistry) {
+        // Group terms by subject.
+        let mut by_subject: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+        for (t, _) in graph.matches(PatternKey::p_only(self.predicate)).iter_triples() {
+            by_subject.entry(t.s).or_default().push(t.o);
+        }
+
+        // Count per-term totals and ordered-pair co-occurrences.
+        let mut term_count: FxHashMap<TermId, u64> = FxHashMap::default();
+        let mut pair_count: FxHashMap<(TermId, TermId), u64> = FxHashMap::default();
+        for terms in by_subject.values_mut() {
+            terms.sort_unstable();
+            terms.dedup();
+            if terms.len() > self.max_terms_per_subject {
+                continue;
+            }
+            for &t in terms.iter() {
+                *term_count.entry(t).or_insert(0) += 1;
+            }
+            for i in 0..terms.len() {
+                for j in 0..terms.len() {
+                    if i != j {
+                        *pair_count.entry((terms[i], terms[j])).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+
+        // Emit rules grouped by source term, capped.
+        let mut by_source: FxHashMap<TermId, Vec<TermRule>> = FxHashMap::default();
+        for (&(t1, t2), &both) in &pair_count {
+            let total = term_count[&t1];
+            if total == 0 {
+                continue;
+            }
+            let w = (both as f64 / total as f64).min(1.0 - 1e-6);
+            if w < self.min_weight {
+                continue;
+            }
+            by_source.entry(t1).or_default().push(TermRule::with_context(
+                Position::Object,
+                t1,
+                t2,
+                w,
+                self.predicate,
+            ));
+        }
+        let mut sources: Vec<TermId> = by_source.keys().copied().collect();
+        sources.sort();
+        for s in sources {
+            let mut rules = by_source.remove(&s).expect("key exists");
+            rules.sort_by(|a, b| {
+                b.weight
+                    .partial_cmp(&a.weight)
+                    .expect("finite")
+                    .then_with(|| a.to.cmp(&b.to))
+            });
+            rules.truncate(self.max_rules_per_term);
+            registry.extend(rules);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgstore::KnowledgeGraphBuilder;
+    use sparql::{TriplePattern, Var};
+
+    /// Tweets: t1{a,b}, t2{a,b}, t3{a,c}, t4{a}, t5{b}.
+    fn graph() -> KnowledgeGraph {
+        let mut b = KnowledgeGraphBuilder::new();
+        for (tweet, tags) in [
+            ("t1", vec!["a", "b"]),
+            ("t2", vec!["a", "b"]),
+            ("t3", vec!["a", "c"]),
+            ("t4", vec!["a"]),
+            ("t5", vec!["b"]),
+        ] {
+            for tag in tags {
+                b.add(tweet, "hasTag", tag, 1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn weights_match_paper_formula() {
+        let g = graph();
+        let d = g.dictionary();
+        let has = d.lookup("hasTag").unwrap();
+        let a = d.lookup("a").unwrap();
+        let bb = d.lookup("b").unwrap();
+        let reg = CooccurrenceMiner::new(has).mine(&g);
+        // w(a→b) = #tweets(a∧b)/#tweets(a) = 2/4 = 0.5
+        let rs = reg.relaxations_for(&TriplePattern::new(Var(0), has, a));
+        let w_ab = rs
+            .iter()
+            .find(|r| r.pattern.o.as_const() == Some(bb))
+            .expect("a→b rule")
+            .weight;
+        assert!((w_ab - 0.5).abs() < 1e-9);
+        // w(b→a) = 2/3.
+        let rs = reg.relaxations_for(&TriplePattern::new(Var(0), has, bb));
+        let w_ba = rs
+            .iter()
+            .find(|r| r.pattern.o.as_const() == Some(a))
+            .expect("b→a rule")
+            .weight;
+        assert!((w_ba - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetry_is_preserved() {
+        let g = graph();
+        let d = g.dictionary();
+        let has = d.lookup("hasTag").unwrap();
+        let a = d.lookup("a").unwrap();
+        let c = d.lookup("c").unwrap();
+        let reg = CooccurrenceMiner::new(has).mine(&g);
+        // w(c→a) = 1/1 (clamped below 1), w(a→c) = 1/4.
+        let rs_c = reg.relaxations_for(&TriplePattern::new(Var(0), has, c));
+        assert!(rs_c[0].weight > 0.99);
+        let rs_a = reg.relaxations_for(&TriplePattern::new(Var(0), has, a));
+        let w_ac = rs_a
+            .iter()
+            .find(|r| r.pattern.o.as_const() == Some(c))
+            .unwrap()
+            .weight;
+        assert!((w_ac - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_weight_filters() {
+        let g = graph();
+        let d = g.dictionary();
+        let has = d.lookup("hasTag").unwrap();
+        let a = d.lookup("a").unwrap();
+        let mut miner = CooccurrenceMiner::new(has);
+        miner.min_weight = 0.4;
+        let reg = miner.mine(&g);
+        let rs = reg.relaxations_for(&TriplePattern::new(Var(0), has, a));
+        // a→c (0.25) filtered; a→b (0.5) kept.
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn rules_only_fire_on_mined_predicate() {
+        let g = graph();
+        let d = g.dictionary();
+        let has = d.lookup("hasTag").unwrap();
+        let a = d.lookup("a").unwrap();
+        let reg = CooccurrenceMiner::new(has).mine(&g);
+        let other = TriplePattern::new(Var(0), a, a); // nonsense pattern, different predicate
+        assert_eq!(reg.relaxation_count(&other), 0);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let g = graph();
+        let d = g.dictionary();
+        let has = d.lookup("hasTag").unwrap();
+        let a = d.lookup("a").unwrap();
+        let r1 = CooccurrenceMiner::new(has).mine(&g);
+        let r2 = CooccurrenceMiner::new(has).mine(&g);
+        let p = TriplePattern::new(Var(0), has, a);
+        assert_eq!(r1.relaxations_for(&p), r2.relaxations_for(&p));
+    }
+}

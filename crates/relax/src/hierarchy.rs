@@ -1,0 +1,381 @@
+//! Type-hierarchy relaxation mining (XKG-style).
+//!
+//! XKG's type relaxations (`<singer>` → `<vocalist>`, `<artist>`, …) come
+//! from neighbourhoods in the class taxonomy. [`TypeHierarchy`] holds a
+//! parent relation over class terms (either supplied programmatically by a
+//! generator or mined from `subClassOf` triples); [`HierarchyMiner`] emits
+//! one object-position [`TermRule`] per (class, related class) pair with a
+//! relationship-aware weight (parent / child / sibling / `decay^distance`
+//! for farther relatives, plus a deterministic jitter), optionally
+//! modulated by how much the two classes' instance sets overlap.
+
+use crate::registry::RelaxationRegistry;
+use crate::rule::{Position, TermRule};
+use kgstore::{KnowledgeGraph, PatternKey};
+use specqp_common::{FxHashMap, FxHashSet, TermId};
+
+/// A forest over class terms (each class has at most one parent).
+#[derive(Default, Debug, Clone)]
+pub struct TypeHierarchy {
+    parent: FxHashMap<TermId, TermId>,
+    children: FxHashMap<TermId, Vec<TermId>>,
+}
+
+impl TypeHierarchy {
+    /// Creates an empty hierarchy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares `child`'s parent. Later calls overwrite earlier ones.
+    pub fn add_edge(&mut self, child: TermId, parent: TermId) {
+        if let Some(old) = self.parent.insert(child, parent) {
+            if let Some(v) = self.children.get_mut(&old) {
+                v.retain(|c| *c != child);
+            }
+        }
+        self.children.entry(parent).or_default().push(child);
+    }
+
+    /// Builds the hierarchy from every `〈c, subclass_pred, parent〉` triple
+    /// in the graph.
+    pub fn from_graph(graph: &KnowledgeGraph, subclass_pred: TermId) -> Self {
+        let mut h = TypeHierarchy::new();
+        for (t, _) in graph.matches(PatternKey::p_only(subclass_pred)).iter_triples() {
+            h.add_edge(t.s, t.o);
+        }
+        h
+    }
+
+    /// The parent of `class`, if any.
+    pub fn parent(&self, class: TermId) -> Option<TermId> {
+        self.parent.get(&class).copied()
+    }
+
+    /// Children of `class`.
+    pub fn children(&self, class: TermId) -> &[TermId] {
+        self.children.get(&class).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All classes that appear as child or parent.
+    pub fn classes(&self) -> FxHashSet<TermId> {
+        let mut s: FxHashSet<TermId> = self.parent.keys().copied().collect();
+        s.extend(self.children.keys().copied());
+        s
+    }
+
+    /// Classes within `max_distance` tree edges of `class` (excluding
+    /// itself), with their distances: siblings are at distance 2, the
+    /// parent at 1, cousins at 4, children at 1, …
+    pub fn neighbourhood(&self, class: TermId, max_distance: usize) -> Vec<(TermId, usize)> {
+        // BFS over the undirected tree.
+        let mut dist: FxHashMap<TermId, usize> = FxHashMap::default();
+        dist.insert(class, 0);
+        let mut frontier = vec![class];
+        let mut out = Vec::new();
+        while let Some(c) = frontier.pop() {
+            let d = dist[&c];
+            if d >= max_distance {
+                continue;
+            }
+            let push = |n: TermId, dist: &mut FxHashMap<TermId, usize>,
+                            frontier: &mut Vec<TermId>,
+                            out: &mut Vec<(TermId, usize)>| {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(n) {
+                    e.insert(d + 1);
+                    out.push((n, d + 1));
+                    frontier.push(n);
+                }
+            };
+            if let Some(p) = self.parent(c) {
+                push(p, &mut dist, &mut frontier, &mut out);
+            }
+            for &ch in self.children(c) {
+                push(ch, &mut dist, &mut frontier, &mut out);
+            }
+        }
+        out.sort_by_key(|&(t, d)| (d, t));
+        out
+    }
+}
+
+/// Mines object-position type relaxations from a [`TypeHierarchy`].
+///
+/// Weights are *relationship-aware*, mirroring the paper's Table 1 where
+/// `<singer>` relaxes to its co-hyponym `<vocalist>` (weight 0.8) before the
+/// hypernym `<artist>`: siblings rank above the parent, which ranks above
+/// more distant relatives; a small deterministic per-pair jitter breaks ties
+/// so different classes get differently ordered rule lists, as mined rules
+/// would.
+#[derive(Debug, Clone)]
+pub struct HierarchyMiner {
+    /// The type predicate the rules are contextualized to (`rdf:type`).
+    pub type_predicate: TermId,
+    /// Weight of sibling classes (same parent).
+    pub sibling_weight: f64,
+    /// Weight of the parent class.
+    pub parent_weight: f64,
+    /// Weight of child classes.
+    pub child_weight: f64,
+    /// Fallback decay per tree edge for more distant relatives: weight
+    /// `decay^d`.
+    pub decay: f64,
+    /// Half-width of the deterministic per-pair weight jitter.
+    pub jitter: f64,
+    /// Maximum tree distance explored.
+    pub max_distance: usize,
+    /// Cap on rules emitted per source class (best-weight first).
+    pub max_rules_per_class: usize,
+    /// If true, multiply the weight by the Jaccard-style overlap of
+    /// instance sets, when both classes have instances (pure taxonomy
+    /// weights otherwise).
+    pub use_instance_overlap: bool,
+}
+
+impl HierarchyMiner {
+    /// A miner with the defaults used by the XKG generator: hypernym-first
+    /// weights `parent 0.85 > sibling ≈ 0.72 > grandparent/uncles/cousins`
+    /// (i.e. the plain `decay^distance` ladder with decay 0.85), a ±0.02
+    /// deterministic jitter, distance ≤ 4, at most 15 rules per class.
+    ///
+    /// Generalizing to the *super*-class first matches how the planner's
+    /// single-relaxation check works best: the top-weighted relaxation is
+    /// then a superset of the original pattern, so its join is never empty
+    /// when the original's is not. Sibling-first weighting (Table 1's
+    /// `singer → vocalist` ordering) is available by raising
+    /// `sibling_weight` above `parent_weight`.
+    pub fn new(type_predicate: TermId) -> Self {
+        HierarchyMiner {
+            type_predicate,
+            sibling_weight: 0.7225, // decay²
+            parent_weight: 0.85,    // decay¹
+            child_weight: 0.85,     // decay¹
+            decay: 0.85,
+            jitter: 0.02,
+            max_distance: 4,
+            max_rules_per_class: 15,
+            use_instance_overlap: false,
+        }
+    }
+
+    /// Emits rules for every class of the hierarchy into a fresh registry.
+    pub fn mine(&self, graph: &KnowledgeGraph, hierarchy: &TypeHierarchy) -> RelaxationRegistry {
+        let mut reg = RelaxationRegistry::new();
+        self.mine_into(graph, hierarchy, &mut reg);
+        reg
+    }
+
+    /// Emits rules into an existing registry.
+    pub fn mine_into(
+        &self,
+        graph: &KnowledgeGraph,
+        hierarchy: &TypeHierarchy,
+        registry: &mut RelaxationRegistry,
+    ) {
+        let mut classes: Vec<TermId> = hierarchy.classes().into_iter().collect();
+        classes.sort();
+        for class in classes {
+            let mut candidates: Vec<TermRule> = Vec::new();
+            for (other, d) in hierarchy.neighbourhood(class, self.max_distance) {
+                let mut w = self.base_weight(hierarchy, class, other, d);
+                // Deterministic per-pair jitter in ±self.jitter.
+                let h = specqp_common::hash::fx_hash_one(&(class, other));
+                w += ((h % 1000) as f64 / 1000.0 - 0.5) * 2.0 * self.jitter;
+                if self.use_instance_overlap {
+                    w *= 0.5 + 0.5 * self.instance_overlap(graph, class, other);
+                }
+                if w <= 0.0 {
+                    continue;
+                }
+                candidates.push(TermRule::with_context(
+                    Position::Object,
+                    class,
+                    other,
+                    w.clamp(0.01, 1.0 - 1e-6),
+                    self.type_predicate,
+                ));
+            }
+            candidates.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite"));
+            candidates.truncate(self.max_rules_per_class);
+            registry.extend(candidates);
+        }
+    }
+
+    /// Relationship-aware base weight of relaxing `class` to `other` at
+    /// tree distance `d`.
+    fn base_weight(
+        &self,
+        hierarchy: &TypeHierarchy,
+        class: TermId,
+        other: TermId,
+        d: usize,
+    ) -> f64 {
+        if hierarchy.parent(class) == Some(other) {
+            self.parent_weight
+        } else if hierarchy.parent(other) == Some(class) {
+            self.child_weight
+        } else if d == 2
+            && hierarchy.parent(class).is_some()
+            && hierarchy.parent(class) == hierarchy.parent(other)
+        {
+            self.sibling_weight
+        } else {
+            self.decay.powi(d as i32)
+        }
+    }
+
+    /// |inst(a) ∩ inst(b)| / |inst(a) ∪ inst(b)| over `rdf:type` instances.
+    fn instance_overlap(&self, graph: &KnowledgeGraph, a: TermId, b: TermId) -> f64 {
+        let inst = |c: TermId| -> FxHashSet<TermId> {
+            graph
+                .matches(PatternKey::po(self.type_predicate, c))
+                .iter_triples()
+                .map(|(t, _)| t.s)
+                .collect()
+        };
+        let (ia, ib) = (inst(a), inst(b));
+        if ia.is_empty() && ib.is_empty() {
+            return 0.0;
+        }
+        let inter = ia.intersection(&ib).count() as f64;
+        let union = (ia.len() + ib.len()) as f64 - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgstore::KnowledgeGraphBuilder;
+    use sparql::{TriplePattern, Var};
+
+    /// entity ← {person ← {singer, vocalist, writer}, place ← {city}}
+    fn setup() -> (KnowledgeGraph, TypeHierarchy) {
+        let mut b = KnowledgeGraphBuilder::new();
+        let ty = b.intern("rdf:type");
+        for (e, c, s) in [
+            ("shakira", "singer", 10.0),
+            ("beyonce", "singer", 9.0),
+            ("adele", "vocalist", 8.0),
+            ("dylan", "writer", 7.0),
+            ("paris", "city", 5.0),
+        ] {
+            b.add(e, "rdf:type", c, s);
+        }
+        for (c, p) in [
+            ("singer", "person"),
+            ("vocalist", "person"),
+            ("writer", "person"),
+            ("city", "place"),
+            ("person", "entity"),
+            ("place", "entity"),
+        ] {
+            b.add(c, "subClassOf", p, 1.0);
+        }
+        let _ = ty;
+        let g = b.build();
+        let sub = g.dictionary().lookup("subClassOf").unwrap();
+        let h = TypeHierarchy::from_graph(&g, sub);
+        (g, h)
+    }
+
+    #[test]
+    fn hierarchy_structure() {
+        let (g, h) = setup();
+        let d = g.dictionary();
+        let singer = d.lookup("singer").unwrap();
+        let person = d.lookup("person").unwrap();
+        assert_eq!(h.parent(singer), Some(person));
+        assert_eq!(h.children(person).len(), 3);
+    }
+
+    #[test]
+    fn neighbourhood_distances() {
+        let (g, h) = setup();
+        let d = g.dictionary();
+        let singer = d.lookup("singer").unwrap();
+        let person = d.lookup("person").unwrap();
+        let vocalist = d.lookup("vocalist").unwrap();
+        let city = d.lookup("city").unwrap();
+        let n = h.neighbourhood(singer, 4);
+        let get = |t: TermId| n.iter().find(|(c, _)| *c == t).map(|&(_, d)| d);
+        assert_eq!(get(person), Some(1));
+        assert_eq!(get(vocalist), Some(2));
+        assert_eq!(get(city), Some(4)); // singer→person→entity→place→city
+    }
+
+    #[test]
+    fn mined_weights_decay_with_distance() {
+        let (g, h) = setup();
+        let d = g.dictionary();
+        let ty = d.lookup("rdf:type").unwrap();
+        let singer = d.lookup("singer").unwrap();
+        let miner = HierarchyMiner::new(ty);
+        let reg = miner.mine(&g, &h);
+        let pat = TriplePattern::new(Var(0), ty, singer);
+        let rs = reg.relaxations_for(&pat);
+        assert!(rs.len() >= 4, "got {}", rs.len());
+        // Parent (d=1) outranks siblings (d=2) outranks entity (d=2? no — 2
+        // levels up = d=2 as well)… weights must be non-increasing.
+        for w in rs.windows(2) {
+            assert!(w[0].weight >= w[1].weight);
+        }
+        let top = reg.top_relaxation_for(&pat).unwrap();
+        // Hypernym-first default: the top relaxation is the parent class at
+        // ~parent_weight (modulo ±jitter).
+        assert!(
+            (top.weight - 0.85).abs() <= 0.021,
+            "top relaxation weight {}",
+            top.weight
+        );
+    }
+
+    #[test]
+    fn rules_respect_type_context() {
+        let (g, h) = setup();
+        let d = g.dictionary();
+        let ty = d.lookup("rdf:type").unwrap();
+        let singer = d.lookup("singer").unwrap();
+        let other_pred = d.lookup("subClassOf").unwrap();
+        let reg = HierarchyMiner::new(ty).mine(&g, &h);
+        // Rules fire on rdf:type patterns only.
+        let p1 = TriplePattern::new(Var(0), ty, singer);
+        let p2 = TriplePattern::new(Var(0), other_pred, singer);
+        assert!(reg.relaxation_count(&p1) > 0);
+        assert_eq!(reg.relaxation_count(&p2), 0);
+    }
+
+    #[test]
+    fn instance_overlap_mode_changes_weights() {
+        let (g, h) = setup();
+        let d = g.dictionary();
+        let ty = d.lookup("rdf:type").unwrap();
+        let singer = d.lookup("singer").unwrap();
+        let mut miner = HierarchyMiner::new(ty);
+        miner.use_instance_overlap = true;
+        let reg = miner.mine(&g, &h);
+        let pat = TriplePattern::new(Var(0), ty, singer);
+        let rs = reg.relaxations_for(&pat);
+        // Disjoint instance sets → overlap 0 → weights halved vs the plain
+        // relationship weights.
+        let top = &rs[0];
+        assert!(top.weight < 0.6, "weight {}", top.weight);
+    }
+
+    #[test]
+    fn max_rules_cap() {
+        let (g, h) = setup();
+        let d = g.dictionary();
+        let ty = d.lookup("rdf:type").unwrap();
+        let singer = d.lookup("singer").unwrap();
+        let mut miner = HierarchyMiner::new(ty);
+        miner.max_rules_per_class = 2;
+        let reg = miner.mine(&g, &h);
+        let pat = TriplePattern::new(Var(0), ty, singer);
+        assert_eq!(reg.relaxation_count(&pat), 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Relaxed-query construction (Def. 8).
+
+use crate::registry::{Relaxation, RelaxationRegistry};
+use sparql::Query;
+
+/// Applies one relaxation to the pattern at `idx`, producing
+/// `Q′ = (Q \ q) ∪ q′` and the weight to multiply answer scores by.
+pub fn apply_relaxation(query: &Query, idx: usize, relaxation: &Relaxation) -> (Query, f64) {
+    (
+        query.with_pattern_replaced(idx, relaxation.pattern),
+        relaxation.weight,
+    )
+}
+
+/// Enumerates every query reachable by relaxing **at most one pattern**
+/// (the original query first, with weight 1). This is the unit the paper's
+/// PLANGEN inspects; full multi-relaxation enumeration (the 48-query space
+/// of the introduction example) is exponential and only needed by the naive
+/// baseline, which instead merges per-pattern lists.
+pub fn enumerate_relaxed_queries(
+    query: &Query,
+    registry: &RelaxationRegistry,
+) -> Vec<(Query, f64)> {
+    let mut out = vec![(query.clone(), 1.0)];
+    for (i, p) in query.patterns().iter().enumerate() {
+        for r in registry.relaxations_for(p) {
+            out.push(apply_relaxation(query, i, &r));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Position, TermRule};
+    use sparql::{QueryBuilder, Term};
+    use specqp_common::TermId;
+
+    fn query() -> Query {
+        let mut b = QueryBuilder::new();
+        let s = b.var("s");
+        b.pattern(s, TermId(1), TermId(10));
+        b.pattern(s, TermId(1), TermId(20));
+        b.project(s);
+        b.build().unwrap()
+    }
+
+    fn registry() -> RelaxationRegistry {
+        let mut reg = RelaxationRegistry::new();
+        reg.add(TermRule::new(Position::Object, TermId(10), TermId(11), 0.9));
+        reg.add(TermRule::new(Position::Object, TermId(10), TermId(12), 0.5));
+        reg.add(TermRule::new(Position::Object, TermId(20), TermId(21), 0.7));
+        reg
+    }
+
+    #[test]
+    fn apply_replaces_one_pattern() {
+        let q = query();
+        let reg = registry();
+        let r = reg.top_relaxation_for(&q.patterns()[0]).unwrap();
+        let (q2, w) = apply_relaxation(&q, 0, &r);
+        assert_eq!(w, 0.9);
+        assert_eq!(q2.patterns()[0].o, Term::Const(TermId(11)));
+        assert_eq!(q2.patterns()[1], q.patterns()[1]);
+    }
+
+    #[test]
+    fn enumerate_counts_original_plus_single_relaxations() {
+        let q = query();
+        let reg = registry();
+        let all = enumerate_relaxed_queries(&q, &reg);
+        // 1 original + 2 for pattern 0 + 1 for pattern 1.
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].1, 1.0);
+        // Weights of the relaxed ones are the rule weights.
+        let mut weights: Vec<f64> = all[1..].iter().map(|(_, w)| *w).collect();
+        weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(weights, vec![0.9, 0.7, 0.5]);
+    }
+}

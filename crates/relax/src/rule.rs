@@ -1,0 +1,89 @@
+//! Term-level relaxation rules.
+//!
+//! The paper's Def. 7 states rules over whole triple patterns; all rules the
+//! paper actually mines rewrite exactly **one constant** of the pattern
+//! (`<singer>` → `<vocalist>`, `<#intoyouvideo>` → `<video>`). A
+//! [`TermRule`] captures that: position, source constant, target constant,
+//! weight, plus an optional *predicate context* so that, e.g., a tag-term
+//! rule only fires on `hasTag` patterns and a class rule only on `rdf:type`
+//! patterns.
+
+use specqp_common::TermId;
+
+/// Which component of a triple pattern a rule rewrites.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Position {
+    /// Rewrite the subject constant.
+    Subject,
+    /// Rewrite the predicate constant.
+    Predicate,
+    /// Rewrite the object constant.
+    Object,
+}
+
+/// A single-term weighted relaxation rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TermRule {
+    /// Position being rewritten.
+    pub position: Position,
+    /// The constant the rule applies to.
+    pub from: TermId,
+    /// The replacement constant.
+    pub to: TermId,
+    /// Score penalty `w ∈ (0, 1]` (Def. 7/8).
+    pub weight: f64,
+    /// If set, the rule only applies to patterns whose predicate constant
+    /// equals this term (irrelevant for [`Position::Predicate`] rules).
+    pub predicate_context: Option<TermId>,
+}
+
+impl TermRule {
+    /// Creates a rule without predicate context.
+    pub fn new(position: Position, from: TermId, to: TermId, weight: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&weight),
+            "relaxation weight must be in [0,1], got {weight}"
+        );
+        TermRule {
+            position,
+            from,
+            to,
+            weight,
+            predicate_context: None,
+        }
+    }
+
+    /// Creates a rule that only fires when the pattern's predicate is
+    /// `predicate`.
+    pub fn with_context(
+        position: Position,
+        from: TermId,
+        to: TermId,
+        weight: f64,
+        predicate: TermId,
+    ) -> Self {
+        let mut r = Self::new(position, from, to, weight);
+        r.predicate_context = Some(predicate);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let r = TermRule::new(Position::Object, TermId(1), TermId(2), 0.8);
+        assert_eq!(r.position, Position::Object);
+        assert_eq!(r.predicate_context, None);
+        let r = TermRule::with_context(Position::Object, TermId(1), TermId(2), 0.8, TermId(9));
+        assert_eq!(r.predicate_context, Some(TermId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn invalid_weight_panics() {
+        let _ = TermRule::new(Position::Object, TermId(1), TermId(2), 1.5);
+    }
+}

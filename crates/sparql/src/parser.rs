@@ -1,0 +1,383 @@
+//! Parser for the SPARQL subset used by the paper.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query    := SELECT projection WHERE '{' patterns '}'
+//! projection := '*' | var+
+//! patterns := pattern ( '.' pattern )* '.'?
+//! pattern  := term term term
+//! term     := var | '<' name '>' | "'" name "'" | '"' name '"'
+//! var      := '?' name
+//! ```
+//!
+//! Constants are resolved against a [`Dictionary`]. [`parse_query`] uses
+//! lookup-only resolution and reports unknown terms (queries over a fixed
+//! KG); [`parse_query_interning`] interns unseen constants instead, which is
+//! convenient when building a KG and workload together.
+
+use crate::query::{Query, QueryBuilder};
+use crate::term::Term;
+use specqp_common::{Dictionary, Error, Result};
+
+/// Parses `text`, resolving constants with `dict` (lookup only — unknown
+/// constants yield [`Error::UnknownTerm`]).
+pub fn parse_query(text: &str, dict: &Dictionary) -> Result<Query> {
+    let mut resolver = |name: &str| dict.lookup(name);
+    parse_with(text, &mut resolver)
+}
+
+/// Parses `text`, interning unknown constants into `dict`.
+pub fn parse_query_interning(text: &str, dict: &mut Dictionary) -> Result<Query> {
+    let mut resolver = |name: &str| Some(dict.intern(name));
+    parse_with(text, &mut resolver)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Keyword(String), // SELECT / WHERE (uppercased)
+    Var(String),     // ?name
+    Const(String),   // <iri> or 'literal' or "literal"
+    Star,
+    LBrace,
+    RBrace,
+    Dot,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '{' => {
+                chars.next();
+                toks.push(Tok::LBrace);
+            }
+            '}' => {
+                chars.next();
+                toks.push(Tok::RBrace);
+            }
+            '.' => {
+                chars.next();
+                toks.push(Tok::Dot);
+            }
+            '*' => {
+                chars.next();
+                toks.push(Tok::Star);
+            }
+            '?' => {
+                chars.next();
+                let name = take_name(&mut chars);
+                if name.is_empty() {
+                    return Err(Error::Parse(format!("empty variable name at byte {i}")));
+                }
+                toks.push(Tok::Var(name));
+            }
+            '<' => {
+                chars.next();
+                let mut name = String::new();
+                let mut closed = false;
+                for (_, c) in chars.by_ref() {
+                    if c == '>' {
+                        closed = true;
+                        break;
+                    }
+                    name.push(c);
+                }
+                if !closed {
+                    return Err(Error::Parse(format!("unclosed '<' at byte {i}")));
+                }
+                toks.push(Tok::Const(name));
+            }
+            '\'' | '"' => {
+                let quote = c;
+                chars.next();
+                let mut name = String::new();
+                let mut closed = false;
+                for (_, c) in chars.by_ref() {
+                    if c == quote {
+                        closed = true;
+                        break;
+                    }
+                    name.push(c);
+                }
+                if !closed {
+                    return Err(Error::Parse(format!("unclosed quote at byte {i}")));
+                }
+                toks.push(Tok::Const(name));
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '#' || c == ':' => {
+                let word = take_name(&mut chars);
+                let upper = word.to_ascii_uppercase();
+                if upper == "SELECT" || upper == "WHERE" {
+                    toks.push(Tok::Keyword(upper));
+                } else {
+                    // Bare words are accepted as constants (the paper writes
+                    // predicates both quoted and bare).
+                    toks.push(Tok::Const(word));
+                }
+            }
+            other => {
+                return Err(Error::Parse(format!(
+                    "unexpected character {other:?} at byte {i}"
+                )));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn take_name(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) -> String {
+    let mut name = String::new();
+    while let Some(&(_, c)) = chars.peek() {
+        if c.is_alphanumeric() || c == '_' || c == '#' || c == ':' || c == '-' {
+            name.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    name
+}
+
+fn parse_with(text: &str, resolve: &mut dyn FnMut(&str) -> Option<specqp_common::TermId>) -> Result<Query> {
+    let toks = tokenize(text)?;
+    let mut pos = 0usize;
+    let expect = |toks: &[Tok], pos: &mut usize, what: &str, pred: &dyn Fn(&Tok) -> bool| -> Result<Tok> {
+        match toks.get(*pos) {
+            Some(t) if pred(t) => {
+                *pos += 1;
+                Ok(t.clone())
+            }
+            Some(t) => Err(Error::Parse(format!("expected {what}, found {t:?}"))),
+            None => Err(Error::Parse(format!("expected {what}, found end of input"))),
+        }
+    };
+
+    expect(&toks, &mut pos, "SELECT", &|t| {
+        matches!(t, Tok::Keyword(k) if k == "SELECT")
+    })?;
+
+    let mut builder = QueryBuilder::new();
+    let mut projected: Vec<String> = Vec::new();
+    let mut select_star = false;
+    loop {
+        match toks.get(pos) {
+            Some(Tok::Var(name)) => {
+                projected.push(name.clone());
+                pos += 1;
+            }
+            Some(Tok::Star) => {
+                select_star = true;
+                pos += 1;
+            }
+            Some(Tok::Keyword(k)) if k == "WHERE" => break,
+            Some(t) => {
+                return Err(Error::Parse(format!(
+                    "expected projection variable or WHERE, found {t:?}"
+                )))
+            }
+            None => return Err(Error::Parse("expected WHERE, found end of input".into())),
+        }
+    }
+    if !select_star && projected.is_empty() {
+        return Err(Error::Parse("SELECT must name variables or '*'".into()));
+    }
+
+    expect(&toks, &mut pos, "WHERE", &|t| {
+        matches!(t, Tok::Keyword(k) if k == "WHERE")
+    })?;
+    expect(&toks, &mut pos, "'{'", &|t| matches!(t, Tok::LBrace))?;
+
+    // patterns
+    let mut term_at = |builder: &mut QueryBuilder, tok: &Tok| -> Result<Term> {
+        match tok {
+            Tok::Var(name) => Ok(Term::Var(builder.var(name))),
+            Tok::Const(name) => match resolve(name) {
+                Some(id) => Ok(Term::Const(id)),
+                None => Err(Error::UnknownTerm(name.clone())),
+            },
+            other => Err(Error::Parse(format!("expected term, found {other:?}"))),
+        }
+    };
+
+    loop {
+        match toks.get(pos) {
+            Some(Tok::RBrace) => {
+                pos += 1;
+                break;
+            }
+            Some(_) => {
+                let mut triple = [None::<Term>; 3];
+                for slot in triple.iter_mut() {
+                    let tok = toks
+                        .get(pos)
+                        .ok_or_else(|| Error::Parse("truncated triple pattern".into()))?;
+                    *slot = Some(term_at(&mut builder, tok)?);
+                    pos += 1;
+                }
+                builder.pattern(
+                    triple[0].unwrap(),
+                    triple[1].unwrap(),
+                    triple[2].unwrap(),
+                );
+                // Optional dot separator.
+                if matches!(toks.get(pos), Some(Tok::Dot)) {
+                    pos += 1;
+                }
+            }
+            None => return Err(Error::Parse("expected '}', found end of input".into())),
+        }
+    }
+    if pos != toks.len() {
+        return Err(Error::Parse(format!(
+            "trailing tokens after '}}': {:?}",
+            &toks[pos..]
+        )));
+    }
+
+    if !select_star {
+        for name in &projected {
+            let v = builder.var(name); // interns; validity checked in build()
+            builder.project(v);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Var;
+
+    fn dict_with(names: &[&str]) -> Dictionary {
+        let mut d = Dictionary::new();
+        for n in names {
+            d.intern(n);
+        }
+        d
+    }
+
+    #[test]
+    fn parses_paper_intro_query() {
+        let d = dict_with(&["rdf:type", "singer", "lyricist", "guitarist", "pianist"]);
+        let q = parse_query(
+            "SELECT ?s WHERE{
+                ?s 'rdf:type' <singer>.
+                ?s 'rdf:type' <lyricist>.
+                ?s 'rdf:type' <guitarist>.
+                ?s 'rdf:type' <pianist>
+            }",
+            &d,
+        )
+        .unwrap();
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.projection(), &[Var(0)]);
+        assert!(q.is_connected());
+        let ty = d.lookup("rdf:type").unwrap();
+        for p in q.patterns() {
+            assert_eq!(p.p.as_const(), Some(ty));
+            assert!(p.s.is_var());
+        }
+    }
+
+    #[test]
+    fn parses_twitter_style_query() {
+        let d = dict_with(&["hasTag", "#intoyouvideo", "#ariana", "dangerous"]);
+        let q = parse_query(
+            "SELECT ?s WHERE{
+                ?s <hasTag> <#intoyouvideo>.
+                ?s <hasTag> <#ariana>.
+                ?s <hasTag> <dangerous>
+            }",
+            &d,
+        )
+        .unwrap();
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn select_star_projects_all_vars() {
+        let d = dict_with(&["p"]);
+        let q = parse_query("SELECT * WHERE { ?a <p> ?b }", &d).unwrap();
+        assert_eq!(q.projection().len(), 2);
+    }
+
+    #[test]
+    fn multiple_projection_vars() {
+        let d = dict_with(&["p", "c"]);
+        let q = parse_query("SELECT ?a ?b WHERE { ?a <p> ?b . ?b <p> <c> }", &d).unwrap();
+        assert_eq!(q.projection().len(), 2);
+        assert_eq!(q.var_name(q.projection()[0]), "a");
+    }
+
+    #[test]
+    fn unknown_term_reported() {
+        let d = dict_with(&["p"]);
+        let err = parse_query("SELECT ?a WHERE { ?a <p> <nope> }", &d).unwrap_err();
+        assert_eq!(err, Error::UnknownTerm("nope".into()));
+    }
+
+    #[test]
+    fn interning_parser_accepts_new_terms() {
+        let mut d = Dictionary::new();
+        let q = parse_query_interning("SELECT ?a WHERE { ?a <p> <new> }", &mut d).unwrap();
+        assert_eq!(q.len(), 1);
+        assert!(d.lookup("new").is_some());
+    }
+
+    #[test]
+    fn double_quotes_and_bare_words() {
+        let d = dict_with(&["likes", "pizza"]);
+        let q = parse_query("SELECT ?x WHERE { ?x \"likes\" pizza }", &d).unwrap();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn syntax_errors() {
+        let d = dict_with(&["p"]);
+        assert!(matches!(
+            parse_query("SELECT WHERE { ?a <p> ?b }", &d),
+            Err(Error::Parse(_))
+        ));
+        assert!(matches!(
+            parse_query("SELECT ?a WHERE { ?a <p> }", &d),
+            Err(Error::Parse(_))
+        ));
+        assert!(matches!(
+            parse_query("SELECT ?a WHERE { ?a <p ?b }", &d),
+            Err(Error::Parse(_))
+        ));
+        assert!(matches!(
+            parse_query("SELECT ?a WHERE { ?a <p> ?b } junk", &d),
+            Err(Error::Parse(_))
+        ));
+        assert!(matches!(
+            parse_query("", &d),
+            Err(Error::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn projected_var_must_occur() {
+        let d = dict_with(&["p"]);
+        assert!(parse_query("SELECT ?ghost WHERE { ?a <p> ?b }", &d).is_err());
+    }
+
+    #[test]
+    fn display_then_reparse_is_stable() {
+        let mut d = Dictionary::new();
+        let q = parse_query_interning(
+            "SELECT ?s WHERE { ?s <rdf:type> <singer> . ?s <plays> <guitar> }",
+            &mut d,
+        )
+        .unwrap();
+        let text = q.display(&d).to_string();
+        let q2 = parse_query(&text, &d).unwrap();
+        assert_eq!(q.patterns(), q2.patterns());
+        assert_eq!(q.projection(), q2.projection());
+    }
+}

@@ -1,0 +1,428 @@
+//! Join-cardinality estimation.
+//!
+//! The estimator of §3.1.2 needs the expected number of answers `n` of a
+//! query (and of each singly-relaxed query): `m₁₂ = m·m′·φ₁₂` with join
+//! selectivity `φ`. The paper sidesteps selectivity estimation: "we have
+//! taken exact join selectivity values" (footnote 3). [`ExactCardinality`]
+//! is that oracle — it evaluates the (unscored) join and caches the count.
+//! [`IndependenceEstimator`] is the classic System-R–style approximation
+//! (`φ = 1/max(V(L,v), V(R,v))` per shared variable) provided for the
+//! ablation benches.
+
+use kgstore::{KnowledgeGraph, PatternKey};
+use sparql::{Term, TriplePattern, Var};
+use specqp_common::{FxHashMap, FxHashSet, TermId};
+use std::cell::RefCell;
+
+/// Estimates the number of answers of a conjunctive triple-pattern query.
+pub trait CardinalityEstimator {
+    /// Expected (or exact) answer count of the join of `patterns`.
+    fn cardinality(&self, graph: &KnowledgeGraph, patterns: &[TriplePattern]) -> f64;
+}
+
+/// One pattern's slot in a [`QueryKey`]: constant components plus the
+/// canonical numbers of its variable positions (255 = constant).
+type PatternKeySlot = (Option<TermId>, Option<TermId>, Option<TermId>, [u8; 3]);
+/// Canonical identity of a pattern sequence for the cardinality cache.
+type QueryKey = Vec<PatternKeySlot>;
+
+/// Canonical cache key: constants plus variables renumbered in first-seen
+/// order, so queries differing only in variable names share entries.
+fn canonical_key(patterns: &[TriplePattern]) -> QueryKey {
+    let mut var_map: FxHashMap<Var, u8> = FxHashMap::default();
+    let mut key = Vec::with_capacity(patterns.len());
+    for p in patterns {
+        let mut slot = [u8::MAX; 3];
+        for (i, t) in [p.s, p.p, p.o].into_iter().enumerate() {
+            if let Term::Var(v) = t {
+                let next = var_map.len() as u8;
+                slot[i] = *var_map.entry(v).or_insert(next);
+            }
+        }
+        let (s, pp, o) = p.const_parts();
+        key.push((s, pp, o, slot));
+    }
+    key
+}
+
+/// A compact binding used only for counting: values of the variables seen so
+/// far, in first-seen order.
+type CountBinding = Box<[TermId]>;
+
+/// Exact join-count oracle with memoization.
+///
+/// Evaluation folds the patterns left to right with hash joins over the
+/// store's match lists, tracking bindings without scores. Intermediate
+/// results are capped at [`ExactCardinality::DEFAULT_CAP`] rows to bound
+/// planning-time memory; hitting the cap returns the count seen so far
+/// (a documented lower bound — irrelevant for the scaled datasets in this
+/// repository, which stay far below it).
+#[derive(Debug)]
+pub struct ExactCardinality {
+    cache: RefCell<FxHashMap<QueryKey, f64>>,
+    cap: usize,
+}
+
+impl Default for ExactCardinality {
+    fn default() -> Self {
+        ExactCardinality {
+            cache: RefCell::new(FxHashMap::default()),
+            cap: Self::DEFAULT_CAP,
+        }
+    }
+}
+
+impl ExactCardinality {
+    /// Default intermediate-result cap.
+    pub const DEFAULT_CAP: usize = 20_000_000;
+
+    /// New oracle with the default cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New oracle with an explicit intermediate-result cap.
+    pub fn with_cap(cap: usize) -> Self {
+        ExactCardinality {
+            cache: RefCell::new(FxHashMap::default()),
+            cap,
+        }
+    }
+
+    /// Number of memoized query shapes.
+    pub fn cached_queries(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Evaluates the join count (uncached path).
+    fn evaluate(&self, graph: &KnowledgeGraph, patterns: &[TriplePattern]) -> f64 {
+        if patterns.is_empty() {
+            return 0.0;
+        }
+        // Variable numbering in first-seen order defines binding layout.
+        let mut var_index: FxHashMap<Var, usize> = FxHashMap::default();
+        for p in patterns {
+            for v in p.vars() {
+                let next = var_index.len();
+                var_index.entry(v).or_insert(next);
+            }
+        }
+
+        // Seed with the first pattern's bindings.
+        let mut acc: Vec<CountBinding> = Vec::new();
+        let mut bound: Vec<bool> = vec![false; var_index.len()];
+        {
+            let p = &patterns[0];
+            let (s, pp, o) = p.const_parts();
+            let list = graph.matches(PatternKey { s, p: pp, o });
+            for (t, _) in list.iter_triples() {
+                if let Some(b) = bind_triple(p, t, &var_index) {
+                    acc.push(b);
+                    if acc.len() >= self.cap {
+                        break;
+                    }
+                }
+            }
+            for v in p.vars() {
+                bound[var_index[&v]] = true;
+            }
+        }
+
+        for p in &patterns[1..] {
+            if acc.is_empty() {
+                return 0.0;
+            }
+            // Shared variables = vars of p already bound.
+            let shared: Vec<usize> = p
+                .vars()
+                .filter(|v| bound[var_index[v]])
+                .map(|v| var_index[&v])
+                .collect();
+            // Hash the accumulated side on the shared variables.
+            let mut table: FxHashMap<Box<[TermId]>, Vec<usize>> = FxHashMap::default();
+            for (row, b) in acc.iter().enumerate() {
+                let key: Box<[TermId]> = shared.iter().map(|&i| b[i]).collect();
+                table.entry(key).or_default().push(row);
+            }
+            let (s, pp, o) = p.const_parts();
+            let list = graph.matches(PatternKey { s, p: pp, o });
+            let mut next_acc: Vec<CountBinding> = Vec::new();
+            'outer: for (t, _) in list.iter_triples() {
+                // Bindings contributed by this pattern alone.
+                let Some(local) = bind_triple(p, t, &var_index) else {
+                    continue;
+                };
+                let key: Box<[TermId]> = p
+                    .vars()
+                    .filter(|v| bound[var_index[v]])
+                    .map(|v| local[var_index[&v]])
+                    .collect();
+                if let Some(rows) = table.get(&key) {
+                    for &row in rows {
+                        let mut merged = acc[row].clone();
+                        for v in p.vars() {
+                            let i = var_index[&v];
+                            merged[i] = local[i];
+                        }
+                        next_acc.push(merged);
+                        if next_acc.len() >= self.cap {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            for v in p.vars() {
+                bound[var_index[&v]] = true;
+            }
+            acc = next_acc;
+        }
+        acc.len() as f64
+    }
+}
+
+/// Builds the full-width binding for one triple against one pattern, or
+/// `None` if a repeated variable is violated. Slots for unbound variables
+/// hold `TermId::MAX`.
+fn bind_triple(
+    p: &TriplePattern,
+    t: &kgstore::Triple,
+    var_index: &FxHashMap<Var, usize>,
+) -> Option<CountBinding> {
+    let width = var_index.len();
+    let mut b: Vec<TermId> = vec![TermId::MAX; width];
+    let set = |term: Term, value: TermId, b: &mut Vec<TermId>| -> bool {
+        if let Term::Var(v) = term {
+            let i = var_index[&v];
+            if b[i] != TermId::MAX && b[i] != value {
+                return false;
+            }
+            b[i] = value;
+        }
+        true
+    };
+    if !set(p.s, t.s, &mut b) {
+        return None;
+    }
+    if !set(p.p, t.p, &mut b) {
+        return None;
+    }
+    if !set(p.o, t.o, &mut b) {
+        return None;
+    }
+    Some(b.into_boxed_slice())
+}
+
+impl CardinalityEstimator for ExactCardinality {
+    fn cardinality(&self, graph: &KnowledgeGraph, patterns: &[TriplePattern]) -> f64 {
+        let key = canonical_key(patterns);
+        if let Some(&n) = self.cache.borrow().get(&key) {
+            return n;
+        }
+        let n = self.evaluate(graph, patterns);
+        self.cache.borrow_mut().insert(key, n);
+        n
+    }
+}
+
+/// Independence-assumption estimator: `n = Π mᵢ · Π φ`, with one selectivity
+/// factor `φ = 1/max(V(prefix,v), V(qᵢ,v))` per newly shared variable
+/// (`V(·,v)` = distinct values of `v`). Used by ablation benches.
+#[derive(Default, Debug)]
+pub struct IndependenceEstimator {
+    distinct_cache: RefCell<FxHashMap<(sparql::StatsKey, u8), f64>>,
+}
+
+impl IndependenceEstimator {
+    /// Creates the estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct count of the values that `var` takes among `pattern`'s
+    /// matches.
+    fn distinct_values(
+        &self,
+        graph: &KnowledgeGraph,
+        pattern: &TriplePattern,
+        var: Var,
+    ) -> f64 {
+        // Which position(s) does var occupy? 0=s,1=p,2=o (first occurrence).
+        let pos: u8 = if pattern.s.as_var() == Some(var) {
+            0
+        } else if pattern.p.as_var() == Some(var) {
+            1
+        } else {
+            2
+        };
+        let key = (pattern.stats_key(), pos);
+        if let Some(&d) = self.distinct_cache.borrow().get(&key) {
+            return d;
+        }
+        let (s, p, o) = pattern.const_parts();
+        let list = graph.matches(PatternKey { s, p, o });
+        let mut seen: FxHashSet<TermId> = FxHashSet::default();
+        for (t, _) in list.iter_triples() {
+            let v = match pos {
+                0 => t.s,
+                1 => t.p,
+                _ => t.o,
+            };
+            seen.insert(v);
+        }
+        let d = seen.len() as f64;
+        self.distinct_cache.borrow_mut().insert(key, d);
+        d
+    }
+}
+
+impl CardinalityEstimator for IndependenceEstimator {
+    fn cardinality(&self, graph: &KnowledgeGraph, patterns: &[TriplePattern]) -> f64 {
+        if patterns.is_empty() {
+            return 0.0;
+        }
+        let m = |p: &TriplePattern| {
+            let (s, pp, o) = p.const_parts();
+            graph.cardinality(PatternKey { s, p: pp, o }) as f64
+        };
+        let mut n = m(&patterns[0]);
+        let mut seen_vars: Vec<(Var, f64)> = patterns[0]
+            .vars()
+            .map(|v| (v, self.distinct_values(graph, &patterns[0], v)))
+            .collect();
+        for p in &patterns[1..] {
+            n *= m(p);
+            for v in p.vars() {
+                if let Some(&(_, d_prev)) = seen_vars.iter().find(|(sv, _)| *sv == v) {
+                    let d_here = self.distinct_values(graph, p, v);
+                    let denom = d_prev.max(d_here).max(1.0);
+                    n /= denom;
+                } else {
+                    seen_vars.push((v, self.distinct_values(graph, p, v)));
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgstore::KnowledgeGraphBuilder;
+
+    fn graph() -> KnowledgeGraph {
+        let mut b = KnowledgeGraphBuilder::new();
+        // Entities e0..e9 are singers; e0..e4 are lyricists; e0..e1 guitarists.
+        for i in 0..10 {
+            b.add(&format!("e{i}"), "type", "singer", 10.0 - i as f64);
+        }
+        for i in 0..5 {
+            b.add(&format!("e{i}"), "type", "lyricist", 5.0 - i as f64);
+        }
+        for i in 0..2 {
+            b.add(&format!("e{i}"), "type", "guitarist", 2.0 - i as f64);
+        }
+        b.build()
+    }
+
+    fn pat(g: &KnowledgeGraph, class: &str, var: u32) -> TriplePattern {
+        let d = g.dictionary();
+        TriplePattern::new(
+            Var(var),
+            d.lookup("type").unwrap(),
+            d.lookup(class).unwrap(),
+        )
+    }
+
+    #[test]
+    fn exact_single_pattern_is_match_count() {
+        let g = graph();
+        let e = ExactCardinality::new();
+        assert_eq!(e.cardinality(&g, &[pat(&g, "singer", 0)]), 10.0);
+        assert_eq!(e.cardinality(&g, &[pat(&g, "guitarist", 0)]), 2.0);
+    }
+
+    #[test]
+    fn exact_star_join_counts_intersection() {
+        let g = graph();
+        let e = ExactCardinality::new();
+        let q = [pat(&g, "singer", 0), pat(&g, "lyricist", 0)];
+        assert_eq!(e.cardinality(&g, &q), 5.0);
+        let q3 = [
+            pat(&g, "singer", 0),
+            pat(&g, "lyricist", 0),
+            pat(&g, "guitarist", 0),
+        ];
+        assert_eq!(e.cardinality(&g, &q3), 2.0);
+    }
+
+    #[test]
+    fn exact_disjoint_vars_cross_product() {
+        let g = graph();
+        let e = ExactCardinality::new();
+        let q = [pat(&g, "singer", 0), pat(&g, "lyricist", 1)];
+        assert_eq!(e.cardinality(&g, &q), 50.0);
+    }
+
+    #[test]
+    fn exact_caches_by_shape() {
+        let g = graph();
+        let e = ExactCardinality::new();
+        let _ = e.cardinality(&g, &[pat(&g, "singer", 0), pat(&g, "lyricist", 0)]);
+        assert_eq!(e.cached_queries(), 1);
+        // Renamed variables hit the same entry.
+        let _ = e.cardinality(&g, &[pat(&g, "singer", 3), pat(&g, "lyricist", 3)]);
+        assert_eq!(e.cached_queries(), 1);
+        // Different join structure gets its own entry.
+        let _ = e.cardinality(&g, &[pat(&g, "singer", 0), pat(&g, "lyricist", 1)]);
+        assert_eq!(e.cached_queries(), 2);
+    }
+
+    #[test]
+    fn exact_empty_pattern_gives_zero() {
+        let g = graph();
+        let d = g.dictionary();
+        let e = ExactCardinality::new();
+        let ghost = TriplePattern::new(
+            Var(0),
+            d.lookup("type").unwrap(),
+            d.lookup("e0").unwrap(),
+        );
+        assert_eq!(e.cardinality(&g, &[pat(&g, "singer", 0), ghost]), 0.0);
+        assert_eq!(e.cardinality(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn independence_estimator_reasonable() {
+        let g = graph();
+        let est = IndependenceEstimator::new();
+        // singer ⋈ lyricist on ?0: m=10·5, distinct(?0)=10 vs 5 → /10 = 5.
+        let q = [pat(&g, "singer", 0), pat(&g, "lyricist", 0)];
+        let n = est.cardinality(&g, &q);
+        assert!((n - 5.0).abs() < 1e-9);
+        // Cross product: no shared vars.
+        let q = [pat(&g, "singer", 0), pat(&g, "lyricist", 1)];
+        assert!((est.cardinality(&g, &q) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_bounds_intermediate_blowup() {
+        let g = graph();
+        let e = ExactCardinality::with_cap(10);
+        let q = [pat(&g, "singer", 0), pat(&g, "lyricist", 1)];
+        let n = e.cardinality(&g, &q);
+        assert!(n <= 10.0);
+    }
+
+    #[test]
+    fn repeated_var_pattern_filters() {
+        let mut b = KnowledgeGraphBuilder::new();
+        b.add("a", "knows", "a", 1.0);
+        b.add("a", "knows", "b", 2.0);
+        let g = b.build();
+        let knows = g.dictionary().lookup("knows").unwrap();
+        let e = ExactCardinality::new();
+        let p = TriplePattern::new(Var(0), knows, Var(0));
+        assert_eq!(e.cardinality(&g, &[p]), 1.0);
+    }
+}

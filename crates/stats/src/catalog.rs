@@ -1,0 +1,180 @@
+//! The statistics catalog: cached per-pattern [`PatternStats`].
+//!
+//! The paper precomputes its four per-pattern values offline ("precomputed
+//! statistics about the distribution of scores", §1). The catalog plays that
+//! role: [`StatsCatalog::precompute`] builds entries ahead of time, and any
+//! pattern not yet covered is computed on first use and cached. Entries are
+//! keyed by [`StatsKey`], which erases variable names, so `?x type singer`
+//! and `?y type singer` share one entry.
+
+use crate::histogram::PatternStats;
+use kgstore::{KnowledgeGraph, PatternKey};
+use sparql::{StatsKey, TriplePattern};
+use specqp_common::FxHashMap;
+use std::cell::RefCell;
+
+/// Cached map from pattern identity to statistics (`None` = pattern has no
+/// matches).
+#[derive(Default, Debug)]
+pub struct StatsCatalog {
+    cache: RefCell<FxHashMap<StatsKey, Option<PatternStats>>>,
+}
+
+impl StatsCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// `true` if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.borrow().is_empty()
+    }
+
+    /// Statistics for `pattern` over `graph` (computed and cached on first
+    /// use). `None` when the pattern matches nothing.
+    pub fn stats(&self, graph: &KnowledgeGraph, pattern: &TriplePattern) -> Option<PatternStats> {
+        let key = pattern.stats_key();
+        if let Some(cached) = self.cache.borrow().get(&key) {
+            return *cached;
+        }
+        let computed = Self::compute(graph, pattern);
+        self.cache.borrow_mut().insert(key, computed);
+        computed
+    }
+
+    /// Precomputes statistics for every pattern in `patterns` (the paper's
+    /// offline statistics-building pass).
+    pub fn precompute<'p>(
+        &self,
+        graph: &KnowledgeGraph,
+        patterns: impl IntoIterator<Item = &'p TriplePattern>,
+    ) {
+        for p in patterns {
+            let _ = self.stats(graph, p);
+        }
+    }
+
+    fn compute(graph: &KnowledgeGraph, pattern: &TriplePattern) -> Option<PatternStats> {
+        let (s, p, o) = pattern.const_parts();
+        let list = graph.matches(PatternKey { s, p, o });
+        // Patterns with repeated variables filter their match list; the
+        // statistics must reflect the filtered scores.
+        match pattern.shape() {
+            sparql::PatternShape::Distinct => PatternStats::from_match_list(&list),
+            shape => {
+                let mut scores: Vec<f64> = Vec::new();
+                for (t, score) in list.iter_triples() {
+                    let keep = match shape {
+                        sparql::PatternShape::SpEqual => t.s == t.p,
+                        sparql::PatternShape::SoEqual => t.s == t.o,
+                        sparql::PatternShape::PoEqual => t.p == t.o,
+                        sparql::PatternShape::AllEqual => t.s == t.p && t.p == t.o,
+                        sparql::PatternShape::Distinct => true,
+                    };
+                    if keep {
+                        scores.push(score.value());
+                    }
+                }
+                if scores.is_empty() {
+                    return None;
+                }
+                let local_max = scores[0];
+                if local_max > 0.0 {
+                    for s in &mut scores {
+                        *s /= local_max;
+                    }
+                }
+                PatternStats::from_sorted_scores(&scores)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgstore::KnowledgeGraphBuilder;
+    use sparql::Var;
+
+    fn graph() -> KnowledgeGraph {
+        let mut b = KnowledgeGraphBuilder::new();
+        for i in 0..20 {
+            b.add(
+                &format!("e{i}"),
+                "type",
+                "singer",
+                100.0 / (i as f64 + 1.0), // power-law-ish
+            );
+        }
+        b.add("x", "self", "x", 5.0);
+        b.add("y", "self", "z", 50.0);
+        b.build()
+    }
+
+    #[test]
+    fn stats_cached_across_var_renames() {
+        let g = graph();
+        let d = g.dictionary();
+        let ty = d.lookup("type").unwrap();
+        let singer = d.lookup("singer").unwrap();
+        let c = StatsCatalog::new();
+        let a = c.stats(&g, &TriplePattern::new(Var(0), ty, singer)).unwrap();
+        assert_eq!(c.len(), 1);
+        let b = c.stats(&g, &TriplePattern::new(Var(7), ty, singer)).unwrap();
+        assert_eq!(c.len(), 1, "renamed variable must hit the cache");
+        assert_eq!(a, b);
+        assert_eq!(a.m, 20);
+    }
+
+    #[test]
+    fn missing_pattern_is_cached_none() {
+        let g = graph();
+        let d = g.dictionary();
+        let ty = d.lookup("type").unwrap();
+        let ghost = d.lookup("x").unwrap(); // exists but not as a class
+        let c = StatsCatalog::new();
+        assert!(c.stats(&g, &TriplePattern::new(Var(0), ty, ghost)).is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn repeated_var_stats_filter() {
+        let g = graph();
+        let d = g.dictionary();
+        let sf = d.lookup("self").unwrap();
+        let c = StatsCatalog::new();
+        // ?x self ?x matches only <x self x> even though <y self z> scores
+        // higher.
+        let st = c
+            .stats(&g, &TriplePattern::new(Var(0), sf, Var(0)))
+            .unwrap();
+        assert_eq!(st.m, 1);
+        // Distinct-var version sees both.
+        let st2 = c
+            .stats(&g, &TriplePattern::new(Var(0), sf, Var(1)))
+            .unwrap();
+        assert_eq!(st2.m, 2);
+    }
+
+    #[test]
+    fn precompute_fills_cache() {
+        let g = graph();
+        let d = g.dictionary();
+        let ty = d.lookup("type").unwrap();
+        let singer = d.lookup("singer").unwrap();
+        let sf = d.lookup("self").unwrap();
+        let pats = [
+            TriplePattern::new(Var(0), ty, singer),
+            TriplePattern::new(Var(0), sf, Var(1)),
+        ];
+        let c = StatsCatalog::new();
+        c.precompute(&g, pats.iter());
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,307 @@
+//! The expected-score estimator (§3.1.2–§3.1.3): convolution of per-pattern
+//! histograms, refit, and order-statistic score prediction.
+
+use crate::cardinality::CardinalityEstimator;
+use crate::catalog::StatsCatalog;
+use crate::histogram::{TwoBucketHistogram, HEAD_FRACTION};
+use crate::order_stats::expected_score_at_rank;
+use crate::piecewise::{Distribution, PiecewiseConstantPdf, PiecewiseLinearPdf};
+use kgstore::KnowledgeGraph;
+use sparql::TriplePattern;
+
+/// How the multi-piecewise-linear convolution result is compressed before
+/// the next convolution step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RefitMode {
+    /// Refit to the paper's two-bucket histogram after every convolution
+    /// (§3.1.2: "This again results in a two-bucket histogram") — the
+    /// default, cheapest mode.
+    #[default]
+    TwoBucket,
+    /// Keep an `n`-bucket histogram instead — the "multi-bucket histograms"
+    /// the paper names as the higher-accuracy, higher-planning-cost
+    /// alternative (§4.5.2). Used by the `estimator` ablation bench.
+    MultiBucket(usize),
+}
+
+/// The estimated score distribution of a query's answers together with the
+/// estimated answer count.
+#[derive(Clone, Debug)]
+pub struct QueryEstimate {
+    /// The final (possibly refit) score density; `None` when some pattern
+    /// has no matches at all, i.e. the query provably has zero answers.
+    pub dist: Option<PiecewiseConstantPdf>,
+    /// Estimated number of answers `n` (0 when `dist` is `None`).
+    pub n: f64,
+}
+
+impl QueryEstimate {
+    /// Expected score at `rank` (1-based from the top): `E[X₍ₙ₋ᵣₐₙₖ₊₁₎] ≈
+    /// F⁻¹((n−rank+1)/(n+1))`. `None` when fewer than `rank` answers are
+    /// expected.
+    pub fn expected_score_at_rank(&self, rank: usize) -> Option<f64> {
+        let dist = self.dist.as_ref()?;
+        expected_score_at_rank(dist, self.n, rank)
+    }
+
+    /// Expected best (rank-1) score.
+    pub fn expected_top_score(&self) -> Option<f64> {
+        self.expected_score_at_rank(1)
+    }
+}
+
+/// Refits a convolution result to the two-bucket shape: the boundary σ is
+/// the score below which [`1 − HEAD_FRACTION`] of the *score mass* lies, and
+/// the head bucket gets [`HEAD_FRACTION`] of the probability mass — exactly
+/// the structure [`PatternStats::histogram`](crate::PatternStats::histogram)
+/// builds from raw data.
+pub fn refit_two_bucket(pl: &PiecewiseLinearPdf) -> TwoBucketHistogram {
+    let domain = pl.domain_max();
+    let total_score = pl.score_mass();
+    if total_score <= 0.0 || !total_score.is_finite() {
+        return TwoBucketHistogram::new(domain.max(1e-9), domain / 2.0, 0.5);
+    }
+    let target_tail = (1.0 - HEAD_FRACTION) * total_score;
+    // partial_score_mass(0, x) is continuous and increasing — bisect.
+    let (mut lo, mut hi) = (0.0_f64, domain);
+    for _ in 0..64 {
+        let mid = (lo + hi) / 2.0;
+        if pl.partial_score_mass(0.0, mid) < target_tail {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let sigma = (lo + hi) / 2.0;
+    TwoBucketHistogram::new(domain, sigma, HEAD_FRACTION)
+}
+
+/// The expected-score estimator: combines the [`StatsCatalog`] (per-pattern
+/// histograms) with a [`CardinalityEstimator`] (answer counts) to produce
+/// [`QueryEstimate`]s for arbitrary weighted pattern sets.
+pub struct ScoreEstimator<'a, C: CardinalityEstimator + ?Sized> {
+    catalog: &'a StatsCatalog,
+    cardinality: &'a C,
+    mode: RefitMode,
+}
+
+impl<'a, C: CardinalityEstimator + ?Sized> ScoreEstimator<'a, C> {
+    /// Creates an estimator with the paper-default two-bucket refit.
+    pub fn new(catalog: &'a StatsCatalog, cardinality: &'a C) -> Self {
+        ScoreEstimator {
+            catalog,
+            cardinality,
+            mode: RefitMode::TwoBucket,
+        }
+    }
+
+    /// Creates an estimator with an explicit refit mode.
+    pub fn with_mode(catalog: &'a StatsCatalog, cardinality: &'a C, mode: RefitMode) -> Self {
+        ScoreEstimator {
+            catalog,
+            cardinality,
+            mode,
+        }
+    }
+
+    /// The refit mode in use.
+    pub fn mode(&self) -> RefitMode {
+        self.mode
+    }
+
+    /// Estimates the score distribution and answer count of the query whose
+    /// patterns (with per-pattern relaxation weights; 1.0 = not relaxed) are
+    /// `weighted` (§3.1.2).
+    ///
+    /// The per-pattern pdfs come from the catalog; a pattern's pdf is scaled
+    /// by its weight (`X′ = w·X`, Def. 8); pdfs are folded left-to-right by
+    /// convolution with refit after each step; `n` comes from the
+    /// cardinality estimator over the *un-weighted* pattern list.
+    pub fn estimate(
+        &self,
+        graph: &KnowledgeGraph,
+        weighted: &[(TriplePattern, f64)],
+    ) -> QueryEstimate {
+        if weighted.is_empty() {
+            return QueryEstimate { dist: None, n: 0.0 };
+        }
+        let mut folded: Option<PiecewiseConstantPdf> = None;
+        for (pattern, weight) in weighted {
+            let Some(stats) = self.catalog.stats(graph, pattern) else {
+                return QueryEstimate { dist: None, n: 0.0 };
+            };
+            debug_assert!(*weight > 0.0 && *weight <= 1.0, "weight {weight}");
+            let hist = stats.histogram().scale(*weight).to_piecewise_constant();
+            folded = Some(match folded {
+                None => hist,
+                Some(acc) => {
+                    let pl = acc.convolve(&hist);
+                    match self.mode {
+                        RefitMode::TwoBucket => refit_two_bucket(&pl).to_piecewise_constant(),
+                        RefitMode::MultiBucket(n) => pl.to_piecewise_constant(n),
+                    }
+                }
+            });
+        }
+        let patterns: Vec<TriplePattern> = weighted.iter().map(|(p, _)| *p).collect();
+        let n = self.cardinality.cardinality(graph, &patterns);
+        if n <= 0.0 {
+            return QueryEstimate { dist: None, n: 0.0 };
+        }
+        QueryEstimate { dist: folded, n }
+    }
+
+    /// Convenience: estimate for unweighted (original) patterns.
+    pub fn estimate_original(
+        &self,
+        graph: &KnowledgeGraph,
+        patterns: &[TriplePattern],
+    ) -> QueryEstimate {
+        let weighted: Vec<(TriplePattern, f64)> = patterns.iter().map(|p| (*p, 1.0)).collect();
+        self.estimate(graph, &weighted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::ExactCardinality;
+    use kgstore::{KnowledgeGraph, KnowledgeGraphBuilder};
+    use sparql::Var;
+
+    /// A graph where 100 entities are `big` with power-law scores and a
+    /// subset is `small`.
+    fn graph() -> KnowledgeGraph {
+        let mut b = KnowledgeGraphBuilder::new();
+        for i in 0..100 {
+            let score = 1000.0 / (i as f64 + 1.0);
+            b.add(&format!("e{i}"), "type", "big", score);
+            if i % 2 == 0 {
+                b.add(&format!("e{i}"), "type", "even", score * 0.7);
+            }
+        }
+        b.build()
+    }
+
+    fn pat(g: &KnowledgeGraph, class: &str) -> TriplePattern {
+        let d = g.dictionary();
+        TriplePattern::new(Var(0), d.lookup("type").unwrap(), d.lookup(class).unwrap())
+    }
+
+    #[test]
+    fn single_pattern_estimate() {
+        let g = graph();
+        let catalog = StatsCatalog::new();
+        let card = ExactCardinality::new();
+        let est = ScoreEstimator::new(&catalog, &card);
+        let e = est.estimate_original(&g, &[pat(&g, "big")]);
+        assert_eq!(e.n, 100.0);
+        let top = e.expected_top_score().unwrap();
+        assert!(top > 0.8 && top <= 1.0, "top={top}");
+        // Deep ranks land in the tail.
+        let deep = e.expected_score_at_rank(90).unwrap();
+        assert!(deep < 0.2, "deep={deep}");
+    }
+
+    #[test]
+    fn two_pattern_estimate_domain_and_rank() {
+        let g = graph();
+        let catalog = StatsCatalog::new();
+        let card = ExactCardinality::new();
+        let est = ScoreEstimator::new(&catalog, &card);
+        let e = est.estimate_original(&g, &[pat(&g, "big"), pat(&g, "even")]);
+        assert_eq!(e.n, 50.0);
+        let top = e.expected_top_score().unwrap();
+        assert!(top > 1.0 && top <= 2.0, "top={top}");
+        assert!(e.expected_score_at_rank(51).is_none());
+    }
+
+    #[test]
+    fn weighting_caps_the_top_score() {
+        let g = graph();
+        let catalog = StatsCatalog::new();
+        let card = ExactCardinality::new();
+        let est = ScoreEstimator::new(&catalog, &card);
+        let w = 0.6;
+        let e = est.estimate(&g, &[(pat(&g, "big"), w)]);
+        let top = e.expected_top_score().unwrap();
+        assert!(top <= w + 1e-9, "top={top} must be ≤ weight {w}");
+        assert!(top > w * 0.8);
+    }
+
+    #[test]
+    fn empty_pattern_yields_no_distribution() {
+        let g = graph();
+        let d = g.dictionary();
+        let catalog = StatsCatalog::new();
+        let card = ExactCardinality::new();
+        let est = ScoreEstimator::new(&catalog, &card);
+        let ghost = TriplePattern::new(
+            Var(0),
+            d.lookup("type").unwrap(),
+            d.lookup("e0").unwrap(),
+        );
+        let e = est.estimate_original(&g, &[pat(&g, "big"), ghost]);
+        assert!(e.dist.is_none());
+        assert_eq!(e.n, 0.0);
+        assert!(e.expected_top_score().is_none());
+    }
+
+    #[test]
+    fn refit_two_bucket_preserves_shape() {
+        let u = PiecewiseConstantPdf::new(vec![0.0, 1.0], vec![1.0]);
+        let tri = u.convolve(&u);
+        let h = refit_two_bucket(&tri);
+        assert!((h.domain_max() - 2.0).abs() < 1e-9);
+        // σ should sit where 20% of the score mass is below: for the
+        // triangle, total score mass = 1 (mean), tail target = 0.2.
+        let sigma = h.sigma();
+        assert!((tri.partial_score_mass(0.0, sigma) - 0.2).abs() < 1e-6);
+        // Refit keeps the mean in the right neighbourhood.
+        assert!((h.mean() - 1.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn multibucket_mode_is_closer_to_exact_than_twobucket() {
+        let g = graph();
+        let catalog = StatsCatalog::new();
+        let card = ExactCardinality::new();
+        let q = [pat(&g, "big"), pat(&g, "even")];
+
+        // Ground truth: exact expected top score via a fine-grained fold
+        // without lossy refit (512-bucket projection ≈ exact).
+        let exact = ScoreEstimator::with_mode(&catalog, &card, RefitMode::MultiBucket(512));
+        let e_exact = exact.estimate_original(&g, &q);
+        let t_exact = e_exact.expected_top_score().unwrap();
+
+        let two = ScoreEstimator::new(&catalog, &card);
+        let t_two = two.estimate_original(&g, &q).expected_top_score().unwrap();
+        let multi = ScoreEstimator::with_mode(&catalog, &card, RefitMode::MultiBucket(64));
+        let t_multi = multi
+            .estimate_original(&g, &q)
+            .expected_top_score()
+            .unwrap();
+
+        assert!(
+            (t_multi - t_exact).abs() <= (t_two - t_exact).abs() + 1e-9,
+            "multi {t_multi} should be at least as close to {t_exact} as two-bucket {t_two}"
+        );
+    }
+
+    #[test]
+    fn three_pattern_fold_stays_bounded() {
+        let g = graph();
+        let catalog = StatsCatalog::new();
+        let card = ExactCardinality::new();
+        let est = ScoreEstimator::new(&catalog, &card);
+        let q = [pat(&g, "big"), pat(&g, "even"), pat(&g, "big")];
+        let e = est.estimate_original(&g, &q);
+        if let Some(top) = e.expected_top_score() {
+            assert!(top <= 3.0 + 1e-9);
+            assert!(top > 0.0);
+        }
+        let d = e.dist.unwrap();
+        assert!((d.domain_max() - 3.0).abs() < 1e-6);
+        assert!((d.mass() - 1.0).abs() < 1e-6);
+    }
+}

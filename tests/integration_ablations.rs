@@ -1,0 +1,104 @@
+//! Configuration-ablation tests: the engine must stay *correct* under every
+//! configuration — strategies and estimators may change plans and costs,
+//! never answer validity.
+
+use datagen::{XkgConfig, XkgGenerator};
+use operators::PullStrategy;
+use specqp::{Engine, EngineConfig};
+use specqp_stats::{IndependenceEstimator, RefitMode};
+
+#[test]
+fn pull_strategies_agree_on_results() {
+    let ds = XkgGenerator::new(XkgConfig::small(61)).generate();
+    let alt = Engine::with_config(
+        &ds.graph,
+        &ds.registry,
+        EngineConfig {
+            refit: RefitMode::TwoBucket,
+            pull: PullStrategy::Alternate,
+        },
+    );
+    let ada = Engine::with_config(
+        &ds.graph,
+        &ds.registry,
+        EngineConfig {
+            refit: RefitMode::TwoBucket,
+            pull: PullStrategy::Adaptive,
+        },
+    );
+    for q in ds.workload.queries.iter().take(4) {
+        let a = alt.run_trinit(q, 10);
+        let b = ada.run_trinit(q, 10);
+        assert_eq!(a.answers.len(), b.answers.len());
+        for (x, y) in a.answers.iter().zip(&b.answers) {
+            // Same scores at every rank (bindings may tie-split).
+            assert!(x.score.approx_eq(y.score, 1e-9));
+        }
+    }
+}
+
+#[test]
+fn refit_modes_give_valid_plans() {
+    let ds = XkgGenerator::new(XkgConfig::small(62)).generate();
+    for refit in [
+        RefitMode::TwoBucket,
+        RefitMode::MultiBucket(16),
+        RefitMode::MultiBucket(128),
+    ] {
+        let engine = Engine::with_config(
+            &ds.graph,
+            &ds.registry,
+            EngineConfig {
+                refit,
+                pull: PullStrategy::Adaptive,
+            },
+        );
+        for q in ds.workload.queries.iter().take(3) {
+            let out = engine.run_specqp(q, 10);
+            assert!(out.plan.is_valid_partition());
+            for w in out.answers.windows(2) {
+                assert!(w[0].score >= w[1].score);
+            }
+        }
+    }
+}
+
+#[test]
+fn independence_cardinality_backend_works() {
+    let ds = XkgGenerator::new(XkgConfig::small(63)).generate();
+    let engine = Engine::new(&ds.graph, &ds.registry)
+        .with_cardinality(Box::new(IndependenceEstimator::new()));
+    for q in ds.workload.queries.iter().take(3) {
+        let out = engine.run_specqp(q, 10);
+        assert!(out.plan.is_valid_partition());
+        // Answers still sorted + valid (plan quality may differ).
+        for w in out.answers.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}
+
+#[test]
+fn multibucket_richer_model_never_invalidates_results() {
+    // The paper suggests multi-bucket histograms as the higher-fidelity
+    // option; verify it changes only plans/costs, not result validity.
+    let ds = XkgGenerator::new(XkgConfig::small(64)).generate();
+    let two = Engine::new(&ds.graph, &ds.registry);
+    let multi = Engine::with_config(
+        &ds.graph,
+        &ds.registry,
+        EngineConfig {
+            refit: RefitMode::MultiBucket(64),
+            pull: PullStrategy::Adaptive,
+        },
+    );
+    let q = &ds.workload.queries[0];
+    let full = two.run_naive(q, 100_000);
+    for engine in [&two, &multi] {
+        let out = engine.run_specqp(q, 10);
+        for a in &out.answers {
+            let hit = full.answers.iter().find(|t| t.binding == a.binding);
+            assert!(hit.is_some());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Integration tests of chain relaxations (the paper's §6 future-work
+//! extension): replacing a triple pattern with a chain of patterns.
+
+use kgstore::{KnowledgeGraph, KnowledgeGraphBuilder};
+use relax::{ChainRule, ChainRuleSet, RelaxationRegistry};
+use specqp::Engine;
+use sparql::parse_query;
+use specqp_common::Score;
+
+/// A band-membership KG:
+/// * direct facts: 〈member, inGroup, band〉 (only some),
+/// * indirect path: 〈member, follows, frontier〉 + 〈frontier, memberOf, band〉.
+fn setup() -> (KnowledgeGraph, RelaxationRegistry, ChainRuleSet) {
+    let mut b = KnowledgeGraphBuilder::new();
+    // Direct members (scores = prominence).
+    b.add("alice", "inGroup", "beatles", 100.0);
+    b.add("bob", "inGroup", "beatles", 60.0);
+    // carol has no direct fact, but follows dave who is memberOf beatles.
+    b.add("carol", "follows", "dave", 80.0);
+    b.add("dave", "memberOf", "beatles", 90.0);
+    // eve follows someone in another band (must not leak into beatles).
+    b.add("eve", "follows", "frank", 70.0);
+    b.add("frank", "memberOf", "stones", 85.0);
+    // alice also reachable via the chain (dedup case).
+    b.add("alice", "follows", "gina", 50.0);
+    b.add("gina", "memberOf", "beatles", 40.0);
+    let g = b.build();
+    let d = g.dictionary();
+    let chains = {
+        let mut cs = ChainRuleSet::new();
+        cs.add(ChainRule::new(
+            d.lookup("inGroup").unwrap(),
+            vec![d.lookup("follows").unwrap(), d.lookup("memberOf").unwrap()],
+            0.6,
+        ));
+        cs
+    };
+    (g, RelaxationRegistry::new(), chains)
+}
+
+#[test]
+fn chain_contributes_answers_the_original_lacks() {
+    let (g, reg, chains) = setup();
+    let q = parse_query("SELECT ?x WHERE { ?x <inGroup> <beatles> }", g.dictionary()).unwrap();
+
+    // Without chains: only direct members.
+    let plain = Engine::new(&g, &reg);
+    let out = plain.run_trinit(&q, 10);
+    assert_eq!(out.answers.len(), 2);
+
+    // With chains: carol arrives through follows∘memberOf.
+    let chained = Engine::new(&g, &reg).with_chain_rules(chains);
+    let out = chained.run_trinit(&q, 10);
+    let d = g.dictionary();
+    let carol = d.lookup("carol").unwrap();
+    let names: Vec<_> = out
+        .answers
+        .iter()
+        .map(|a| a.binding.get(q.projection()[0]).unwrap())
+        .collect();
+    assert!(names.contains(&carol), "{names:?}");
+    assert_eq!(out.answers.len(), 3, "alice, bob, carol — eve must not leak");
+}
+
+#[test]
+fn chain_scores_are_weight_bounded_and_sorted() {
+    let (g, reg, chains) = setup();
+    let q = parse_query("SELECT ?x WHERE { ?x <inGroup> <beatles> }", g.dictionary()).unwrap();
+    let engine = Engine::new(&g, &reg).with_chain_rules(chains);
+    let out = engine.run_trinit(&q, 10);
+    for w in out.answers.windows(2) {
+        assert!(w[0].score >= w[1].score);
+    }
+    let d = g.dictionary();
+    let carol = d.lookup("carol").unwrap();
+    let carol_score = out
+        .answers
+        .iter()
+        .find(|a| a.binding.get(q.projection()[0]) == Some(carol))
+        .unwrap()
+        .score;
+    // Chain contribution ≤ rule weight; strictly below the direct head (1.0).
+    assert!(carol_score <= Score::new(0.6 + 1e-9));
+    assert!(carol_score > Score::ZERO);
+    // Direct members keep their Def.-5 scores.
+    assert!(out.answers[0].score.approx_eq(Score::new(1.0), 1e-9));
+}
+
+#[test]
+fn chain_and_direct_sources_deduplicate() {
+    let (g, reg, chains) = setup();
+    let q = parse_query("SELECT ?x WHERE { ?x <inGroup> <beatles> }", g.dictionary()).unwrap();
+    let engine = Engine::new(&g, &reg).with_chain_rules(chains);
+    let out = engine.run_trinit(&q, 10);
+    let d = g.dictionary();
+    let alice = d.lookup("alice").unwrap();
+    // alice is reachable directly (1.0) and via the chain (≤0.6): exactly
+    // one merged answer at the max score.
+    let alices: Vec<_> = out
+        .answers
+        .iter()
+        .filter(|a| a.binding.get(q.projection()[0]) == Some(alice))
+        .collect();
+    assert_eq!(alices.len(), 1);
+    assert!(alices[0].score.approx_eq(Score::new(1.0), 1e-9));
+}
+
+#[test]
+fn chains_only_apply_to_relaxed_patterns() {
+    let (g, reg, chains) = setup();
+    let q = parse_query("SELECT ?x WHERE { ?x <inGroup> <beatles> }", g.dictionary()).unwrap();
+    let engine = Engine::new(&g, &reg).with_chain_rules(chains);
+    // Bare plan (join group only): no merges, hence no chain sources.
+    let out = engine.run_with_plan(
+        &q,
+        10,
+        specqp::QueryPlan::none_relaxed(1),
+        std::time::Duration::ZERO,
+    );
+    assert_eq!(out.answers.len(), 2, "direct members only");
+}
+
+#[test]
+fn chains_compose_with_multi_pattern_queries() {
+    let (g, reg, _chains) = setup();
+    // Add a second pattern so the chain's merged stream feeds a rank join.
+    let mut b = KnowledgeGraphBuilder::new();
+    for st in g.triples() {
+        let d = g.dictionary();
+        b.add(
+            d.name_or_unknown(st.triple.s),
+            d.name_or_unknown(st.triple.p),
+            d.name_or_unknown(st.triple.o),
+            st.score.value(),
+        );
+    }
+    b.add("alice", "plays", "guitar", 10.0);
+    b.add("carol", "plays", "guitar", 8.0);
+    let g2 = b.build();
+    let d2 = g2.dictionary();
+    let chains2 = {
+        let mut cs = ChainRuleSet::new();
+        cs.add(ChainRule::new(
+            d2.lookup("inGroup").unwrap(),
+            vec![d2.lookup("follows").unwrap(), d2.lookup("memberOf").unwrap()],
+            0.6,
+        ));
+        cs
+    };
+    let q = parse_query(
+        "SELECT ?x WHERE { ?x <inGroup> <beatles> . ?x <plays> <guitar> }",
+        d2,
+    )
+    .unwrap();
+    let engine = Engine::new(&g2, &reg).with_chain_rules(chains2);
+    let out = engine.run_trinit(&q, 10);
+    let names: Vec<&str> = out
+        .answers
+        .iter()
+        .map(|a| d2.name_or_unknown(a.binding.get(q.projection()[0]).unwrap()))
+        .collect();
+    assert_eq!(names, vec!["alice", "carol"], "{names:?}");
+    let _ = reg;
+}

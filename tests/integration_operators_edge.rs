@@ -1,0 +1,165 @@
+//! Edge-case and failure-injection tests for the operator layer, beyond
+//! the per-module unit tests.
+
+use operators::{
+    materialize, top_k, top_k_projected, Binding, BoxedStream, IncrementalMerge, OpMetrics,
+    PartialAnswer, PullStrategy, RankJoin, VecStream,
+};
+use sparql::Var;
+use specqp_common::{Score, TermId};
+
+fn ans(pairs: &[(u32, u32)], score: f64) -> PartialAnswer {
+    PartialAnswer::new(
+        Binding::from_pairs(pairs.iter().map(|&(v, t)| (Var(v), TermId(t))).collect()),
+        Score::new(score),
+    )
+}
+
+#[test]
+fn join_of_joins_three_way() {
+    // (A ⋈ B) ⋈ C with a shared key variable ?0 everywhere.
+    let a: Vec<_> = (0..20).map(|i| ans(&[(0, i % 5), (1, i)], 1.0 - i as f64 * 0.01)).collect();
+    let b: Vec<_> = (0..20).map(|i| ans(&[(0, i % 5), (2, i)], 1.0 - i as f64 * 0.02)).collect();
+    let c: Vec<_> = (0..20).map(|i| ans(&[(0, i % 5), (3, i)], 1.0 - i as f64 * 0.03)).collect();
+    let m = OpMetrics::new_handle();
+    let ab = RankJoin::new(
+        Box::new(VecStream::new(a.clone())),
+        Box::new(VecStream::new(b.clone())),
+        vec![Var(0)],
+        PullStrategy::Adaptive,
+        m.clone(),
+    );
+    let mut abc = RankJoin::new(
+        Box::new(ab),
+        Box::new(VecStream::new(c.clone())),
+        vec![Var(0)],
+        PullStrategy::Adaptive,
+        m,
+    );
+    let got = top_k(&mut abc, 10);
+    assert_eq!(got.len(), 10);
+    for w in got.windows(2) {
+        assert!(w[0].score >= w[1].score);
+    }
+    // Reference: brute force over all triples of rows.
+    let mut best = Score::ZERO;
+    for x in &a {
+        for y in &b {
+            for z in &c {
+                if x.binding.get(Var(0)) == y.binding.get(Var(0))
+                    && y.binding.get(Var(0)) == z.binding.get(Var(0))
+                {
+                    best = best.max(x.score + y.score + z.score);
+                }
+            }
+        }
+    }
+    assert!(got[0].score.approx_eq(best, 1e-9), "{:?} vs {best:?}", got[0].score);
+    // The join result binds all four variables.
+    for v in [Var(0), Var(1), Var(2), Var(3)] {
+        assert!(got[0].binding.get(v).is_some());
+    }
+}
+
+#[test]
+fn merge_of_merges_composes() {
+    let l1 = vec![ans(&[(0, 1)], 1.0), ans(&[(0, 2)], 0.4)];
+    let l2 = vec![ans(&[(0, 3)], 0.8)];
+    let l3 = vec![ans(&[(0, 1)], 0.9), ans(&[(0, 4)], 0.3)];
+    let inner = IncrementalMerge::new(vec![
+        Box::new(VecStream::new(l1)) as BoxedStream<'static>,
+        Box::new(VecStream::new(l2)),
+    ]);
+    let outer = IncrementalMerge::new(vec![
+        Box::new(inner) as BoxedStream<'static>,
+        Box::new(VecStream::new(l3)),
+    ]);
+    let out = materialize(outer);
+    // Binding {0→1} appears in l1 (1.0) and l3 (0.9): dedup keeps 1.0.
+    assert_eq!(out.len(), 4);
+    assert_eq!(out[0].score, Score::new(1.0));
+    assert!(out.iter().filter(|a| a.binding.get(Var(0)) == Some(TermId(1))).count() == 1);
+}
+
+#[test]
+fn zero_score_tuples_flow_through() {
+    let l = vec![ans(&[(0, 1)], 0.0)];
+    let r = vec![ans(&[(0, 1)], 0.0)];
+    let m = OpMetrics::new_handle();
+    let join = RankJoin::new(
+        Box::new(VecStream::new(l)),
+        Box::new(VecStream::new(r)),
+        vec![Var(0)],
+        PullStrategy::Alternate,
+        m,
+    );
+    let out = materialize(join);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].score, Score::ZERO);
+}
+
+#[test]
+fn top_k_zero_returns_nothing_without_pulling() {
+    let m = OpMetrics::new_handle();
+    let mut s = VecStream::new(vec![ans(&[(0, 1)], 1.0)]);
+    assert!(top_k(&mut s, 0).is_empty());
+    assert_eq!(m.answers_created(), 0);
+    // Stream untouched.
+    assert_eq!(s.remaining(), 1);
+}
+
+#[test]
+fn projected_topk_on_empty_projection_collapses_to_one() {
+    // Projecting onto an empty variable list makes all answers identical —
+    // max semantics keeps only the best.
+    let mut s = VecStream::new(vec![ans(&[(0, 1)], 1.0), ans(&[(0, 2)], 0.5)]);
+    let out = top_k_projected(&mut s, 10, &[]);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].score, Score::new(1.0));
+}
+
+#[test]
+fn duplicate_scores_deterministic_order() {
+    // Equal scores order by binding (deterministic across runs).
+    let items = vec![
+        ans(&[(0, 5)], 0.5),
+        ans(&[(0, 1)], 0.5),
+        ans(&[(0, 3)], 0.5),
+    ];
+    let m = OpMetrics::new_handle();
+    let join = RankJoin::new(
+        Box::new(VecStream::from_unsorted(items.clone())),
+        Box::new(VecStream::new(vec![
+            ans(&[(0, 1)], 0.1),
+            ans(&[(0, 3)], 0.1),
+            ans(&[(0, 5)], 0.1),
+        ])),
+        vec![Var(0)],
+        PullStrategy::Alternate,
+        m,
+    );
+    let out1 = materialize(join);
+    let ids1: Vec<_> = out1.iter().map(|a| a.binding.get(Var(0)).unwrap().0).collect();
+    assert_eq!(ids1, vec![1, 3, 5], "binding tie-break ascending");
+}
+
+#[test]
+fn metrics_aggregate_across_whole_tree() {
+    let m = OpMetrics::new_handle();
+    let l: Vec<_> = (0..10).map(|i| ans(&[(0, i)], 1.0 - i as f64 * 0.05)).collect();
+    let r: Vec<_> = (0..10).map(|i| ans(&[(0, i)], 1.0 - i as f64 * 0.05)).collect();
+    let merge = IncrementalMerge::new(vec![
+        Box::new(VecStream::new(l)) as BoxedStream<'static>,
+    ]);
+    let mut join = RankJoin::new(
+        Box::new(merge),
+        Box::new(VecStream::new(r)),
+        vec![Var(0)],
+        PullStrategy::Adaptive,
+        m.clone(),
+    );
+    let _ = top_k(&mut join, 3);
+    assert!(m.sorted_accesses() > 0);
+    assert!(m.answers_created() > 0);
+    assert!(m.heap_pushes() > 0);
+}

@@ -1,0 +1,179 @@
+//! Property-based tests of the top-k operators against brute-force
+//! references.
+
+use operators::{
+    materialize, top_k, Binding, IncrementalMerge, NestedLoopsRankJoin, OpMetrics, PartialAnswer,
+    PullStrategy, RankJoin, RankedStream, VecStream,
+};
+use proptest::prelude::*;
+use sparql::Var;
+use specqp_common::{Score, TermId};
+
+/// Strategy: one descending-sorted input list binding `?0` (+ a side var so
+/// join outputs differ), with controlled key collisions.
+fn input_list(side_var: u32, max_len: usize) -> impl Strategy<Value = Vec<PartialAnswer>> {
+    prop::collection::vec((0u32..12, 0u32..1000u32, 0.0f64..1.0), 0..max_len).prop_map(
+        move |items| {
+            let mut v: Vec<PartialAnswer> = items
+                .into_iter()
+                .map(|(key, side, score)| {
+                    PartialAnswer::new(
+                        Binding::from_pairs(vec![
+                            (Var(0), TermId(key)),
+                            (Var(side_var), TermId(side)),
+                        ]),
+                        Score::new(score),
+                    )
+                })
+                .collect();
+            v.sort_by(|a, b| b.cmp(a));
+            v
+        },
+    )
+}
+
+fn naive_join(
+    l: &[PartialAnswer],
+    r: &[PartialAnswer],
+    join_vars: &[Var],
+) -> Vec<PartialAnswer> {
+    let mut out = Vec::new();
+    for a in l {
+        for b in r {
+            if a.binding.key_for(join_vars) == b.binding.key_for(join_vars)
+                && a.binding.compatible(&b.binding)
+            {
+                out.push(PartialAnswer::new(
+                    a.binding.merged(&b.binding),
+                    a.score + b.score,
+                ));
+            }
+        }
+    }
+    out.sort_by(|x, y| y.cmp(x));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// HRJN (both pull strategies) produces exactly the sorted join.
+    #[test]
+    fn rank_join_equals_naive(
+        l in input_list(1, 40),
+        r in input_list(2, 40),
+        adaptive in any::<bool>(),
+    ) {
+        let strategy = if adaptive { PullStrategy::Adaptive } else { PullStrategy::Alternate };
+        let m = OpMetrics::new_handle();
+        let join = RankJoin::new(
+            Box::new(VecStream::new(l.clone())),
+            Box::new(VecStream::new(r.clone())),
+            vec![Var(0)],
+            strategy,
+            m,
+        );
+        let got = materialize(join);
+        let want = naive_join(&l, &r, &[Var(0)]);
+        prop_assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!(a.score.approx_eq(b.score, 1e-12));
+        }
+    }
+
+    /// NRJN agrees with HRJN on score sequences.
+    #[test]
+    fn nrjn_equals_hrjn(
+        l in input_list(1, 30),
+        r in input_list(2, 30),
+    ) {
+        let m1 = OpMetrics::new_handle();
+        let nrjn = NestedLoopsRankJoin::new(l.clone(), r.clone(), vec![Var(0)], m1);
+        let got = materialize(nrjn);
+        let want = naive_join(&l, &r, &[Var(0)]);
+        prop_assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!(a.score.approx_eq(b.score, 1e-12));
+        }
+    }
+
+    /// The incremental merge equals sort-merge-dedup with max semantics.
+    #[test]
+    fn incremental_merge_equals_naive(
+        lists in prop::collection::vec(input_list(1, 25), 0..5),
+    ) {
+        let inputs: Vec<operators::BoxedStream<'static>> = lists
+            .iter()
+            .map(|l| Box::new(VecStream::new(l.clone())) as operators::BoxedStream<'static>)
+            .collect();
+        let merge = IncrementalMerge::new(inputs);
+        let got = materialize(merge);
+
+        // Reference: flatten, sort desc, keep first occurrence per binding.
+        let mut flat: Vec<PartialAnswer> = lists.into_iter().flatten().collect();
+        flat.sort_by(|a, b| b.cmp(a));
+        let mut seen = std::collections::HashSet::new();
+        let want: Vec<PartialAnswer> = flat
+            .into_iter()
+            .filter(|a| seen.insert(a.binding.clone()))
+            .collect();
+
+        prop_assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!(a.score.approx_eq(b.score, 1e-12));
+            // Dedup keeps max score per binding: scores agree rankwise.
+        }
+        // Sortedness.
+        for w in got.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    /// `top_k` is a prefix of the full materialization.
+    #[test]
+    fn top_k_is_prefix(
+        l in input_list(1, 40),
+        k in 0usize..50,
+    ) {
+        let mut s1 = VecStream::new(l.clone());
+        let got = top_k(&mut s1, k);
+        let full = materialize(VecStream::new(l));
+        prop_assert_eq!(got.len(), k.min(full.len()));
+        for (a, b) in got.iter().zip(&full) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Upper bounds never underestimate the next answer, through a 2-level
+    /// operator tree (merge feeding a join).
+    #[test]
+    fn bounds_are_sound_through_composition(
+        l1 in input_list(1, 20),
+        l2 in input_list(1, 20),
+        r in input_list(2, 25),
+    ) {
+        let m = OpMetrics::new_handle();
+        let merge = IncrementalMerge::new(vec![
+            Box::new(VecStream::new(l1)) as operators::BoxedStream<'static>,
+            Box::new(VecStream::new(l2)),
+        ]);
+        let mut join = RankJoin::new(
+            Box::new(merge),
+            Box::new(VecStream::new(r)),
+            vec![Var(0)],
+            PullStrategy::Adaptive,
+            m,
+        );
+        loop {
+            let bound = join.upper_bound();
+            match join.next() {
+                Some(a) => {
+                    let b = bound.expect("bound exists while answers remain");
+                    prop_assert!(b + Score::new(1e-9) >= a.score,
+                        "bound {:?} < answer {:?}", b, a.score);
+                }
+                None => break,
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests of the SPARQL-subset parser: display→parse round-trips
+//! and structural invariants on arbitrary generated queries.
+
+use proptest::prelude::*;
+use sparql::{parse_query, QueryBuilder, Term, TriplePattern, Var};
+use specqp_common::Dictionary;
+
+/// Renames variables in first-occurrence order so structurally identical
+/// queries compare equal regardless of internal variable numbering.
+fn canonicalize(patterns: &[TriplePattern]) -> Vec<TriplePattern> {
+    let mut map: Vec<(Var, Var)> = Vec::new();
+    let rename = |t: Term, map: &mut Vec<(Var, Var)>| -> Term {
+        match t {
+            Term::Const(c) => Term::Const(c),
+            Term::Var(v) => {
+                if let Some(&(_, to)) = map.iter().find(|(from, _)| *from == v) {
+                    Term::Var(to)
+                } else {
+                    let to = Var(map.len() as u32);
+                    map.push((v, to));
+                    Term::Var(to)
+                }
+            }
+        }
+    };
+    patterns
+        .iter()
+        .map(|p| TriplePattern {
+            s: rename(p.s, &mut map),
+            p: rename(p.p, &mut map),
+            o: rename(p.o, &mut map),
+        })
+        .collect()
+}
+
+/// Strategy: a dictionary plus a random star/path query over it.
+fn query_source() -> impl Strategy<Value = (Vec<String>, Vec<(u8, u8, u8)>)> {
+    (
+        prop::collection::vec("[a-z][a-z0-9_:#]{0,8}", 3..12),
+        prop::collection::vec((0u8..4, 0u8..12, 0u8..12), 1..5),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any builder-produced query renders to text that reparses to the same
+    /// structure.
+    #[test]
+    fn display_parse_roundtrip((names, pats) in query_source()) {
+        let mut dict = Dictionary::new();
+        let ids: Vec<_> = names.iter().map(|n| dict.intern(n)).collect();
+
+        let mut qb = QueryBuilder::new();
+        let subject = qb.var("x");
+        for (v, p, o) in &pats {
+            let p = ids[(*p as usize) % ids.len()];
+            let o = ids[(*o as usize) % ids.len()];
+            match v % 3 {
+                0 => { qb.pattern(subject, p, o); }
+                1 => { let y = qb.var("y"); qb.pattern(subject, p, y); }
+                _ => { let z = qb.var("z"); qb.pattern(z, p, o); }
+            };
+        }
+        qb.project(subject);
+        let q = match qb.build() {
+            Ok(q) => q,
+            Err(_) => return Ok(()), // e.g. projection var unused — fine
+        };
+
+        let text = q.display(&dict).to_string();
+        let q2 = parse_query(&text, &dict).expect("rendered query must reparse");
+        prop_assert_eq!(canonicalize(q.patterns()), canonicalize(q2.patterns()));
+        prop_assert_eq!(q.projection().len(), q2.projection().len());
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total_on_garbage(input in ".{0,200}") {
+        let dict = Dictionary::new();
+        let _ = parse_query(&input, &dict);
+    }
+
+    /// Whitespace and dot placement don't change the parse.
+    #[test]
+    fn whitespace_insensitive(extra_ws in "[ \t\n]{0,6}") {
+        let mut dict = Dictionary::new();
+        dict.intern("p");
+        dict.intern("o");
+        let compact = parse_query("SELECT ?a WHERE { ?a <p> <o> }", &dict).unwrap();
+        let spaced = parse_query(
+            &format!("SELECT{extra_ws} ?a{extra_ws} WHERE {extra_ws}{{ ?a{extra_ws} <p> <o> {extra_ws}}}"),
+            &dict,
+        )
+        .unwrap();
+        prop_assert_eq!(compact.patterns(), spaced.patterns());
+    }
+}
+
+/// Constants with every supported quoting style resolve identically.
+#[test]
+fn quoting_styles_equivalent() {
+    let mut dict = Dictionary::new();
+    dict.intern("rdf:type");
+    dict.intern("singer");
+    let a = parse_query("SELECT ?s WHERE { ?s 'rdf:type' <singer> }", &dict).unwrap();
+    let b = parse_query("SELECT ?s WHERE { ?s \"rdf:type\" singer }", &dict).unwrap();
+    let c = parse_query("SELECT ?s WHERE { ?s <rdf:type> 'singer' }", &dict).unwrap();
+    assert_eq!(a.patterns(), b.patterns());
+    assert_eq!(a.patterns(), c.patterns());
+    assert!(matches!(a.patterns()[0].p, Term::Const(_)));
+}
