@@ -1,0 +1,32 @@
+# Mirrors .github/workflows/ci.yml — `make ci` is exactly the CI gate.
+CARGO ?= cargo
+
+.PHONY: ci lint fmt build test bench example smoke clean
+
+ci: lint build test bench example
+
+lint:
+	$(CARGO) fmt --all --check
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+fmt:
+	$(CARGO) fmt --all
+
+build:
+	$(CARGO) build --release --workspace
+
+test:
+	$(CARGO) test -q --workspace
+
+bench:
+	$(CARGO) bench --no-run --workspace
+
+example:
+	$(CARGO) run --release --example quickstart
+
+# The weekly bench-smoke job in one command.
+smoke:
+	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --json BENCH_probe.json
+
+clean:
+	$(CARGO) clean

@@ -32,7 +32,10 @@ fn bench_estimator(c: &mut Criterion) {
         let weighted: Vec<_> = q.patterns().iter().map(|p| (*p, 1.0)).collect();
         group.bench_with_input(BenchmarkId::new("two_bucket", tp), q, |b, _| {
             let est = ScoreEstimator::new(&catalog, &oracle);
-            b.iter(|| est.estimate(&ds.graph, &weighted).expected_score_at_rank(10))
+            b.iter(|| {
+                est.estimate(&ds.graph, &weighted)
+                    .expected_score_at_rank(10)
+            })
         });
         for buckets in [16usize, 64, 256] {
             group.bench_with_input(
@@ -44,7 +47,10 @@ fn bench_estimator(c: &mut Criterion) {
                         &oracle,
                         RefitMode::MultiBucket(buckets),
                     );
-                    b.iter(|| est.estimate(&ds.graph, &weighted).expected_score_at_rank(10))
+                    b.iter(|| {
+                        est.estimate(&ds.graph, &weighted)
+                            .expected_score_at_rank(10)
+                    })
                 },
             );
         }

@@ -20,8 +20,24 @@ fn bench_planner(c: &mut Criterion) {
 
     // Warm both cardinality backends and the catalog.
     for q in &ds.workload.queries {
-        let _ = plan_query(&ds.graph, q, 10, &catalog, &exact, registry, RefitMode::TwoBucket);
-        let _ = plan_query(&ds.graph, q, 10, &catalog, &indep, registry, RefitMode::TwoBucket);
+        let _ = plan_query(
+            &ds.graph,
+            q,
+            10,
+            &catalog,
+            &exact,
+            registry,
+            RefitMode::TwoBucket,
+        );
+        let _ = plan_query(
+            &ds.graph,
+            q,
+            10,
+            &catalog,
+            &indep,
+            registry,
+            RefitMode::TwoBucket,
+        );
     }
 
     let mut group = c.benchmark_group("plangen");

@@ -64,7 +64,10 @@ fn bench_rank_join(c: &mut Criterion) {
             let mut table: std::collections::HashMap<Option<Box<[TermId]>>, Vec<&PartialAnswer>> =
                 std::collections::HashMap::new();
             for a in &l {
-                table.entry(a.binding.key_for(&[Var(0)])).or_default().push(a);
+                table
+                    .entry(a.binding.key_for(&[Var(0)]))
+                    .or_default()
+                    .push(a);
             }
             let mut out: Vec<PartialAnswer> = Vec::new();
             for bb in &r {

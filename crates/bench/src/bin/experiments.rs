@@ -93,15 +93,12 @@ fn build_twitter(scale: Scale) -> Dataset {
 
 fn main() {
     let args = parse_args();
-    let need_xkg = args
-        .experiments
-        .iter()
-        .any(|e| {
-            matches!(
-                e.as_str(),
-                "table2" | "table3" | "table4" | "fig6" | "fig7" | "ablation"
-            )
-        });
+    let need_xkg = args.experiments.iter().any(|e| {
+        matches!(
+            e.as_str(),
+            "table2" | "table3" | "table4" | "fig6" | "fig7" | "ablation"
+        )
+    });
     let need_twitter = args
         .experiments
         .iter()

@@ -5,16 +5,44 @@
 //! ```text
 //! cargo run -p bench --release --bin probe -- xkg 2 10
 //! ```
+//!
+//! With `--json <path>` the probe additionally writes a machine-readable
+//! report (plan, ground truth, timings, accounting) for CI trend tracking —
+//! the weekly bench-smoke workflow uploads it as the `BENCH_probe.json`
+//! artifact.
 
 use datagen::{TwitterConfig, TwitterGenerator, XkgConfig, XkgGenerator};
-use specqp::{required_relaxations, Engine};
+use specqp::{prediction_covering, prediction_exact, required_relaxations, Engine};
 use specqp_stats::{
-    expected_score_at_rank, CardinalityEstimator, ExactCardinality, ScoreEstimator,
-    StatsCatalog,
+    expected_score_at_rank, CardinalityEstimator, ExactCardinality, ScoreEstimator, StatsCatalog,
 };
 
+/// Renders `\"`-escaped JSON string contents (the probe emits only ASCII
+/// identifiers, so control characters and quotes are the whole game).
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            '\t' => "\\t".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = raw.iter().position(|a| a == "--json").map(|i| {
+        let mut pair = raw.drain(i..(i + 2).min(raw.len()));
+        pair.next();
+        pair.next().unwrap_or_else(|| {
+            eprintln!("--json requires a file path");
+            std::process::exit(2);
+        })
+    });
+    let mut args = raw.into_iter();
     let dataset_name = args.next().unwrap_or_else(|| "xkg".into());
     let qid: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(0);
     let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
@@ -102,14 +130,63 @@ fn main() {
     let required = required_relaxations(&ds.graph, query, &ds.registry, &trinit.answers);
     println!("plan singletons: {:?}", spec.plan.singletons());
     println!("required (ground truth): {required:?}");
-    println!("true top-{k} scores: {:?}", trinit
-        .answers
-        .iter()
-        .map(|a| (a.score.value() * 1000.0).round() / 1000.0)
-        .collect::<Vec<_>>());
-    println!("spec top-{k} scores: {:?}", spec
-        .answers
-        .iter()
-        .map(|a| (a.score.value() * 1000.0).round() / 1000.0)
-        .collect::<Vec<_>>());
+    println!(
+        "true top-{k} scores: {:?}",
+        trinit
+            .answers
+            .iter()
+            .map(|a| (a.score.value() * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "spec top-{k} scores: {:?}",
+        spec.answers
+            .iter()
+            .map(|a| (a.score.value() * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+
+    if let Some(path) = json_path {
+        let scores = |o: &specqp::QueryOutcome| {
+            o.answers
+                .iter()
+                .map(|a| format!("{:.6}", a.score.value()))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let report = |o: &specqp::QueryOutcome| {
+            format!(
+                "{{\"planning_us\":{},\"execution_us\":{},\"answers_created\":{},\
+                 \"sorted_accesses\":{},\"random_accesses\":{},\"heap_pushes\":{},\
+                 \"top_k\":{},\"scores\":[{}]}}",
+                o.report.planning.as_micros(),
+                o.report.execution.as_micros(),
+                o.report.answers_created,
+                o.report.sorted_accesses,
+                o.report.random_accesses,
+                o.report.heap_pushes,
+                o.answers.len(),
+                scores(o),
+            )
+        };
+        let exact = prediction_exact(&spec.plan, &required);
+        let covers = prediction_covering(&spec.plan, &required);
+        let json = format!(
+            "{{\n  \"dataset\": \"{}\",\n  \"summary\": \"{}\",\n  \"query\": {qid},\n  \
+             \"k\": {k},\n  \"plan_singletons\": {:?},\n  \"required\": {:?},\n  \
+             \"prediction_exact\": {exact},\n  \"prediction_covers\": {covers},\n  \
+             \"specqp\": {},\n  \"trinit\": {}\n}}\n",
+            json_escape(&ds.name),
+            json_escape(&ds.summary()),
+            spec.plan.singletons(),
+            required,
+            report(&spec),
+            report(&trinit),
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote JSON report to {path}");
+    }
 }

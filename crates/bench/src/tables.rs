@@ -55,7 +55,11 @@ pub fn render_table3(reports: &[&DatasetReport], ks: &[usize]) -> String {
         .max()
         .unwrap_or(0);
     for req in 0..=max_req {
-        let _ = write!(s, "{:<28}", format!("queries requiring {req} relaxation(s)"));
+        let _ = write!(
+            s,
+            "{:<28}",
+            format!("queries requiring {req} relaxation(s)")
+        );
         let mut any = false;
         let mut line = String::new();
         for r in reports {

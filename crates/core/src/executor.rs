@@ -16,11 +16,11 @@
 //! truth by the test suite.
 
 use crate::plan::QueryPlan;
+use kgstore::KnowledgeGraph;
 use operators::{
     top_k, BoxedStream, IncrementalMerge, MetricsHandle, PartialAnswer, PatternScan, Projected,
     PullStrategy, RankJoin, RankedStream, Scaled,
 };
-use kgstore::KnowledgeGraph;
 use relax::{ChainRuleSet, RelaxationRegistry};
 use sparql::{Query, Var};
 use specqp_common::{FxHashMap, Score};
@@ -113,7 +113,13 @@ pub fn build_plan_stream_with_chains<'g>(
         }
         for c in chains.chain_relaxations_for(&patterns[i], next_fresh) {
             next_fresh += c.fresh_vars.len() as u32;
-            inputs.push(build_chain_stream(graph, &c, &patterns[i], &metrics, strategy));
+            inputs.push(build_chain_stream(
+                graph,
+                &c,
+                &patterns[i],
+                &metrics,
+                strategy,
+            ));
         }
         let merge: BoxedStream<'g> = Box::new(IncrementalMerge::new(inputs));
         parts.push((merge, collect_vars(&[patterns[i]])));
@@ -138,7 +144,11 @@ fn join<'g>(
     strategy: PullStrategy,
     metrics: &MetricsHandle,
 ) -> (BoxedStream<'g>, Vec<Var>) {
-    let shared: Vec<Var> = lvars.iter().copied().filter(|v| rvars.contains(v)).collect();
+    let shared: Vec<Var> = lvars
+        .iter()
+        .copied()
+        .filter(|v| rvars.contains(v))
+        .collect();
     let mut union = lvars;
     for v in rvars {
         if !union.contains(&v) {
@@ -385,12 +395,7 @@ mod tests {
         );
         assert_eq!(naive.len(), trinit.len());
         for (a, b) in naive.iter().zip(&trinit) {
-            assert!(
-                a.score.approx_eq(b.score, 1e-9),
-                "{:?} vs {:?}",
-                a,
-                b
-            );
+            assert!(a.score.approx_eq(b.score, 1e-9), "{:?} vs {:?}", a, b);
             assert_eq!(a.binding, b.binding);
         }
     }

@@ -64,12 +64,16 @@ impl QueryPlan {
 
     /// Indices of the join group (non-relaxed patterns), ascending.
     pub fn join_group(&self) -> Vec<usize> {
-        (0..self.relaxed.len()).filter(|&i| !self.relaxed[i]).collect()
+        (0..self.relaxed.len())
+            .filter(|&i| !self.relaxed[i])
+            .collect()
     }
 
     /// Indices of the singletons (relaxed patterns), ascending.
     pub fn singletons(&self) -> Vec<usize> {
-        (0..self.relaxed.len()).filter(|&i| self.relaxed[i]).collect()
+        (0..self.relaxed.len())
+            .filter(|&i| self.relaxed[i])
+            .collect()
     }
 
     /// Number of patterns whose relaxations are processed — the grouping
@@ -84,8 +88,7 @@ impl QueryPlan {
     pub fn is_valid_partition(&self) -> bool {
         let jg = self.join_group();
         let sg = self.singletons();
-        jg.len() + sg.len() == self.relaxed.len()
-            && jg.iter().all(|i| !sg.contains(i))
+        jg.len() + sg.len() == self.relaxed.len() && jg.iter().all(|i| !sg.contains(i))
     }
 
     /// Human-readable plan description mirroring the paper's notation.

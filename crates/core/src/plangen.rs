@@ -40,7 +40,9 @@ pub fn plan_query<C: CardinalityEstimator + ?Sized>(
     let patterns = query.patterns();
 
     let original: Vec<(TriplePattern, f64)> = patterns.iter().map(|p| (*p, 1.0)).collect();
-    let eq_k = estimator.estimate(graph, &original).expected_score_at_rank(k);
+    let eq_k = estimator
+        .estimate(graph, &original)
+        .expected_score_at_rank(k);
 
     let mut singletons: Vec<usize> = Vec::new();
     for (i, q_i) in patterns.iter().enumerate() {
@@ -174,7 +176,15 @@ mod tests {
         let catalog = StatsCatalog::new();
         let card = ExactCardinality::new();
         let q = query(&g, &["poor"]);
-        let plan = plan_query(&g, &q, 10, &catalog, &card, &empty_reg, RefitMode::TwoBucket);
+        let plan = plan_query(
+            &g,
+            &q,
+            10,
+            &catalog,
+            &card,
+            &empty_reg,
+            RefitMode::TwoBucket,
+        );
         assert_eq!(plan.relaxed_count(), 0);
     }
 

@@ -238,7 +238,12 @@ impl XkgGenerator {
             for d in 0..spread {
                 let mm = (m + d) % cfg.predicates_per_family;
                 let o = obj_z.sample(&mut rng);
-                b.add_ids(entities[s], predicates[f][mm], entities[o], popularity[s].into());
+                b.add_ids(
+                    entities[s],
+                    predicates[f][mm],
+                    entities[o],
+                    popularity[s].into(),
+                );
                 emitted += 1;
                 if entity_out_pred[s].len() < 4 && !entity_out_pred[s].contains(&(f, mm)) {
                     entity_out_pred[s].push((f, mm));

@@ -1,9 +1,9 @@
 //! Construction of [`KnowledgeGraph`]s.
 
-use specqp_common::Dictionary;
 use crate::index::PatternIndexes;
 use crate::store::KnowledgeGraph;
 use crate::triple::{ScoredTriple, Triple};
+use specqp_common::Dictionary;
 use specqp_common::{FxHashMap, Score, TermId};
 
 /// How duplicate triples (same 〈s,p,o〉 inserted twice) combine their scores.

@@ -19,10 +19,7 @@ use std::io::{BufRead, Write};
 
 /// Reads a scored-TSV stream into a builder (so callers can keep adding
 /// triples or pick a duplicate policy first).
-pub fn read_tsv_into(
-    reader: impl BufRead,
-    builder: &mut KnowledgeGraphBuilder,
-) -> Result<usize> {
+pub fn read_tsv_into(reader: impl BufRead, builder: &mut KnowledgeGraphBuilder) -> Result<usize> {
     let mut added = 0usize;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| Error::Parse(format!("line {}: {e}", lineno + 1)))?;

@@ -152,13 +152,7 @@ impl fmt::Debug for PatternKey {
         fn part(x: Option<TermId>) -> String {
             x.map_or("?".to_string(), |t| t.to_string())
         }
-        write!(
-            f,
-            "({} {} {})",
-            part(self.s),
-            part(self.p),
-            part(self.o)
-        )
+        write!(f, "({} {} {})", part(self.s), part(self.p), part(self.o))
     }
 }
 
@@ -173,9 +167,18 @@ mod tests {
             PatternKey::spo(TermId(1), TermId(2), TermId(3)).signature(),
             Signature::Spo
         );
-        assert_eq!(PatternKey::sp(TermId(1), TermId(2)).signature(), Signature::SpX);
-        assert_eq!(PatternKey::so(TermId(1), TermId(3)).signature(), Signature::SxO);
-        assert_eq!(PatternKey::po(TermId(2), TermId(3)).signature(), Signature::XpO);
+        assert_eq!(
+            PatternKey::sp(TermId(1), TermId(2)).signature(),
+            Signature::SpX
+        );
+        assert_eq!(
+            PatternKey::so(TermId(1), TermId(3)).signature(),
+            Signature::SxO
+        );
+        assert_eq!(
+            PatternKey::po(TermId(2), TermId(3)).signature(),
+            Signature::XpO
+        );
         assert_eq!(PatternKey::s_only(TermId(1)).signature(), Signature::Sxx);
         assert_eq!(PatternKey::p_only(TermId(2)).signature(), Signature::XpX);
         assert_eq!(PatternKey::o_only(TermId(3)).signature(), Signature::XxO);

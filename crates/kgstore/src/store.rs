@@ -1,9 +1,9 @@
 //! The immutable knowledge graph and its match-list access path.
 
-use specqp_common::Dictionary;
 use crate::index::PatternIndexes;
 use crate::pattern_key::{pack2, PatternKey, Signature};
 use crate::triple::{ScoredTriple, Triple};
+use specqp_common::Dictionary;
 use specqp_common::{Score, TermId};
 
 /// An immutable, fully indexed scored knowledge graph (Def. 1).

@@ -118,7 +118,10 @@ mod tests {
     fn composition_scaled_then_projected() {
         let s = Projected::new(
             Scaled::new(
-                VecStream::new(vec![ans(&[(0, 1), (5, 2)], 0.9), ans(&[(0, 3), (5, 4)], 0.6)]),
+                VecStream::new(vec![
+                    ans(&[(0, 1), (5, 2)], 0.9),
+                    ans(&[(0, 3), (5, 4)], 0.6),
+                ]),
                 0.5,
             ),
             vec![Var(0)],

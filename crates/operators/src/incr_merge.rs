@@ -74,11 +74,7 @@ impl RankedStream for IncrementalMerge<'_> {
     }
 
     fn upper_bound(&self) -> Option<Score> {
-        self.heads
-            .iter()
-            .flatten()
-            .map(|a| a.score)
-            .max()
+        self.heads.iter().flatten().map(|a| a.score).max()
     }
 }
 

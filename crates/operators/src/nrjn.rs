@@ -178,8 +178,12 @@ mod tests {
 
     #[test]
     fn agrees_with_hrjn() {
-        let l: Vec<_> = (0..40).map(|i| simple(i % 6, 1.0 - i as f64 * 0.02)).collect();
-        let r: Vec<_> = (0..40).map(|i| simple(i % 6, 1.0 - i as f64 * 0.025)).collect();
+        let l: Vec<_> = (0..40)
+            .map(|i| simple(i % 6, 1.0 - i as f64 * 0.02))
+            .collect();
+        let r: Vec<_> = (0..40)
+            .map(|i| simple(i % 6, 1.0 - i as f64 * 0.025))
+            .collect();
 
         let m1 = OpMetrics::new_handle();
         let nrjn = NestedLoopsRankJoin::new(l.clone(), r.clone(), vec![Var(0)], m1);

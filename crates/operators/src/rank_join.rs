@@ -196,10 +196,8 @@ impl<'g> RankJoin<'g> {
         if let Some(partners) = probe_state.hash.get(&key) {
             for p in partners {
                 self.metrics.count_random_access();
-                let merged = PartialAnswer::new(
-                    tuple.binding.merged(&p.binding),
-                    tuple.score + p.score,
-                );
+                let merged =
+                    PartialAnswer::new(tuple.binding.merged(&p.binding), tuple.score + p.score);
                 self.metrics.count_answer();
                 self.metrics.count_heap_push();
                 self.output.push(merged);
@@ -386,8 +384,12 @@ mod tests {
 
     #[test]
     fn output_scores_non_increasing() {
-        let l: Vec<_> = (0..50).map(|i| simple(i % 7, 1.0 - i as f64 * 0.01)).collect();
-        let r: Vec<_> = (0..50).map(|i| simple(i % 7, 1.0 - i as f64 * 0.015)).collect();
+        let l: Vec<_> = (0..50)
+            .map(|i| simple(i % 7, 1.0 - i as f64 * 0.01))
+            .collect();
+        let r: Vec<_> = (0..50)
+            .map(|i| simple(i % 7, 1.0 - i as f64 * 0.015))
+            .collect();
         let out = run_join(l, r, PullStrategy::Adaptive);
         for w in out.windows(2) {
             assert!(w[0].score >= w[1].score);
@@ -396,8 +398,12 @@ mod tests {
 
     #[test]
     fn upper_bound_never_underestimates() {
-        let l: Vec<_> = (0..20).map(|i| simple(i % 5, 1.0 - i as f64 * 0.04)).collect();
-        let r: Vec<_> = (0..20).map(|i| simple(i % 5, 1.0 - i as f64 * 0.03)).collect();
+        let l: Vec<_> = (0..20)
+            .map(|i| simple(i % 5, 1.0 - i as f64 * 0.04))
+            .collect();
+        let r: Vec<_> = (0..20)
+            .map(|i| simple(i % 5, 1.0 - i as f64 * 0.03))
+            .collect();
         let m = OpMetrics::new_handle();
         let mut join = RankJoin::new(
             Box::new(VecStream::new(l)),

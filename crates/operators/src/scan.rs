@@ -154,11 +154,7 @@ mod tests {
 
     fn type_pattern(g: &KnowledgeGraph, class: &str) -> TriplePattern {
         let d = g.dictionary();
-        TriplePattern::new(
-            Var(0),
-            d.lookup("type").unwrap(),
-            d.lookup(class).unwrap(),
-        )
+        TriplePattern::new(Var(0), d.lookup("type").unwrap(), d.lookup(class).unwrap())
     }
 
     #[test]
@@ -221,10 +217,7 @@ mod tests {
         let out = materialize(scan);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].score, Score::ONE);
-        assert_eq!(
-            out[0].binding.get(Var(0)),
-            Some(d.lookup("loop").unwrap())
-        );
+        assert_eq!(out[0].binding.get(Var(0)), Some(d.lookup("loop").unwrap()));
     }
 
     #[test]

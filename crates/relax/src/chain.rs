@@ -151,16 +151,28 @@ mod tests {
 
     fn pat(s: u32, p: u32, o: u32, s_var: bool, o_var: bool) -> TriplePattern {
         TriplePattern::new(
-            if s_var { Term::Var(Var(s)) } else { Term::Const(TermId(s)) },
+            if s_var {
+                Term::Var(Var(s))
+            } else {
+                Term::Const(TermId(s))
+            },
             TermId(p),
-            if o_var { Term::Var(Var(o)) } else { Term::Const(TermId(o)) },
+            if o_var {
+                Term::Var(Var(o))
+            } else {
+                Term::Const(TermId(o))
+            },
         )
     }
 
     #[test]
     fn two_hop_instantiation() {
         let mut rs = ChainRuleSet::new();
-        rs.add(ChainRule::new(TermId(10), vec![TermId(11), TermId(12)], 0.6));
+        rs.add(ChainRule::new(
+            TermId(10),
+            vec![TermId(11), TermId(12)],
+            0.6,
+        ));
         // ?x <10> ?y  →  ?x <11> ?f . ?f <12> ?y
         let p = pat(0, 10, 1, true, true);
         let chains = rs.chain_relaxations_for(&p, 5);

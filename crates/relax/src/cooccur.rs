@@ -52,7 +52,10 @@ impl CooccurrenceMiner {
     pub fn mine_into(&self, graph: &KnowledgeGraph, registry: &mut RelaxationRegistry) {
         // Group terms by subject.
         let mut by_subject: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
-        for (t, _) in graph.matches(PatternKey::p_only(self.predicate)).iter_triples() {
+        for (t, _) in graph
+            .matches(PatternKey::p_only(self.predicate))
+            .iter_triples()
+        {
             by_subject.entry(t.s).or_default().push(t.o);
         }
 
@@ -88,13 +91,16 @@ impl CooccurrenceMiner {
             if w < self.min_weight {
                 continue;
             }
-            by_source.entry(t1).or_default().push(TermRule::with_context(
-                Position::Object,
-                t1,
-                t2,
-                w,
-                self.predicate,
-            ));
+            by_source
+                .entry(t1)
+                .or_default()
+                .push(TermRule::with_context(
+                    Position::Object,
+                    t1,
+                    t2,
+                    w,
+                    self.predicate,
+                ));
         }
         let mut sources: Vec<TermId> = by_source.keys().copied().collect();
         sources.sort();

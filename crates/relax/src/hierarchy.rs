@@ -41,7 +41,10 @@ impl TypeHierarchy {
     /// in the graph.
     pub fn from_graph(graph: &KnowledgeGraph, subclass_pred: TermId) -> Self {
         let mut h = TypeHierarchy::new();
-        for (t, _) in graph.matches(PatternKey::p_only(subclass_pred)).iter_triples() {
+        for (t, _) in graph
+            .matches(PatternKey::p_only(subclass_pred))
+            .iter_triples()
+        {
             h.add_edge(t.s, t.o);
         }
         h
@@ -78,9 +81,10 @@ impl TypeHierarchy {
             if d >= max_distance {
                 continue;
             }
-            let push = |n: TermId, dist: &mut FxHashMap<TermId, usize>,
-                            frontier: &mut Vec<TermId>,
-                            out: &mut Vec<(TermId, usize)>| {
+            let push = |n: TermId,
+                        dist: &mut FxHashMap<TermId, usize>,
+                        frontier: &mut Vec<TermId>,
+                        out: &mut Vec<(TermId, usize)>| {
                 if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(n) {
                     e.insert(d + 1);
                     out.push((n, d + 1));

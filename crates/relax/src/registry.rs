@@ -177,7 +177,12 @@ mod tests {
     fn multiple_positions_combine() {
         let mut reg = RelaxationRegistry::new();
         reg.add(TermRule::new(Position::Object, TermId(10), TermId(11), 0.9));
-        reg.add(TermRule::new(Position::Predicate, TermId(1), TermId(2), 0.7));
+        reg.add(TermRule::new(
+            Position::Predicate,
+            TermId(1),
+            TermId(2),
+            0.7,
+        ));
         let rs = reg.relaxations_for(&pat(1, 10));
         assert_eq!(rs.len(), 2);
         assert_eq!(rs[0].weight, 0.9);

@@ -143,23 +143,30 @@ fn take_name(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) -> Stri
     name
 }
 
-fn parse_with(text: &str, resolve: &mut dyn FnMut(&str) -> Option<specqp_common::TermId>) -> Result<Query> {
+fn parse_with(
+    text: &str,
+    resolve: &mut dyn FnMut(&str) -> Option<specqp_common::TermId>,
+) -> Result<Query> {
     let toks = tokenize(text)?;
     let mut pos = 0usize;
-    let expect = |toks: &[Tok], pos: &mut usize, what: &str, pred: &dyn Fn(&Tok) -> bool| -> Result<Tok> {
-        match toks.get(*pos) {
-            Some(t) if pred(t) => {
-                *pos += 1;
-                Ok(t.clone())
+    let expect =
+        |toks: &[Tok], pos: &mut usize, what: &str, pred: &dyn Fn(&Tok) -> bool| -> Result<Tok> {
+            match toks.get(*pos) {
+                Some(t) if pred(t) => {
+                    *pos += 1;
+                    Ok(t.clone())
+                }
+                Some(t) => Err(Error::Parse(format!("expected {what}, found {t:?}"))),
+                None => Err(Error::Parse(format!("expected {what}, found end of input"))),
             }
-            Some(t) => Err(Error::Parse(format!("expected {what}, found {t:?}"))),
-            None => Err(Error::Parse(format!("expected {what}, found end of input"))),
-        }
-    };
+        };
 
-    expect(&toks, &mut pos, "SELECT", &|t| {
-        matches!(t, Tok::Keyword(k) if k == "SELECT")
-    })?;
+    expect(
+        &toks,
+        &mut pos,
+        "SELECT",
+        &|t| matches!(t, Tok::Keyword(k) if k == "SELECT"),
+    )?;
 
     let mut builder = QueryBuilder::new();
     let mut projected: Vec<String> = Vec::new();
@@ -187,9 +194,12 @@ fn parse_with(text: &str, resolve: &mut dyn FnMut(&str) -> Option<specqp_common:
         return Err(Error::Parse("SELECT must name variables or '*'".into()));
     }
 
-    expect(&toks, &mut pos, "WHERE", &|t| {
-        matches!(t, Tok::Keyword(k) if k == "WHERE")
-    })?;
+    expect(
+        &toks,
+        &mut pos,
+        "WHERE",
+        &|t| matches!(t, Tok::Keyword(k) if k == "WHERE"),
+    )?;
     expect(&toks, &mut pos, "'{'", &|t| matches!(t, Tok::LBrace))?;
 
     // patterns
@@ -219,11 +229,7 @@ fn parse_with(text: &str, resolve: &mut dyn FnMut(&str) -> Option<specqp_common:
                     *slot = Some(term_at(&mut builder, tok)?);
                     pos += 1;
                 }
-                builder.pattern(
-                    triple[0].unwrap(),
-                    triple[1].unwrap(),
-                    triple[2].unwrap(),
-                );
+                builder.pattern(triple[0].unwrap(), triple[1].unwrap(), triple[2].unwrap());
                 // Optional dot separator.
                 if matches!(toks.get(pos), Some(Tok::Dot)) {
                     pos += 1;
@@ -355,10 +361,7 @@ mod tests {
             parse_query("SELECT ?a WHERE { ?a <p> ?b } junk", &d),
             Err(Error::Parse(_))
         ));
-        assert!(matches!(
-            parse_query("", &d),
-            Err(Error::Parse(_))
-        ));
+        assert!(matches!(parse_query("", &d), Err(Error::Parse(_))));
     }
 
     #[test]

@@ -47,11 +47,7 @@ impl TriplePattern {
     /// This is what the storage layer turns into a
     /// `PatternKey`.
     pub fn const_parts(&self) -> (Option<TermId>, Option<TermId>, Option<TermId>) {
-        (
-            self.s.as_const(),
-            self.p.as_const(),
-            self.o.as_const(),
-        )
+        (self.s.as_const(), self.p.as_const(), self.o.as_const())
     }
 
     /// Iterates the distinct variables of this pattern in s,p,o order.

@@ -2,9 +2,9 @@
 
 use crate::pattern::TriplePattern;
 use crate::term::{Term, Var};
-use specqp_common::{Dictionary, Error, Result};
 #[cfg(test)]
 use specqp_common::TermId;
+use specqp_common::{Dictionary, Error, Result};
 use std::fmt;
 
 /// A validated triple-pattern query: a list of patterns, a variable-name

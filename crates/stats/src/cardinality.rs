@@ -240,12 +240,7 @@ impl IndependenceEstimator {
 
     /// Distinct count of the values that `var` takes among `pattern`'s
     /// matches.
-    fn distinct_values(
-        &self,
-        graph: &KnowledgeGraph,
-        pattern: &TriplePattern,
-        var: Var,
-    ) -> f64 {
+    fn distinct_values(&self, graph: &KnowledgeGraph, pattern: &TriplePattern, var: Var) -> f64 {
         // Which position(s) does var occupy? 0=s,1=p,2=o (first occurrence).
         let pos: u8 = if pattern.s.as_var() == Some(var) {
             0
@@ -383,11 +378,7 @@ mod tests {
         let g = graph();
         let d = g.dictionary();
         let e = ExactCardinality::new();
-        let ghost = TriplePattern::new(
-            Var(0),
-            d.lookup("type").unwrap(),
-            d.lookup("e0").unwrap(),
-        );
+        let ghost = TriplePattern::new(Var(0), d.lookup("type").unwrap(), d.lookup("e0").unwrap());
         assert_eq!(e.cardinality(&g, &[pat(&g, "singer", 0), ghost]), 0.0);
         assert_eq!(e.cardinality(&g, &[]), 0.0);
     }

@@ -124,9 +124,13 @@ mod tests {
         let ty = d.lookup("type").unwrap();
         let singer = d.lookup("singer").unwrap();
         let c = StatsCatalog::new();
-        let a = c.stats(&g, &TriplePattern::new(Var(0), ty, singer)).unwrap();
+        let a = c
+            .stats(&g, &TriplePattern::new(Var(0), ty, singer))
+            .unwrap();
         assert_eq!(c.len(), 1);
-        let b = c.stats(&g, &TriplePattern::new(Var(7), ty, singer)).unwrap();
+        let b = c
+            .stats(&g, &TriplePattern::new(Var(7), ty, singer))
+            .unwrap();
         assert_eq!(c.len(), 1, "renamed variable must hit the cache");
         assert_eq!(a, b);
         assert_eq!(a.m, 20);
@@ -139,7 +143,9 @@ mod tests {
         let ty = d.lookup("type").unwrap();
         let ghost = d.lookup("x").unwrap(); // exists but not as a class
         let c = StatsCatalog::new();
-        assert!(c.stats(&g, &TriplePattern::new(Var(0), ty, ghost)).is_none());
+        assert!(c
+            .stats(&g, &TriplePattern::new(Var(0), ty, ghost))
+            .is_none());
         assert_eq!(c.len(), 1);
     }
 

@@ -236,11 +236,7 @@ mod tests {
         let catalog = StatsCatalog::new();
         let card = ExactCardinality::new();
         let est = ScoreEstimator::new(&catalog, &card);
-        let ghost = TriplePattern::new(
-            Var(0),
-            d.lookup("type").unwrap(),
-            d.lookup("e0").unwrap(),
-        );
+        let ghost = TriplePattern::new(Var(0), d.lookup("type").unwrap(), d.lookup("e0").unwrap());
         let e = est.estimate_original(&g, &[pat(&g, "big"), ghost]);
         assert!(e.dist.is_none());
         assert_eq!(e.n, 0.0);

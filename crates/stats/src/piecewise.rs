@@ -97,7 +97,10 @@ impl PiecewiseConstantPdf {
         }
         knots.sort_by(|a, b| a.partial_cmp(b).expect("finite edges"));
         knots.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-        let values: Vec<f64> = knots.iter().map(|&t| self.convolve_value_at(other, t)).collect();
+        let values: Vec<f64> = knots
+            .iter()
+            .map(|&t| self.convolve_value_at(other, t))
+            .collect();
         PiecewiseLinearPdf::new(knots, values)
     }
 
@@ -453,7 +456,10 @@ mod tests {
     #[test]
     fn degenerate_narrow_bucket() {
         // A spike bucket should still give sane quantiles.
-        let h = PiecewiseConstantPdf::new(vec![0.0, 1.0 - 1e-9, 1.0], vec![0.2 / (1.0 - 1e-9), 0.8 / 1e-9]);
+        let h = PiecewiseConstantPdf::new(
+            vec![0.0, 1.0 - 1e-9, 1.0],
+            vec![0.2 / (1.0 - 1e-9), 0.8 / 1e-9],
+        );
         assert!((h.mass() - 1.0).abs() < 1e-6);
         let q = h.quantile(0.9);
         assert!(q > 0.999);

@@ -36,9 +36,7 @@ fn main() {
 
         println!("{}", spec.plan.explain(query, ds.graph.dictionary()));
         let required = required_relaxations(&ds.graph, query, &ds.registry, &trinit.answers);
-        println!(
-            "ground truth: patterns whose relaxations reach the top-{k}: {required:?}"
-        );
+        println!("ground truth: patterns whose relaxations reach the top-{k}: {required:?}");
 
         let precision = precision_at_k(&spec.answers, &trinit.answers, k);
         let err = score_error(&spec.answers, &trinit.answers, k);

@@ -7,8 +7,8 @@
 
 use kgstore::KnowledgeGraphBuilder;
 use relax::{Position, RelaxationRegistry, TermRule};
-use specqp::Engine;
 use sparql::parse_query;
+use specqp::Engine;
 
 fn main() {
     // 1. A small music knowledge graph. Scores are popularity counts

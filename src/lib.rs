@@ -1,7 +1,8 @@
 //! # spec-qp — speculative query planning for top-k joins over knowledge graphs
 //!
 //! Umbrella crate re-exporting the whole workspace; see the
-//! [README](https://example.org/spec-qp) and the individual crates:
+//! [README](https://github.com/spec-qp/spec-qp/blob/main/README.md) and the
+//! individual crates:
 //!
 //! * [`specqp`] — the planner (PLANGEN), executors and engine façade,
 //! * [`kgstore`] — the scored triple store,

@@ -3,8 +3,8 @@
 
 use kgstore::{KnowledgeGraph, KnowledgeGraphBuilder};
 use relax::{ChainRule, ChainRuleSet, RelaxationRegistry};
-use specqp::Engine;
 use sparql::parse_query;
+use specqp::Engine;
 use specqp_common::Score;
 
 /// A band-membership KG:
@@ -59,7 +59,11 @@ fn chain_contributes_answers_the_original_lacks() {
         .map(|a| a.binding.get(q.projection()[0]).unwrap())
         .collect();
     assert!(names.contains(&carol), "{names:?}");
-    assert_eq!(out.answers.len(), 3, "alice, bob, carol — eve must not leak");
+    assert_eq!(
+        out.answers.len(),
+        3,
+        "alice, bob, carol — eve must not leak"
+    );
 }
 
 #[test]
@@ -142,7 +146,10 @@ fn chains_compose_with_multi_pattern_queries() {
         let mut cs = ChainRuleSet::new();
         cs.add(ChainRule::new(
             d2.lookup("inGroup").unwrap(),
-            vec![d2.lookup("follows").unwrap(), d2.lookup("memberOf").unwrap()],
+            vec![
+                d2.lookup("follows").unwrap(),
+                d2.lookup("memberOf").unwrap(),
+            ],
             0.6,
         ));
         cs

@@ -18,9 +18,15 @@ fn ans(pairs: &[(u32, u32)], score: f64) -> PartialAnswer {
 #[test]
 fn join_of_joins_three_way() {
     // (A ⋈ B) ⋈ C with a shared key variable ?0 everywhere.
-    let a: Vec<_> = (0..20).map(|i| ans(&[(0, i % 5), (1, i)], 1.0 - i as f64 * 0.01)).collect();
-    let b: Vec<_> = (0..20).map(|i| ans(&[(0, i % 5), (2, i)], 1.0 - i as f64 * 0.02)).collect();
-    let c: Vec<_> = (0..20).map(|i| ans(&[(0, i % 5), (3, i)], 1.0 - i as f64 * 0.03)).collect();
+    let a: Vec<_> = (0..20)
+        .map(|i| ans(&[(0, i % 5), (1, i)], 1.0 - i as f64 * 0.01))
+        .collect();
+    let b: Vec<_> = (0..20)
+        .map(|i| ans(&[(0, i % 5), (2, i)], 1.0 - i as f64 * 0.02))
+        .collect();
+    let c: Vec<_> = (0..20)
+        .map(|i| ans(&[(0, i % 5), (3, i)], 1.0 - i as f64 * 0.03))
+        .collect();
     let m = OpMetrics::new_handle();
     let ab = RankJoin::new(
         Box::new(VecStream::new(a.clone())),
@@ -54,7 +60,11 @@ fn join_of_joins_three_way() {
             }
         }
     }
-    assert!(got[0].score.approx_eq(best, 1e-9), "{:?} vs {best:?}", got[0].score);
+    assert!(
+        got[0].score.approx_eq(best, 1e-9),
+        "{:?} vs {best:?}",
+        got[0].score
+    );
     // The join result binds all four variables.
     for v in [Var(0), Var(1), Var(2), Var(3)] {
         assert!(got[0].binding.get(v).is_some());
@@ -78,7 +88,12 @@ fn merge_of_merges_composes() {
     // Binding {0→1} appears in l1 (1.0) and l3 (0.9): dedup keeps 1.0.
     assert_eq!(out.len(), 4);
     assert_eq!(out[0].score, Score::new(1.0));
-    assert!(out.iter().filter(|a| a.binding.get(Var(0)) == Some(TermId(1))).count() == 1);
+    assert!(
+        out.iter()
+            .filter(|a| a.binding.get(Var(0)) == Some(TermId(1)))
+            .count()
+            == 1
+    );
 }
 
 #[test]
@@ -139,18 +154,23 @@ fn duplicate_scores_deterministic_order() {
         m,
     );
     let out1 = materialize(join);
-    let ids1: Vec<_> = out1.iter().map(|a| a.binding.get(Var(0)).unwrap().0).collect();
+    let ids1: Vec<_> = out1
+        .iter()
+        .map(|a| a.binding.get(Var(0)).unwrap().0)
+        .collect();
     assert_eq!(ids1, vec![1, 3, 5], "binding tie-break ascending");
 }
 
 #[test]
 fn metrics_aggregate_across_whole_tree() {
     let m = OpMetrics::new_handle();
-    let l: Vec<_> = (0..10).map(|i| ans(&[(0, i)], 1.0 - i as f64 * 0.05)).collect();
-    let r: Vec<_> = (0..10).map(|i| ans(&[(0, i)], 1.0 - i as f64 * 0.05)).collect();
-    let merge = IncrementalMerge::new(vec![
-        Box::new(VecStream::new(l)) as BoxedStream<'static>,
-    ]);
+    let l: Vec<_> = (0..10)
+        .map(|i| ans(&[(0, i)], 1.0 - i as f64 * 0.05))
+        .collect();
+    let r: Vec<_> = (0..10)
+        .map(|i| ans(&[(0, i)], 1.0 - i as f64 * 0.05))
+        .collect();
+    let merge = IncrementalMerge::new(vec![Box::new(VecStream::new(l)) as BoxedStream<'static>]);
     let mut join = RankJoin::new(
         Box::new(merge),
         Box::new(VecStream::new(r)),

@@ -80,7 +80,10 @@ fn independence_estimator_is_order_of_magnitude() {
             checked += 1;
         }
     }
-    assert!(checked >= 2, "workload had too few dense queries ({checked})");
+    assert!(
+        checked >= 2,
+        "workload had too few dense queries ({checked})"
+    );
 }
 
 #[test]

@@ -86,10 +86,7 @@ fn xkg_type_lists_follow_8020() {
                 list.len()
             );
             let sigma = list.score_at(rank_at_80 - 1).value() / list.max_score().value();
-            assert!(
-                (0.02..0.98).contains(&sigma),
-                "degenerate sigma_r {sigma}"
-            );
+            assert!((0.02..0.98).contains(&sigma), "degenerate sigma_r {sigma}");
             checked += 1;
         }
     }

@@ -32,11 +32,7 @@ fn input_list(side_var: u32, max_len: usize) -> impl Strategy<Value = Vec<Partia
     )
 }
 
-fn naive_join(
-    l: &[PartialAnswer],
-    r: &[PartialAnswer],
-    join_vars: &[Var],
-) -> Vec<PartialAnswer> {
+fn naive_join(l: &[PartialAnswer], r: &[PartialAnswer], join_vars: &[Var]) -> Vec<PartialAnswer> {
     let mut out = Vec::new();
     for a in l {
         for b in r {

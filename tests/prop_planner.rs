@@ -5,8 +5,8 @@
 use kgstore::{KnowledgeGraph, KnowledgeGraphBuilder};
 use proptest::prelude::*;
 use relax::{Position, RelaxationRegistry, TermRule};
-use specqp::{precision_at_k, Engine};
 use sparql::{Query, QueryBuilder};
+use specqp::{precision_at_k, Engine};
 use specqp_common::TermId;
 
 /// A random micro-KG: `n_entities` entities spread over `n_classes`
@@ -28,9 +28,7 @@ fn micro_world(
     let n_classes = n_classes.max(2);
     let mut b = KnowledgeGraphBuilder::new();
     let type_pred = b.intern("type");
-    let classes: Vec<TermId> = (0..n_classes)
-        .map(|c| b.intern(&format!("c{c}")))
-        .collect();
+    let classes: Vec<TermId> = (0..n_classes).map(|c| b.intern(&format!("c{c}"))).collect();
     for (e, c, score) in assignments {
         let class = classes[(c % n_classes) as usize];
         let ent = b.intern(&format!("e{e}"));
@@ -43,7 +41,13 @@ fn micro_world(
         let to = classes[(to % n_classes) as usize];
         if from != to {
             let w = f64::from(w.clamp(5, 99)) / 100.0;
-            registry.add(TermRule::with_context(Position::Object, from, to, w, type_pred));
+            registry.add(TermRule::with_context(
+                Position::Object,
+                from,
+                to,
+                w,
+                type_pred,
+            ));
         }
     }
     MicroWorld {

@@ -19,10 +19,9 @@ fn score_list() -> impl Strategy<Value = Vec<f64>> {
 
 /// Strategy: a valid two-bucket histogram.
 fn histogram() -> impl Strategy<Value = TwoBucketHistogram> {
-    (0.01f64..0.99, 0.05f64..0.95, 0.5f64..4.0)
-        .prop_map(|(sigma_frac, head_mass, domain)| {
-            TwoBucketHistogram::new(domain, sigma_frac * domain, head_mass)
-        })
+    (0.01f64..0.99, 0.05f64..0.95, 0.5f64..4.0).prop_map(|(sigma_frac, head_mass, domain)| {
+        TwoBucketHistogram::new(domain, sigma_frac * domain, head_mass)
+    })
 }
 
 proptest! {

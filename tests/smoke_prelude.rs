@@ -1,0 +1,32 @@
+//! Enforces the `src/lib.rs` quickstart doctest contract as a plain
+//! integration test, so the documented entry path (`spec_qp::prelude`,
+//! build KG → parse → `engine.run_specqp(&q, 5)`) stays covered even if
+//! doctests are skipped.
+
+use spec_qp::prelude::*;
+
+#[test]
+fn prelude_quickstart_returns_documented_answer() {
+    let mut b = KnowledgeGraphBuilder::new();
+    b.add("a", "type", "x", 2.0);
+    b.add("a", "type", "y", 1.0);
+    let kg = b.build();
+    let rules = RelaxationRegistry::new();
+    let engine = Engine::new(&kg, &rules);
+    let q = parse_query(
+        "SELECT ?s WHERE { ?s <type> <x> . ?s <type> <y> }",
+        kg.dictionary(),
+    )
+    .unwrap();
+
+    let outcome = engine.run_specqp(&q, 5);
+    assert_eq!(
+        outcome.answers.len(),
+        1,
+        "exactly one entity joins both patterns"
+    );
+    assert!(
+        outcome.answers[0].score.value() > 0.0,
+        "the single answer carries a positive combined score"
+    );
+}

@@ -1,0 +1,664 @@
+//! Offline, API-compatible subset of the
+//! [`proptest`](https://crates.io/crates/proptest) crate, covering what this
+//! workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`, multiple
+//!   `#[test]` functions, and `pattern in strategy` bindings),
+//! * [`Strategy`] with `prop_map`, range strategies, tuple strategies,
+//!   [`collection::vec`], [`any`], and regex-subset string strategies,
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * a deterministic [`test_runner::TestRunner`] (fixed seed, so CI is
+//!   reproducible; set `PROPTEST_SEED` to explore other sequences).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! this shim. The big intentional simplification: **no shrinking** — a failing
+//! case reports the generated input verbatim.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt::Debug;
+
+    /// Why a single test case failed.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+
+        pub fn message(&self) -> &str {
+            &self.0
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Mirror of `proptest::test_runner::Config` (aliased `ProptestConfig` in
+    /// the prelude). Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic case runner: draws `config.cases` inputs from the
+    /// strategy and fails fast (no shrinking) with the offending input.
+    pub struct TestRunner {
+        rng: StdRng,
+        config: Config,
+    }
+
+    impl TestRunner {
+        pub fn new(config: Config) -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x5eed_cafe_f00d_u64);
+            TestRunner {
+                rng: StdRng::seed_from_u64(seed),
+                config,
+            }
+        }
+
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+        where
+            S: super::Strategy,
+            S::Value: Debug,
+            F: FnMut(S::Value) -> TestCaseResult,
+        {
+            for case in 0..self.config.cases {
+                let value = strategy.generate(&mut self.rng);
+                let described = format!("{value:?}");
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => panic!(
+                        "proptest case {case} failed: {e}\n(no shrinking) input: {described}"
+                    ),
+                    Err(panic) => {
+                        eprintln!(
+                            "proptest case {case} panicked\n(no shrinking) input: {described}"
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A generator of test-case inputs. Unlike real proptest there is no value
+/// tree: `generate` yields a plain value and failures are not shrunk.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident)+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A B);
+impl_tuple_strategy!(A B C);
+impl_tuple_strategy!(A B C D);
+impl_tuple_strategy!(A B C D E);
+impl_tuple_strategy!(A B C D E F);
+
+/// Types with a canonical "any value" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Inclusive length bounds for [`collection::vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies (`"[a-z][a-z0-9_:#]{0,8}"` etc.)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct CharClass {
+    /// Inclusive char ranges; a literal is a one-char range.
+    ranges: Vec<(char, char)>,
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut StdRng) -> char {
+        let total: u32 = self
+            .ranges
+            .iter()
+            .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+            .sum();
+        let mut pick = rng.gen_range(0..total);
+        for &(lo, hi) in &self.ranges {
+            let span = hi as u32 - lo as u32 + 1;
+            if pick < span {
+                return char::from_u32(lo as u32 + pick).expect("valid char range");
+            }
+            pick -= span;
+        }
+        unreachable!("pick < total")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    class: CharClass,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the regex subset the workspace's string strategies use: literals,
+/// escapes, `.`, `[...]` classes (with ranges), and `{m}` / `{m,n}` / `?` /
+/// `*` / `+` quantifiers. Panics on anything else — string strategies are
+/// authored in-tree, so a parse failure is a test-authoring bug.
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    fn escaped(c: char) -> char {
+        match c {
+            't' => '\t',
+            'n' => '\n',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let class = match c {
+            // Real proptest's `.` draws from (nearly) any char except '\n'.
+            // Tests like `".{0,200}"` rely on that to feed parsers control
+            // characters and multi-byte Unicode, so the class mixes printable
+            // ASCII with controls, Latin-1/extended, CJK and emoji slices —
+            // wide enough to catch byte-indexed slicing bugs.
+            '.' => CharClass {
+                ranges: vec![
+                    ('\u{0}', '\u{9}'),
+                    ('\u{b}', '\u{1f}'),
+                    (' ', '~'),
+                    ('\u{7f}', '\u{2ff}'),
+                    ('\u{4e00}', '\u{4eff}'),
+                    ('\u{1f600}', '\u{1f64f}'),
+                ],
+            },
+            '\\' => {
+                let e = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in string strategy {pattern:?}"));
+                let lit = escaped(e);
+                CharClass {
+                    ranges: vec![(lit, lit)],
+                }
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let item = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated class in string strategy {pattern:?}")
+                    });
+                    let lo = match item {
+                        ']' => break,
+                        '\\' => escaped(chars.next().unwrap_or_else(|| {
+                            panic!("dangling escape in string strategy {pattern:?}")
+                        })),
+                        other => other,
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.peek() {
+                            Some(']') | None => {
+                                // Trailing '-' is a literal.
+                                ranges.push((lo, lo));
+                                ranges.push(('-', '-'));
+                            }
+                            Some(_) => {
+                                let hi = match chars.next().expect("peeked") {
+                                    '\\' => escaped(chars.next().unwrap_or_else(|| {
+                                        panic!("dangling escape in string strategy {pattern:?}")
+                                    })),
+                                    other => other,
+                                };
+                                assert!(lo <= hi, "inverted range in {pattern:?}");
+                                ranges.push((lo, hi));
+                            }
+                        }
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(
+                    !ranges.is_empty(),
+                    "empty class in string strategy {pattern:?}"
+                );
+                CharClass { ranges }
+            }
+            lit => CharClass {
+                ranges: vec![(lit, lit)],
+            },
+        };
+
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                let (m, n) = match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier {{{spec}}} in {pattern:?}")),
+                        n.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier {{{spec}}} in {pattern:?}")),
+                    ),
+                    None => {
+                        let m: usize = spec
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier {{{spec}}} in {pattern:?}"));
+                        (m, m)
+                    }
+                };
+                assert!(m <= n, "inverted quantifier {{{spec}}} in {pattern:?}");
+                (m, n)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { class, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let reps = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..reps {
+                out.push(atom.class.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+/// Everything a property-test file conventionally imports.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // The stringified expression goes in as a format *argument*, not the
+        // format string — conditions like `matches!(x, Foo { .. })` contain
+        // braces that would otherwise break `format!`.
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// The `proptest!` block: an optional `#![proptest_config(..)]` followed by
+/// `#[test]` functions whose arguments are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ (<$crate::test_runner::Config as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let strategy = ($($strat,)+);
+            runner.run(&strategy, |($($pat,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn string_strategy_respects_pattern() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-z][a-z0-9_:#]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "bad len: {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "_:#".contains(c)));
+        }
+    }
+
+    #[test]
+    fn dot_covers_controls_and_multibyte() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut control = false;
+        let mut multibyte = false;
+        let mut ascii = false;
+        for _ in 0..400 {
+            for c in crate::Strategy::generate(&".{0,40}", &mut rng).chars() {
+                assert_ne!(c, '\n', "`.` must not produce newlines");
+                control |= c.is_control();
+                multibyte |= (c as u32) > 0x7f;
+                ascii |= c.is_ascii_graphic();
+            }
+        }
+        assert!(control && multibyte && ascii, "`.` should mix char classes");
+    }
+
+    #[test]
+    fn escape_classes_parse() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = crate::Strategy::generate(&"[ \t\n]{0,6}", &mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c == ' ' || c == '\t' || c == '\n'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_lengths_in_bounds(v in prop::collection::vec(0u8..10, 3..12)) {
+            prop_assert!(v.len() >= 3 && v.len() < 12, "len {}", v.len());
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_maps((a, b) in (0u32..5, 0.25f64..0.5).prop_map(|(a, b)| (a + 1, b * 2.0))) {
+            prop_assert!((1..=5).contains(&a));
+            prop_assert!((0.5..1.0).contains(&b));
+            prop_assert_eq!(a, a);
+        }
+
+        #[test]
+        fn any_bool_is_exhaustive(flag in any::<bool>(), _pad in 0u8..4) {
+            let _ = flag;
+        }
+    }
+
+    proptest! {
+        fn always_fails(x in 0u8..4) {
+            prop_assert!(x > 200, "x was {}", x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_reports_input() {
+        always_fails();
+    }
+}
