@@ -17,6 +17,8 @@ build:
 
 test:
 	$(CARGO) test -q --workspace
+	env -u RUST_TEST_THREADS $(CARGO) test -q --release --test integration_service
+	env -u RUST_TEST_THREADS $(CARGO) test -q --release -p specqp_service
 
 bench:
 	$(CARGO) bench --no-run --workspace
@@ -26,7 +28,7 @@ example:
 
 # The weekly bench-smoke job in one command.
 smoke:
-	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --json BENCH_probe.json
+	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --json BENCH_probe.json
 
 clean:
 	$(CARGO) clean

@@ -1,0 +1,51 @@
+//! Service throughput bench: queries/sec of the concurrent query service at
+//! 1, 2 and 4 worker threads over a repeated XKG workload — the BENCH
+//! headline for the serving layer. The repeated shapes keep the plan cache
+//! hot, so this measures execution + dispatch, the steady-state serving
+//! cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{XkgConfig, XkgGenerator};
+use specqp_service::{QueryJob, QueryService, ServiceConfig};
+use std::sync::Arc;
+
+fn bench_service(c: &mut Criterion) {
+    let ds = XkgGenerator::new(XkgConfig::small(0x5e41ce)).generate();
+    let jobs: Vec<QueryJob> = ds
+        .workload
+        .queries
+        .iter()
+        .cycle()
+        .take(48)
+        .map(|q| QueryJob::specqp(q.clone(), 10))
+        .collect();
+    let graph = Arc::new(ds.graph);
+    let registry = Arc::new(ds.registry);
+
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        let service = QueryService::new(
+            Arc::clone(&graph),
+            Arc::clone(&registry),
+            ServiceConfig::with_threads(threads),
+        );
+        // Warm the plan/stats caches so samples measure steady state.
+        let _ = service.run_batch(&jobs);
+        group.bench_with_input(
+            BenchmarkId::new("batch48_threads", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    let report = service.run_batch(&jobs);
+                    assert_eq!(report.outcomes.len(), jobs.len());
+                    report.stats.queries_per_sec
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

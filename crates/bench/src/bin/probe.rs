@@ -10,12 +10,20 @@
 //! report (plan, ground truth, timings, accounting) for CI trend tracking —
 //! the weekly bench-smoke workflow uploads it as the `BENCH_probe.json`
 //! artifact.
+//!
+//! With `--service N` the probe additionally drives the whole workload
+//! (cycled ×3 so repeated shapes exercise the plan cache) through an
+//! N-thread [`QueryService`] and reports queries/sec, latency percentiles
+//! and plan-cache hit rates — landing in the JSON report as a `service`
+//! object so BENCH artifacts track serving throughput over time.
 
 use datagen::{TwitterConfig, TwitterGenerator, XkgConfig, XkgGenerator};
 use specqp::{prediction_covering, prediction_exact, required_relaxations, Engine};
+use specqp_service::{QueryJob, QueryService, ServiceConfig};
 use specqp_stats::{
     expected_score_at_rank, CardinalityEstimator, ExactCardinality, ScoreEstimator, StatsCatalog,
 };
+use std::sync::Arc;
 
 /// Renders `\"`-escaped JSON string contents (the probe emits only ASCII
 /// identifiers, so control characters and quotes are the whole game).
@@ -41,6 +49,16 @@ fn main() {
             eprintln!("--json requires a file path");
             std::process::exit(2);
         })
+    });
+    let service_threads = raw.iter().position(|a| a == "--service").map(|i| {
+        let mut pair = raw.drain(i..(i + 2).min(raw.len()));
+        pair.next();
+        pair.next()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--service requires a thread count");
+                std::process::exit(2);
+            })
     });
     let mut args = raw.into_iter();
     let dataset_name = args.next().unwrap_or_else(|| "xkg".into());
@@ -124,9 +142,12 @@ fn main() {
         println!();
     }
 
-    let engine = Engine::new(&ds.graph, &ds.registry);
-    let spec = engine.run_specqp(query, k);
-    let trinit = engine.run_trinit(query, k);
+    // Scoped so the engine (whose boxed estimator has drop glue) releases
+    // its borrows before the service probe moves graph/registry into Arcs.
+    let (spec, trinit) = {
+        let engine = Engine::new(&ds.graph, &ds.registry);
+        (engine.run_specqp(query, k), engine.run_trinit(query, k))
+    };
     let required = required_relaxations(&ds.graph, query, &ds.registry, &trinit.answers);
     println!("plan singletons: {:?}", spec.plan.singletons());
     println!("required (ground truth): {required:?}");
@@ -145,6 +166,64 @@ fn main() {
             .map(|a| (a.score.value() * 1000.0).round() / 1000.0)
             .collect::<Vec<_>>()
     );
+
+    // Optional serving-throughput probe: the whole workload, cycled ×3 so
+    // repeated shapes hit the plan cache, through an N-thread service.
+    // This consumes the dataset's graph/registry (moved into Arcs), so it
+    // runs after every borrowed diagnostic above.
+    let summary = ds.summary();
+    let mut service_json = String::new();
+    if let Some(threads) = service_threads {
+        let jobs: Vec<QueryJob> = ds
+            .workload
+            .queries
+            .iter()
+            .cycle()
+            .take(ds.workload.queries.len() * 3)
+            .map(|q| QueryJob::specqp(q.clone(), k))
+            .collect();
+        let service = QueryService::new(
+            Arc::new(ds.graph),
+            Arc::new(ds.registry),
+            ServiceConfig::with_threads(threads),
+        );
+        let report = service.run_batch(&jobs);
+        let s = &report.stats;
+        println!(
+            "service: {} queries / {} threads -> {:.1} q/s (mean {:?}, p95 {:?}); \
+             plan cache: {} hits / {} lookups ({:.0}% hit rate, {} evictions)",
+            s.queries,
+            s.threads,
+            s.queries_per_sec,
+            s.mean_latency,
+            s.p95_latency,
+            s.cache.hits,
+            s.cache.lookups,
+            s.cache.hit_rate * 100.0,
+            s.cache.evictions,
+        );
+        service_json = format!(
+            ",\n  \"service\": {{\"threads\":{},\"queries\":{},\"queries_per_sec\":{:.3},\
+             \"wall_us\":{},\"mean_latency_us\":{},\"p50_latency_us\":{},\
+             \"p95_latency_us\":{},\"max_latency_us\":{},\"cache\":{{\"lookups\":{},\
+             \"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\
+             \"hit_rate\":{:.4}}}}}",
+            s.threads,
+            s.queries,
+            s.queries_per_sec,
+            s.wall.as_micros(),
+            s.mean_latency.as_micros(),
+            s.p50_latency.as_micros(),
+            s.p95_latency.as_micros(),
+            s.max_latency.as_micros(),
+            s.cache.lookups,
+            s.cache.hits,
+            s.cache.misses,
+            s.cache.insertions,
+            s.cache.evictions,
+            s.cache.hit_rate,
+        );
+    }
 
     if let Some(path) = json_path {
         let scores = |o: &specqp::QueryOutcome| {
@@ -175,9 +254,9 @@ fn main() {
             "{{\n  \"dataset\": \"{}\",\n  \"summary\": \"{}\",\n  \"query\": {qid},\n  \
              \"k\": {k},\n  \"plan_singletons\": {:?},\n  \"required\": {:?},\n  \
              \"prediction_exact\": {exact},\n  \"prediction_covers\": {covers},\n  \
-             \"specqp\": {},\n  \"trinit\": {}\n}}\n",
+             \"specqp\": {},\n  \"trinit\": {}{service_json}\n}}\n",
             json_escape(&ds.name),
-            json_escape(&ds.summary()),
+            json_escape(&summary),
             spec.plan.singletons(),
             required,
             report(&spec),

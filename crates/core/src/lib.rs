@@ -13,6 +13,8 @@
 //!
 //! * [`QueryPlan`] — the partition `{join group} ∪ {singletons}` of §3.2,
 //! * [`plan_query`] — Algorithm 1 (PLANGEN),
+//! * [`PlanCache`] — a sharded, bounded cache from canonical
+//!   [`QueryShape`]s to plans, so repeated workload shapes skip PLANGEN,
 //! * [`executor`] — turns a plan into an operator tree and runs it; also
 //!   provides the **TriniT baseline** (every pattern relaxed, Fig. 2) and a
 //!   **naive materialize-everything executor** used as ground truth in
@@ -65,6 +67,7 @@ pub mod engine;
 pub mod evaluation;
 pub mod executor;
 pub mod plan;
+pub mod plan_cache;
 pub mod plangen;
 pub mod trace;
 
@@ -77,5 +80,6 @@ pub use executor::{
     build_plan_stream, build_plan_stream_with_chains, run_naive, run_plan, run_plan_with_chains,
 };
 pub use plan::QueryPlan;
+pub use plan_cache::{PlanCache, QueryShape};
 pub use plangen::plan_query;
 pub use trace::RunReport;

@@ -39,7 +39,7 @@ pub mod topk;
 pub use adapt::{Projected, Scaled};
 pub use answer::{Binding, PartialAnswer};
 pub use incr_merge::IncrementalMerge;
-pub use metrics::{MetricsHandle, OpMetrics};
+pub use metrics::{CacheMetrics, CacheMetricsHandle, MetricsHandle, OpMetrics};
 pub use nrjn::NestedLoopsRankJoin;
 pub use rank_join::{PullStrategy, RankJoin};
 pub use scan::PatternScan;

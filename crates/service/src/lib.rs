@@ -1,0 +1,483 @@
+//! # specqp_service — a concurrent query service over one shared engine
+//!
+//! The Spec-QP paper's premise is that speculative planning amortizes
+//! optimization effort across a *workload*. This crate supplies the serving
+//! layer that premise assumes: one [`Engine`] co-owning its graph and
+//! relaxation registry through `Arc`s, shared read-only by a fixed-size pool
+//! of worker threads that drain a bounded MPMC job queue. Per-query results
+//! come back in submission order as [`specqp::QueryOutcome`]s, together with
+//! aggregate throughput/latency statistics and a snapshot of the engine's
+//! plan-cache counters — repeated query shapes skip PLANGEN entirely.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use kgstore::KnowledgeGraphBuilder;
+//! use relax::RelaxationRegistry;
+//! use sparql::parse_query;
+//! use specqp_service::{ExecMode, QueryJob, QueryService, ServiceConfig};
+//!
+//! let mut b = KnowledgeGraphBuilder::new();
+//! b.add("shakira", "rdf:type", "singer", 100.0);
+//! b.add("adele", "rdf:type", "singer", 90.0);
+//! let graph = Arc::new(b.build());
+//! let registry = Arc::new(RelaxationRegistry::new());
+//!
+//! let q = parse_query("SELECT ?s WHERE { ?s <rdf:type> <singer> }", graph.dictionary()).unwrap();
+//! let service = QueryService::new(graph, registry, ServiceConfig::with_threads(2));
+//! let jobs: Vec<QueryJob> = (0..8).map(|_| QueryJob::specqp(q.clone(), 5)).collect();
+//! let report = service.run_batch(&jobs);
+//!
+//! assert_eq!(report.outcomes.len(), 8);
+//! assert!(report.outcomes.iter().all(|o| o.answers.len() == 2));
+//! assert!(report.stats.queries_per_sec > 0.0);
+//! // The 8 identical shapes share one cached plan; at most one racing
+//! // miss per worker thread before the first insert lands.
+//! assert!(report.stats.cache.hits >= 6);
+//! ```
+
+pub mod queue;
+
+pub use queue::BoundedQueue;
+
+use kgstore::KnowledgeGraph;
+use relax::RelaxationRegistry;
+use sparql::Query;
+use specqp::{Engine, EngineConfig, QueryOutcome};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which executor a job runs through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Speculative planning + execution (the paper's Spec-QP).
+    SpecQp,
+    /// The TriniT baseline: every pattern relaxed, no planning.
+    TriniT,
+    /// The brute-force ground-truth executor (tests / validation).
+    Naive,
+}
+
+/// One unit of work: a query, the answer budget `k` and the executor mode.
+#[derive(Clone, Debug)]
+pub struct QueryJob {
+    /// The query to answer.
+    pub query: Query,
+    /// Top-k budget.
+    pub k: usize,
+    /// Executor selection.
+    pub mode: ExecMode,
+}
+
+impl QueryJob {
+    /// A Spec-QP job.
+    pub fn specqp(query: Query, k: usize) -> Self {
+        QueryJob {
+            query,
+            k,
+            mode: ExecMode::SpecQp,
+        }
+    }
+
+    /// A TriniT-baseline job.
+    pub fn trinit(query: Query, k: usize) -> Self {
+        QueryJob {
+            query,
+            k,
+            mode: ExecMode::TriniT,
+        }
+    }
+
+    /// A naive ground-truth job.
+    pub fn naive(query: Query, k: usize) -> Self {
+        QueryJob {
+            query,
+            k,
+            mode: ExecMode::Naive,
+        }
+    }
+}
+
+/// Service tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads (minimum 1).
+    pub threads: usize,
+    /// Bounded job-queue depth; defaults to `4 × threads`.
+    pub queue_depth: usize,
+    /// Engine configuration used by [`QueryService::new`].
+    pub engine: EngineConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig::with_threads(4)
+    }
+}
+
+impl ServiceConfig {
+    /// Config with `threads` workers and the default queue depth/engine.
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        ServiceConfig {
+            threads,
+            queue_depth: threads * 4,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Snapshot of the engine's plan-cache counters at the end of a batch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheSnapshot {
+    /// Total lookups (`hits + misses`).
+    pub lookups: u64,
+    /// Lookups answered from the cache (PLANGEN skipped).
+    pub hits: u64,
+    /// Lookups that had to run PLANGEN.
+    pub misses: u64,
+    /// Plans inserted.
+    pub insertions: u64,
+    /// Plans evicted by capacity pressure.
+    pub evictions: u64,
+    /// `hits / lookups` in `[0, 1]`.
+    pub hit_rate: f64,
+}
+
+/// Aggregate accounting for one batch run.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchStats {
+    /// Queries executed.
+    pub queries: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// `queries / wall` (the BENCH throughput headline).
+    pub queries_per_sec: f64,
+    /// Mean per-query latency.
+    pub mean_latency: Duration,
+    /// Median per-query latency.
+    pub p50_latency: Duration,
+    /// 95th-percentile per-query latency.
+    pub p95_latency: Duration,
+    /// Worst per-query latency.
+    pub max_latency: Duration,
+    /// Plan-cache counters accumulated on the engine (lifetime totals, not
+    /// per-batch deltas, when the service is reused).
+    pub cache: CacheSnapshot,
+}
+
+/// One batch's results: per-query outcomes in submission order plus
+/// aggregate statistics.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// `outcomes[i]` answers `jobs[i]`.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Throughput/latency/cache accounting.
+    pub stats: BatchStats,
+}
+
+/// Renders a caught panic payload for re-raising on the driver thread.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A concurrent query service: an `Arc`-shared engine plus a worker pool
+/// draining a bounded MPMC queue.
+///
+/// The service is itself `Send + Sync`; `run_batch` takes `&self`, so one
+/// service can serve many batches (the plan cache and statistics catalog
+/// stay warm across batches).
+#[derive(Debug)]
+pub struct QueryService {
+    engine: Arc<Engine<'static>>,
+    config: ServiceConfig,
+}
+
+impl QueryService {
+    /// Builds a service around a fresh engine co-owning `graph` and
+    /// `registry`.
+    pub fn new(
+        graph: Arc<KnowledgeGraph>,
+        registry: Arc<RelaxationRegistry>,
+        config: ServiceConfig,
+    ) -> Self {
+        let engine = Engine::shared_with_config(graph, registry, config.engine);
+        QueryService {
+            engine: Arc::new(engine),
+            config,
+        }
+    }
+
+    /// Builds a service around an existing `'static` engine (custom
+    /// cardinality estimator, chain rules, …).
+    pub fn with_engine(engine: Arc<Engine<'static>>, config: ServiceConfig) -> Self {
+        QueryService { engine, config }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine<'static>> {
+        &self.engine
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Current plan-cache counters.
+    pub fn cache_snapshot(&self) -> CacheSnapshot {
+        let m = self.engine.plan_cache_metrics();
+        CacheSnapshot {
+            lookups: m.lookups(),
+            hits: m.hits(),
+            misses: m.misses(),
+            insertions: m.insertions(),
+            evictions: m.evictions(),
+            hit_rate: m.hit_rate(),
+        }
+    }
+
+    /// Runs every job through the worker pool and returns outcomes in
+    /// submission order.
+    ///
+    /// The driver thread feeds job indices into the bounded queue (applying
+    /// backpressure when workers fall behind), each worker pops, executes
+    /// against the shared engine and stores `(outcome, latency)` into its
+    /// result slot. Execution is deterministic per job, so the answer sets
+    /// are identical to a sequential loop over the same jobs.
+    ///
+    /// # Panics
+    /// If a job's execution panics, the worker catches it and keeps
+    /// draining the queue (so the driver never deadlocks pushing into a
+    /// full queue with dead consumers), and `run_batch` re-panics with the
+    /// job index once the batch is drained.
+    pub fn run_batch(&self, jobs: &[QueryJob]) -> BatchReport {
+        type Slot = Option<Result<(QueryOutcome, Duration), String>>;
+        let queue: BoundedQueue<usize> = BoundedQueue::new(self.config.queue_depth);
+        let slots: Vec<Mutex<Slot>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.threads {
+                scope.spawn(|| {
+                    while let Some(i) = queue.pop() {
+                        let job = &jobs[i];
+                        let started = Instant::now();
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            self.run_one(job)
+                        }))
+                        .map(|outcome| (outcome, started.elapsed()))
+                        .map_err(|payload| panic_message(payload.as_ref()));
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    }
+                });
+            }
+            for i in 0..jobs.len() {
+                queue.push(i).expect("queue closed while feeding");
+            }
+            queue.close();
+        });
+        let wall = t0.elapsed();
+
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        let mut latencies = Vec::with_capacity(jobs.len());
+        for (i, slot) in slots.into_iter().enumerate() {
+            let result = slot
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("worker pool exited with unprocessed job");
+            match result {
+                Ok((outcome, latency)) => {
+                    outcomes.push(outcome);
+                    latencies.push(latency);
+                }
+                Err(msg) => panic!("query job {i} panicked: {msg}"),
+            }
+        }
+        let stats = self.stats_for(&latencies, wall);
+        BatchReport { outcomes, stats }
+    }
+
+    /// Sequential reference run: the same jobs, one at a time, on this
+    /// service's *shared* engine — warm plan cache and statistics included.
+    /// Used by the determinism tests (parallel vs sequential answer sets
+    /// must match). For a cold-cache sequential baseline, build a separate
+    /// [`QueryService`] over the same `Arc`s instead.
+    pub fn run_sequential(&self, jobs: &[QueryJob]) -> Vec<QueryOutcome> {
+        jobs.iter().map(|job| self.run_one(job)).collect()
+    }
+
+    fn run_one(&self, job: &QueryJob) -> QueryOutcome {
+        match job.mode {
+            ExecMode::SpecQp => self.engine.run_specqp(&job.query, job.k),
+            ExecMode::TriniT => self.engine.run_trinit(&job.query, job.k),
+            ExecMode::Naive => self.engine.run_naive(&job.query, job.k),
+        }
+    }
+
+    fn stats_for(&self, latencies: &[Duration], wall: Duration) -> BatchStats {
+        let queries = latencies.len();
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let at = |q: f64| -> Duration {
+            if sorted.is_empty() {
+                Duration::ZERO
+            } else {
+                let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+                sorted[idx]
+            }
+        };
+        let total: Duration = latencies.iter().sum();
+        BatchStats {
+            queries,
+            threads: self.config.threads,
+            wall,
+            queries_per_sec: if wall.is_zero() {
+                0.0
+            } else {
+                queries as f64 / wall.as_secs_f64()
+            },
+            mean_latency: if queries == 0 {
+                Duration::ZERO
+            } else {
+                total / queries as u32
+            },
+            p50_latency: at(0.50),
+            p95_latency: at(0.95),
+            max_latency: sorted.last().copied().unwrap_or(Duration::ZERO),
+            cache: self.cache_snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgstore::KnowledgeGraphBuilder;
+    use relax::{Position, TermRule};
+    use sparql::parse_query;
+
+    fn setup() -> (Arc<KnowledgeGraph>, Arc<RelaxationRegistry>) {
+        let mut b = KnowledgeGraphBuilder::new();
+        for i in 0..40 {
+            b.add(&format!("e{i}"), "type", "big", 100.0 / (i + 1) as f64);
+        }
+        for i in 0..3 {
+            b.add(&format!("e{i}"), "type", "small", 10.0 / (i + 1) as f64);
+        }
+        for i in 0..20 {
+            b.add(&format!("e{i}"), "type", "backup", 60.0 / (i + 1) as f64);
+        }
+        let g = b.build();
+        let d = g.dictionary();
+        let ty = d.lookup("type").unwrap();
+        let mut reg = RelaxationRegistry::new();
+        reg.add(TermRule::with_context(
+            Position::Object,
+            d.lookup("small").unwrap(),
+            d.lookup("backup").unwrap(),
+            0.9,
+            ty,
+        ));
+        (Arc::new(g), Arc::new(reg))
+    }
+
+    #[test]
+    fn service_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryService>();
+        assert_send_sync::<BoundedQueue<usize>>();
+    }
+
+    #[test]
+    fn batch_outcomes_in_submission_order() {
+        let (g, reg) = setup();
+        let service = QueryService::new(g.clone(), reg, ServiceConfig::with_threads(3));
+        let big = parse_query("SELECT ?s WHERE { ?s <type> <big> }", g.dictionary()).unwrap();
+        let small = parse_query("SELECT ?s WHERE { ?s <type> <small> }", g.dictionary()).unwrap();
+        // Alternate shapes so slot order is observable.
+        let jobs: Vec<QueryJob> = (0..10)
+            .map(|i| {
+                if i % 2 == 0 {
+                    QueryJob::specqp(big.clone(), 5)
+                } else {
+                    QueryJob::specqp(small.clone(), 2)
+                }
+            })
+            .collect();
+        let report = service.run_batch(&jobs);
+        assert_eq!(report.outcomes.len(), 10);
+        for (i, o) in report.outcomes.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(o.answers.len(), 5, "slot {i} must hold the big query");
+            } else {
+                assert!(o.answers.len() >= 2, "slot {i} must hold the small query");
+            }
+        }
+        assert_eq!(report.stats.queries, 10);
+        assert!(report.stats.queries_per_sec > 0.0);
+        assert!(report.stats.mean_latency <= report.stats.max_latency);
+        let c = report.stats.cache;
+        assert_eq!(c.hits + c.misses, c.lookups);
+        // Two distinct shapes; plan() is lookup→plangen→insert without
+        // atomicity, so each shape can miss up to once per concurrently
+        // racing worker (3 threads) before the first insert lands.
+        assert!(
+            (2..=6).contains(&c.misses),
+            "misses {} outside [2, shapes × threads]",
+            c.misses
+        );
+        assert!(c.hit_rate > 0.0);
+    }
+
+    /// Regression: a panicking job must not deadlock the driver (which
+    /// previously could block forever pushing into a full queue whose only
+    /// consumers had died). The batch drains, then re-panics with the job
+    /// index.
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        let (g, reg) = setup();
+        let service = QueryService::new(g.clone(), reg, ServiceConfig::with_threads(1));
+        let q = parse_query("SELECT ?s WHERE { ?s <type> <big> }", g.dictionary()).unwrap();
+        let mut jobs: Vec<QueryJob> = (0..10).map(|_| QueryJob::specqp(q.clone(), 5)).collect();
+        // k = 0 trips plan_query's `k >= 1` assertion inside the worker.
+        jobs[0].k = 0;
+        // 10 jobs > queue_depth 4: with a dead worker the old code hung here.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| service.run_batch(&jobs)));
+        let payload = result.expect_err("batch with a panicking job must panic");
+        let msg = panic_message(payload.as_ref());
+        assert!(
+            msg.contains("query job 0 panicked"),
+            "panic names the job: {msg}"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (g, reg) = setup();
+        let service = QueryService::new(g, reg, ServiceConfig::with_threads(2));
+        let report = service.run_batch(&[]);
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.stats.queries, 0);
+        assert_eq!(report.stats.mean_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn single_thread_service_works() {
+        let (g, reg) = setup();
+        let service = QueryService::new(g.clone(), reg, ServiceConfig::with_threads(1));
+        let q = parse_query("SELECT ?s WHERE { ?s <type> <small> }", g.dictionary()).unwrap();
+        let report = service.run_batch(&[QueryJob::trinit(q, 5)]);
+        assert_eq!(report.outcomes.len(), 1);
+        assert!(!report.outcomes[0].answers.is_empty());
+    }
+}

@@ -12,31 +12,41 @@
 use kgstore::{KnowledgeGraph, PatternKey};
 use sparql::{Term, TriplePattern, Var};
 use specqp_common::{FxHashMap, FxHashSet, TermId};
-use std::cell::RefCell;
+use std::sync::RwLock;
 
 /// Estimates the number of answers of a conjunctive triple-pattern query.
-pub trait CardinalityEstimator {
+///
+/// Implementations must be shareable across query-service worker threads
+/// (`Send + Sync`); the built-in estimators guard their memo tables with
+/// `RwLock`s.
+pub trait CardinalityEstimator: Send + Sync {
     /// Expected (or exact) answer count of the join of `patterns`.
     fn cardinality(&self, graph: &KnowledgeGraph, patterns: &[TriplePattern]) -> f64;
 }
 
 /// One pattern's slot in a [`QueryKey`]: constant components plus the
-/// canonical numbers of its variable positions (255 = constant).
-type PatternKeySlot = (Option<TermId>, Option<TermId>, Option<TermId>, [u8; 3]);
+/// canonical numbers of its variable positions (`u16::MAX` = constant; wide
+/// enough that variable numbering can never collide with the sentinel).
+type PatternKeySlot = (Option<TermId>, Option<TermId>, Option<TermId>, [u16; 3]);
 /// Canonical identity of a pattern sequence for the cardinality cache.
 type QueryKey = Vec<PatternKeySlot>;
 
 /// Canonical cache key: constants plus variables renumbered in first-seen
 /// order, so queries differing only in variable names share entries.
 fn canonical_key(patterns: &[TriplePattern]) -> QueryKey {
-    let mut var_map: FxHashMap<Var, u8> = FxHashMap::default();
+    let mut var_map: FxHashMap<Var, u16> = FxHashMap::default();
     let mut key = Vec::with_capacity(patterns.len());
     for p in patterns {
-        let mut slot = [u8::MAX; 3];
+        let mut slot = [u16::MAX; 3];
         for (i, t) in [p.s, p.p, p.o].into_iter().enumerate() {
             if let Term::Var(v) = t {
-                let next = var_map.len() as u8;
-                slot[i] = *var_map.entry(v).or_insert(next);
+                let next = var_map.len();
+                assert!(
+                    next < usize::from(u16::MAX),
+                    "pattern list exceeds {} distinct variables",
+                    u16::MAX
+                );
+                slot[i] = *var_map.entry(v).or_insert(next as u16);
             }
         }
         let (s, pp, o) = p.const_parts();
@@ -59,14 +69,14 @@ type CountBinding = Box<[TermId]>;
 /// repository, which stay far below it).
 #[derive(Debug)]
 pub struct ExactCardinality {
-    cache: RefCell<FxHashMap<QueryKey, f64>>,
+    cache: RwLock<FxHashMap<QueryKey, f64>>,
     cap: usize,
 }
 
 impl Default for ExactCardinality {
     fn default() -> Self {
         ExactCardinality {
-            cache: RefCell::new(FxHashMap::default()),
+            cache: RwLock::new(FxHashMap::default()),
             cap: Self::DEFAULT_CAP,
         }
     }
@@ -84,14 +94,14 @@ impl ExactCardinality {
     /// New oracle with an explicit intermediate-result cap.
     pub fn with_cap(cap: usize) -> Self {
         ExactCardinality {
-            cache: RefCell::new(FxHashMap::default()),
+            cache: RwLock::new(FxHashMap::default()),
             cap,
         }
     }
 
     /// Number of memoized query shapes.
     pub fn cached_queries(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.read().expect("cardinality cache poisoned").len()
     }
 
     /// Evaluates the join count (uncached path).
@@ -215,11 +225,19 @@ fn bind_triple(
 impl CardinalityEstimator for ExactCardinality {
     fn cardinality(&self, graph: &KnowledgeGraph, patterns: &[TriplePattern]) -> f64 {
         let key = canonical_key(patterns);
-        if let Some(&n) = self.cache.borrow().get(&key) {
+        if let Some(&n) = self
+            .cache
+            .read()
+            .expect("cardinality cache poisoned")
+            .get(&key)
+        {
             return n;
         }
         let n = self.evaluate(graph, patterns);
-        self.cache.borrow_mut().insert(key, n);
+        self.cache
+            .write()
+            .expect("cardinality cache poisoned")
+            .insert(key, n);
         n
     }
 }
@@ -229,7 +247,7 @@ impl CardinalityEstimator for ExactCardinality {
 /// (`V(·,v)` = distinct values of `v`). Used by ablation benches.
 #[derive(Default, Debug)]
 pub struct IndependenceEstimator {
-    distinct_cache: RefCell<FxHashMap<(sparql::StatsKey, u8), f64>>,
+    distinct_cache: RwLock<FxHashMap<(sparql::StatsKey, u8), f64>>,
 }
 
 impl IndependenceEstimator {
@@ -250,7 +268,12 @@ impl IndependenceEstimator {
             2
         };
         let key = (pattern.stats_key(), pos);
-        if let Some(&d) = self.distinct_cache.borrow().get(&key) {
+        if let Some(&d) = self
+            .distinct_cache
+            .read()
+            .expect("distinct cache poisoned")
+            .get(&key)
+        {
             return d;
         }
         let (s, p, o) = pattern.const_parts();
@@ -265,7 +288,10 @@ impl IndependenceEstimator {
             seen.insert(v);
         }
         let d = seen.len() as f64;
-        self.distinct_cache.borrow_mut().insert(key, d);
+        self.distinct_cache
+            .write()
+            .expect("distinct cache poisoned")
+            .insert(key, d);
         d
     }
 }

@@ -11,13 +11,18 @@ use crate::histogram::PatternStats;
 use kgstore::{KnowledgeGraph, PatternKey};
 use sparql::{StatsKey, TriplePattern};
 use specqp_common::FxHashMap;
-use std::cell::RefCell;
+use std::sync::RwLock;
 
 /// Cached map from pattern identity to statistics (`None` = pattern has no
 /// matches).
+///
+/// The cache is guarded by an `RwLock` so a catalog can be shared across
+/// query-service worker threads; concurrent misses on the same key both
+/// compute and the second insert is a harmless overwrite of an identical
+/// value (computation is deterministic).
 #[derive(Default, Debug)]
 pub struct StatsCatalog {
-    cache: RefCell<FxHashMap<StatsKey, Option<PatternStats>>>,
+    cache: RwLock<FxHashMap<StatsKey, Option<PatternStats>>>,
 }
 
 impl StatsCatalog {
@@ -28,23 +33,26 @@ impl StatsCatalog {
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.read().expect("stats cache poisoned").len()
     }
 
     /// `true` if nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
-        self.cache.borrow().is_empty()
+        self.cache.read().expect("stats cache poisoned").is_empty()
     }
 
     /// Statistics for `pattern` over `graph` (computed and cached on first
     /// use). `None` when the pattern matches nothing.
     pub fn stats(&self, graph: &KnowledgeGraph, pattern: &TriplePattern) -> Option<PatternStats> {
         let key = pattern.stats_key();
-        if let Some(cached) = self.cache.borrow().get(&key) {
+        if let Some(cached) = self.cache.read().expect("stats cache poisoned").get(&key) {
             return *cached;
         }
         let computed = Self::compute(graph, pattern);
-        self.cache.borrow_mut().insert(key, computed);
+        self.cache
+            .write()
+            .expect("stats cache poisoned")
+            .insert(key, computed);
         computed
     }
 

@@ -11,7 +11,9 @@
 //! * [`stats`] — score-distribution statistics and the expected-score
 //!   estimator,
 //! * [`relax`] — weighted relaxation rules and miners,
-//! * [`datagen`] — seeded synthetic XKG/Twitter datasets.
+//! * [`datagen`] — seeded synthetic XKG/Twitter datasets,
+//! * [`service`] — the concurrent query service (`Arc`-shared engine,
+//!   worker pool, plan-cache-backed batch driver).
 //!
 //! ```
 //! use spec_qp::prelude::*;
@@ -33,6 +35,7 @@ pub use relax;
 pub use sparql;
 pub use specqp;
 pub use specqp_common as common;
+pub use specqp_service as service;
 pub use specqp_stats as stats;
 
 /// The most common imports in one place.
@@ -43,7 +46,10 @@ pub mod prelude {
         CooccurrenceMiner, HierarchyMiner, Position, Relaxation, RelaxationRegistry, TermRule,
     };
     pub use sparql::{parse_query, Query, QueryBuilder, TriplePattern, Var};
-    pub use specqp::{Engine, EngineConfig, QueryOutcome, QueryPlan, RunReport};
+    pub use specqp::{
+        Engine, EngineConfig, PlanCache, QueryOutcome, QueryPlan, QueryShape, RunReport,
+    };
     pub use specqp_common::{Dictionary, Score, TermId};
+    pub use specqp_service::{ExecMode, QueryJob, QueryService, ServiceConfig};
     pub use specqp_stats::{ExactCardinality, RefitMode, ScoreEstimator, StatsCatalog};
 }
