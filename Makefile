@@ -1,9 +1,9 @@
 # Mirrors .github/workflows/ci.yml — `make ci` is exactly the CI gate.
 CARGO ?= cargo
 
-.PHONY: ci lint fmt build test bench example smoke clean
+.PHONY: ci lint fmt build test bench doc example smoke gate snapshot clean
 
-ci: lint build test bench example
+ci: lint build test bench doc example
 
 lint:
 	$(CARGO) fmt --all --check
@@ -23,12 +23,30 @@ test:
 bench:
 	$(CARGO) bench --no-run --workspace
 
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps --workspace
+
 example:
 	$(CARGO) run --release --example quickstart
 
 # The weekly bench-smoke job in one command.
 smoke:
 	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --json BENCH_probe.json
+
+# The CI bench-regression job: probe the current tree, gate against the
+# committed baseline (3x noise tolerance), and check the snapshot speedup.
+gate:
+	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --json target/BENCH_current.json
+	$(CARGO) run --release -p bench --bin bench_gate -- regression BENCH_probe.json target/BENCH_current.json 3
+	$(CARGO) run --release -p bench --bin bench_gate -- snapshot target/BENCH_current.json 3
+
+# The CI snapshot-roundtrip job: datagen -> save snapshot -> reload ->
+# results must be byte-identical to the builder/TSV path.
+snapshot:
+	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --save-snapshot target/xkg.snap --json target/BENCH_tsv.json
+	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --snapshot target/xkg.snap --json target/BENCH_snapshot.json
+	$(CARGO) run --release -p bench --bin bench_gate -- determinism target/BENCH_tsv.json target/BENCH_snapshot.json
+	$(CARGO) run --release -p bench --bin bench_gate -- snapshot target/BENCH_snapshot.json 3
 
 clean:
 	$(CARGO) clean

@@ -1,0 +1,310 @@
+//! CI gate over `BENCH_probe.json` reports.
+//!
+//! Three subcommands, all exiting non-zero on failure so they can gate a
+//! workflow:
+//!
+//! ```text
+//! bench_gate regression <baseline.json> <current.json> [tolerance]
+//! bench_gate determinism <a.json> <b.json>
+//! bench_gate snapshot <current.json> [min_speedup]
+//! ```
+//!
+//! * `regression` compares `planning_us` / `execution_us` (Spec-QP executor)
+//!   and the service `queries_per_sec` against the committed baseline with a
+//!   generous noise tolerance (default 3×, plus a 2 ms absolute grace on
+//!   latencies): only order-of-magnitude regressions fail, not scheduler
+//!   jitter on shared CI runners.
+//! * `determinism` asserts two reports describe identical query *results*
+//!   (plan, ground truth, prediction flags, answer scores) while ignoring
+//!   timings — used to check the snapshot-loaded graph answers exactly like
+//!   the TSV/builder path.
+//! * `snapshot` asserts the report's snapshot-vs-TSV load `speedup` meets
+//!   the floor (default 3×).
+//!
+//! The workspace is dependency-free, so instead of a JSON library this uses
+//! a small field scanner that understands exactly the shape `probe` emits.
+
+use std::process::exit;
+
+/// Returns the balanced `{...}` object slice following `"key":`.
+fn object_slice<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)?;
+    let rest = &json[at + pat.len()..];
+    let open = rest.find('{')?;
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut esc = false;
+    for (i, c) in rest[open..].char_indices() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' if !in_str => depth += 1,
+            '}' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[open..open + i + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts the numeric value following `"key":` inside `slice`.
+fn num_field(slice: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = slice.find(&pat)?;
+    let rest = slice[at + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the raw `[...]` text following `"key":` inside `slice`.
+fn array_field<'a>(slice: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = slice.find(&pat)?;
+    let rest = &slice[at + pat.len()..];
+    let open = rest.find('[')?;
+    let close = rest[open..].find(']')?;
+    Some(&rest[open..open + close + 1])
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        exit(2);
+    })
+}
+
+fn require_num(json: &str, object: &str, key: &str, path: &str) -> f64 {
+    let slice = if object.is_empty() {
+        json
+    } else {
+        object_slice(json, object).unwrap_or_else(|| {
+            eprintln!("bench_gate: {path} has no \"{object}\" object");
+            exit(2);
+        })
+    };
+    num_field(slice, key).unwrap_or_else(|| {
+        eprintln!("bench_gate: {path} lacks numeric {object}.{key}");
+        exit(2);
+    })
+}
+
+/// Latency grace: CI runners jitter by whole milliseconds on sub-millisecond
+/// measurements, so small absolutes never fail on ratio alone.
+const LATENCY_SLACK_US: f64 = 2000.0;
+
+fn regression(baseline_path: &str, current_path: &str, tol: f64) -> i32 {
+    let baseline = read(baseline_path);
+    let current = read(current_path);
+    let mut failures = Vec::new();
+
+    for key in ["planning_us", "execution_us"] {
+        let base = require_num(&baseline, "specqp", key, baseline_path);
+        let cur = require_num(&current, "specqp", key, current_path);
+        let limit = base * tol + LATENCY_SLACK_US;
+        let ok = cur <= limit;
+        println!(
+            "specqp.{key}: baseline {base:.0}us, current {cur:.0}us, limit {limit:.0}us -> {}",
+            if ok { "ok" } else { "REGRESSION" }
+        );
+        if !ok {
+            failures.push(format!("specqp.{key} {cur:.0}us > {limit:.0}us"));
+        }
+    }
+
+    // queries_per_sec only gates when both reports carry a service object
+    // (the probe only emits one under --service N).
+    match (
+        object_slice(&baseline, "service").and_then(|s| num_field(s, "queries_per_sec")),
+        object_slice(&current, "service").and_then(|s| num_field(s, "queries_per_sec")),
+    ) {
+        (Some(base), Some(cur)) => {
+            let floor = base / tol;
+            let ok = cur >= floor;
+            println!(
+                "service.queries_per_sec: baseline {base:.1}, current {cur:.1}, floor {floor:.1} -> {}",
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            if !ok {
+                failures.push(format!("service.queries_per_sec {cur:.1} < {floor:.1}"));
+            }
+        }
+        _ => println!("service.queries_per_sec: absent in baseline or current, skipped"),
+    }
+
+    if failures.is_empty() {
+        println!("bench_gate regression: ok (tolerance {tol}x)");
+        0
+    } else {
+        eprintln!("bench_gate regression FAILED: {}", failures.join("; "));
+        1
+    }
+}
+
+fn determinism(a_path: &str, b_path: &str) -> i32 {
+    let a = read(a_path);
+    let b = read(b_path);
+    let mut failures = Vec::new();
+
+    // Top-level result-bearing fields (timings deliberately excluded).
+    for key in ["plan_singletons", "required"] {
+        let (x, y) = (array_field(&a, key), array_field(&b, key));
+        if x.is_none() || x != y {
+            failures.push(format!("{key}: {x:?} vs {y:?}"));
+        }
+    }
+    for key in ["prediction_exact", "prediction_covers", "k", "query"] {
+        // Booleans and small ints both parse as the token after the colon.
+        let tok = |json: &str| {
+            let pat = format!("\"{key}\":");
+            json.find(&pat).map(|at| {
+                json[at + pat.len()..]
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| !",}\n".contains(*c))
+                    .collect::<String>()
+            })
+        };
+        let (x, y) = (tok(&a), tok(&b));
+        if x.is_none() || x != y {
+            failures.push(format!("{key}: {x:?} vs {y:?}"));
+        }
+    }
+    for exec in ["specqp", "trinit"] {
+        let (sa, sb) = (object_slice(&a, exec), object_slice(&b, exec));
+        match (sa, sb) {
+            (Some(sa), Some(sb)) => {
+                let (x, y) = (array_field(sa, "scores"), array_field(sb, "scores"));
+                if x.is_none() || x != y {
+                    failures.push(format!("{exec}.scores differ: {x:?} vs {y:?}"));
+                }
+                let (x, y) = (num_field(sa, "top_k"), num_field(sb, "top_k"));
+                if x.is_none() || x != y {
+                    failures.push(format!("{exec}.top_k: {x:?} vs {y:?}"));
+                }
+            }
+            _ => failures.push(format!("{exec} object missing")),
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench_gate determinism: ok ({a_path} == {b_path} on results)");
+        0
+    } else {
+        eprintln!("bench_gate determinism FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        1
+    }
+}
+
+fn snapshot_gate(path: &str, min_speedup: f64) -> i32 {
+    let json = read(path);
+    let speedup = require_num(&json, "snapshot", "speedup", path);
+    let load = require_num(&json, "snapshot", "load_us", path);
+    let tsv = require_num(&json, "snapshot", "tsv_load_us", path);
+    println!(
+        "snapshot load {load:.0}us vs TSV rebuild {tsv:.0}us -> {speedup:.2}x (floor {min_speedup}x)"
+    );
+    if speedup >= min_speedup {
+        println!("bench_gate snapshot: ok");
+        0
+    } else {
+        eprintln!("bench_gate snapshot FAILED: {speedup:.2}x < {min_speedup}x");
+        1
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || -> ! {
+        eprintln!(
+            "usage: bench_gate regression <baseline.json> <current.json> [tolerance]\n\
+             \x20      bench_gate determinism <a.json> <b.json>\n\
+             \x20      bench_gate snapshot <current.json> [min_speedup]"
+        );
+        exit(2);
+    };
+    let code = match args.first().map(String::as_str) {
+        Some("regression") if args.len() >= 3 => {
+            let tol = args
+                .get(3)
+                .map(|s| s.parse::<f64>().unwrap_or_else(|_| usage()))
+                .unwrap_or(3.0);
+            regression(&args[1], &args[2], tol)
+        }
+        Some("determinism") if args.len() == 3 => determinism(&args[1], &args[2]),
+        Some("snapshot") if args.len() >= 2 => {
+            let floor = args
+                .get(2)
+                .map(|s| s.parse::<f64>().unwrap_or_else(|_| usage()))
+                .unwrap_or(3.0);
+            snapshot_gate(&args[1], floor)
+        }
+        _ => usage(),
+    };
+    exit(code);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "dataset": "xkg",
+  "summary": "dataset xkg: 10 triples",
+  "query": 2,
+  "k": 10,
+  "plan_singletons": [0, 1, 2, 3],
+  "required": [0, 2, 3],
+  "prediction_exact": false,
+  "prediction_covers": true,
+  "specqp": {"planning_us":754,"execution_us":2249,"top_k":10,"scores":[2.6,2.5]},
+  "trinit": {"planning_us":0,"execution_us":1994,"top_k":10,"scores":[2.6,2.5]},
+  "snapshot": {"triples":10,"bytes":123,"load_us":100,"tsv_load_us":900,"speedup":9.000,"from_snapshot":false},
+  "service": {"threads":4,"queries_per_sec":730.059,"cache":{"hits":37}}
+}"#;
+
+    #[test]
+    fn object_slice_is_brace_balanced() {
+        let svc = object_slice(SAMPLE, "service").unwrap();
+        assert!(svc.starts_with('{') && svc.ends_with('}'));
+        assert!(svc.contains("\"hits\":37"));
+        let spec = object_slice(SAMPLE, "specqp").unwrap();
+        assert!(!spec.contains("trinit"));
+        assert!(object_slice(SAMPLE, "missing").is_none());
+    }
+
+    #[test]
+    fn num_field_parses_ints_and_floats() {
+        let svc = object_slice(SAMPLE, "service").unwrap();
+        assert_eq!(num_field(svc, "queries_per_sec"), Some(730.059));
+        let spec = object_slice(SAMPLE, "specqp").unwrap();
+        assert_eq!(num_field(spec, "planning_us"), Some(754.0));
+        assert_eq!(num_field(spec, "nope"), None);
+    }
+
+    #[test]
+    fn array_field_returns_raw_text() {
+        assert_eq!(array_field(SAMPLE, "required"), Some("[0, 2, 3]"));
+        let spec = object_slice(SAMPLE, "specqp").unwrap();
+        assert_eq!(array_field(spec, "scores"), Some("[2.6,2.5]"));
+    }
+
+    #[test]
+    fn snapshot_speedup_readable() {
+        let snap = object_slice(SAMPLE, "snapshot").unwrap();
+        assert_eq!(num_field(snap, "speedup"), Some(9.0));
+    }
+}

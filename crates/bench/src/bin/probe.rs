@@ -16,6 +16,15 @@
 //! N-thread [`QueryService`] and reports queries/sec, latency percentiles
 //! and plan-cache hit rates — landing in the JSON report as a `service`
 //! object so BENCH artifacts track serving throughput over time.
+//!
+//! Snapshot flags: `--save-snapshot <path>` writes the generated graph as a
+//! binary KG snapshot; `--snapshot <path>` boots the probe's graph from a
+//! snapshot instead of the freshly built one (term ids are preserved, so the
+//! regenerated registry/workload stay valid — CI uses this to check
+//! determinism of the two storage paths). Whenever `--json` is given, the
+//! report also carries a `snapshot` object comparing snapshot-load
+//! (`load_us`) against TSV parse + index rebuild (`tsv_load_us`) on the same
+//! graph — the CI bench gate asserts the speedup stays ≥ 3×.
 
 use datagen::{TwitterConfig, TwitterGenerator, XkgConfig, XkgGenerator};
 use specqp::{prediction_covering, prediction_exact, required_relaxations, Engine};
@@ -42,31 +51,34 @@ fn json_escape(s: &str) -> String {
 
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = raw.iter().position(|a| a == "--json").map(|i| {
-        let mut pair = raw.drain(i..(i + 2).min(raw.len()));
-        pair.next();
-        pair.next().unwrap_or_else(|| {
-            eprintln!("--json requires a file path");
+    // Drains `--flag <value>` out of the positional args, exiting 2 when the
+    // value is missing (`what` names it in the error).
+    let mut take_flag = |flag: &str, what: &str| {
+        raw.iter().position(|a| a == flag).map(|i| {
+            let mut pair = raw.drain(i..(i + 2).min(raw.len()));
+            pair.next();
+            pair.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires {what}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let json_path = take_flag("--json", "a file path");
+    let service_threads = take_flag("--service", "a thread count").map(|s| {
+        s.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("--service requires a thread count, got {s:?}");
             std::process::exit(2);
         })
     });
-    let service_threads = raw.iter().position(|a| a == "--service").map(|i| {
-        let mut pair = raw.drain(i..(i + 2).min(raw.len()));
-        pair.next();
-        pair.next()
-            .and_then(|s| s.parse::<usize>().ok())
-            .unwrap_or_else(|| {
-                eprintln!("--service requires a thread count");
-                std::process::exit(2);
-            })
-    });
+    let save_snapshot_path = take_flag("--save-snapshot", "a file path");
+    let snapshot_path = take_flag("--snapshot", "a file path");
     let mut args = raw.into_iter();
     let dataset_name = args.next().unwrap_or_else(|| "xkg".into());
     let qid: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(0);
     let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
     let scale_small = args.next().map(|s| s == "small").unwrap_or(true);
 
-    let ds = match dataset_name.as_str() {
+    let mut ds = match dataset_name.as_str() {
         "xkg" => {
             let mut c = if scale_small {
                 XkgConfig::small(0x5eed001)
@@ -93,6 +105,44 @@ fn main() {
             eprintln!("unknown dataset {other}");
             std::process::exit(2);
         }
+    };
+
+    if let Some(path) = &save_snapshot_path {
+        if let Err(e) = ds.to_snapshot(path) {
+            eprintln!("failed to write snapshot {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote snapshot to {path}");
+    }
+    // Boot the graph from a snapshot file instead of the freshly built one.
+    // Term ids are identical by construction, so the generated registry and
+    // workload remain valid against the reloaded graph.
+    let from_snapshot = if let Some(path) = &snapshot_path {
+        match kgstore::snapshot::load_snapshot(path) {
+            Ok(g) => {
+                if g.len() != ds.graph.len() || g.dictionary().len() != ds.graph.dictionary().len()
+                {
+                    eprintln!(
+                        "snapshot {path} holds {} triples / {} terms but the generator \
+                         produced {} / {} — wrong dataset or stale snapshot",
+                        g.len(),
+                        g.dictionary().len(),
+                        ds.graph.len(),
+                        ds.graph.dictionary().len()
+                    );
+                    std::process::exit(1);
+                }
+                ds.graph = g;
+                println!("booted graph from snapshot {path}");
+                true
+            }
+            Err(e) => {
+                eprintln!("failed to load snapshot {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        false
     };
     println!("{}", ds.summary());
     let query = &ds.workload.queries[qid];
@@ -166,6 +216,47 @@ fn main() {
             .map(|a| (a.score.value() * 1000.0).round() / 1000.0)
             .collect::<Vec<_>>()
     );
+
+    // Cold-start comparison for the JSON report: rebuild the graph from
+    // scored TSV (parse + duplicate folding + full index build) vs
+    // deserialize the binary snapshot (posting lists loaded verbatim).
+    // Best-of-3 each, on in-memory buffers so disk speed is out of the
+    // picture and the structural work is what's measured.
+    let mut snapshot_json = String::new();
+    if json_path.is_some() {
+        use std::time::Instant;
+        let mut tsv = Vec::new();
+        kgstore::write_tsv(&ds.graph, &mut tsv).expect("serialize TSV");
+        let snap = kgstore::snapshot::write_snapshot(&ds.graph);
+        let best_of = |f: &dyn Fn() -> u128| (0..3).map(|_| f()).min().unwrap();
+        let tsv_load_us = best_of(&|| {
+            let t0 = Instant::now();
+            let g = kgstore::read_tsv(tsv.as_slice()).expect("reload TSV");
+            let us = t0.elapsed().as_micros();
+            assert_eq!(g.len(), ds.graph.len());
+            us
+        });
+        let load_us = best_of(&|| {
+            let t0 = Instant::now();
+            let g = kgstore::snapshot::read_snapshot(&snap).expect("reload snapshot");
+            let us = t0.elapsed().as_micros();
+            assert_eq!(g.len(), ds.graph.len());
+            us
+        });
+        let speedup = tsv_load_us as f64 / (load_us.max(1)) as f64;
+        println!(
+            "storage: snapshot load {load_us}us vs TSV parse+index {tsv_load_us}us \
+             ({speedup:.1}x, {} bytes, from_snapshot={from_snapshot})",
+            snap.len(),
+        );
+        snapshot_json = format!(
+            ",\n  \"snapshot\": {{\"triples\":{},\"bytes\":{},\"load_us\":{load_us},\
+             \"tsv_load_us\":{tsv_load_us},\"speedup\":{speedup:.3},\
+             \"from_snapshot\":{from_snapshot}}}",
+            ds.graph.len(),
+            snap.len(),
+        );
+    }
 
     // Optional serving-throughput probe: the whole workload, cycled ×3 so
     // repeated shapes hit the plan cache, through an N-thread service.
@@ -254,7 +345,7 @@ fn main() {
             "{{\n  \"dataset\": \"{}\",\n  \"summary\": \"{}\",\n  \"query\": {qid},\n  \
              \"k\": {k},\n  \"plan_singletons\": {:?},\n  \"required\": {:?},\n  \
              \"prediction_exact\": {exact},\n  \"prediction_covers\": {covers},\n  \
-             \"specqp\": {},\n  \"trinit\": {}{service_json}\n}}\n",
+             \"specqp\": {},\n  \"trinit\": {}{snapshot_json}{service_json}\n}}\n",
             json_escape(&ds.name),
             json_escape(&summary),
             spec.plan.singletons(),

@@ -31,6 +31,28 @@ impl Dictionary {
         id
     }
 
+    /// Rebuilds a dictionary from the id-ordered term list (snapshot load):
+    /// `names[i]` becomes the term with id `i`. Fails on duplicate names,
+    /// which would make the name → id direction ambiguous.
+    pub fn from_names<I>(names: I) -> crate::Result<Self>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let mut d = Dictionary::new();
+        for name in names {
+            let name = name.as_ref();
+            let before = d.by_id.len();
+            d.intern(name);
+            if d.by_id.len() == before {
+                return Err(crate::Error::InvalidConfig(format!(
+                    "duplicate dictionary term {name:?}"
+                )));
+            }
+        }
+        Ok(d)
+    }
+
     /// Looks up an existing term without interning.
     pub fn lookup(&self, name: &str) -> Option<TermId> {
         self.by_name.get(name).copied()
@@ -97,6 +119,24 @@ mod tests {
         assert_eq!(d.name(id), Some("vocalist"));
         assert_eq!(d.name(TermId(99)), None);
         assert_eq!(d.name_or_unknown(TermId(99)), "<?unknown?>");
+    }
+
+    #[test]
+    fn from_names_roundtrips_iter() {
+        let mut d = Dictionary::new();
+        d.intern("a");
+        d.intern("b");
+        d.intern("c");
+        let names: Vec<String> = d.iter().map(|(_, n)| n.to_string()).collect();
+        let d2 = Dictionary::from_names(names).unwrap();
+        assert_eq!(d2.len(), 3);
+        assert_eq!(d2.lookup("b"), Some(TermId(1)));
+    }
+
+    #[test]
+    fn from_names_rejects_duplicates() {
+        let e = Dictionary::from_names(vec!["x".to_string(), "x".to_string()]).unwrap_err();
+        assert!(e.to_string().contains("duplicate"), "{e}");
     }
 
     #[test]

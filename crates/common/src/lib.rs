@@ -18,7 +18,7 @@ pub mod id;
 pub mod score;
 
 pub use dictionary::Dictionary;
-pub use error::{Error, Result};
-pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use error::{Error, Result, SnapshotError};
+pub use hash::{fnv1a_64, fnv1a_64_words, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use id::TermId;
 pub use score::Score;

@@ -3,6 +3,8 @@
 use crate::workload::Workload;
 use kgstore::KnowledgeGraph;
 use relax::RelaxationRegistry;
+use specqp_common::Result;
+use std::path::Path;
 
 /// Everything one experiment needs: the graph, the mined relaxation rules
 /// and the query workload.
@@ -18,6 +20,22 @@ pub struct Dataset {
 }
 
 impl Dataset {
+    /// Emits the generated graph as a binary KG snapshot at `path`
+    /// (dictionary, triple columns and prebuilt pattern indexes — see
+    /// [`kgstore::snapshot`]). The relaxation registry and workload are
+    /// *not* included: they are cheap to regenerate from the same seed, and
+    /// because the snapshot preserves term ids exactly, regenerated rules
+    /// and queries remain valid against the reloaded graph.
+    pub fn to_snapshot(&self, path: impl AsRef<Path>) -> Result<()> {
+        kgstore::snapshot::save_snapshot(&self.graph, path)
+    }
+
+    /// Serializes the generated graph into an in-memory snapshot image
+    /// (the buffer [`Dataset::to_snapshot`] would write to disk).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        kgstore::snapshot::write_snapshot(&self.graph)
+    }
+
     /// Sanity summary used by the experiment harness banner.
     pub fn summary(&self) -> String {
         format!(
@@ -27,5 +45,45 @@ impl Dataset {
             self.registry.len(),
             self.workload.len()
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{XkgConfig, XkgGenerator};
+    use kgstore::PatternKey;
+
+    #[test]
+    fn snapshot_emit_preserves_graph_and_term_ids() {
+        let mut c = XkgConfig::small(0xdead5eed);
+        c.queries = 2;
+        let ds = XkgGenerator::new(c).generate();
+        let g2 = kgstore::snapshot::read_snapshot(&ds.snapshot_bytes()).unwrap();
+        assert_eq!(g2.len(), ds.graph.len());
+        assert_eq!(g2.dictionary().len(), ds.graph.dictionary().len());
+        // Term ids are preserved exactly, so regenerated workload queries
+        // (which carry ids from the original dictionary) answer identically.
+        for q in &ds.workload.queries {
+            for p in q.patterns() {
+                let (s, pp, o) = p.const_parts();
+                let key = PatternKey { s, p: pp, o };
+                assert_eq!(ds.graph.cardinality(key), g2.cardinality(key));
+            }
+        }
+    }
+
+    #[test]
+    fn to_snapshot_writes_loadable_file() {
+        let mut c = XkgConfig::small(0x5eed);
+        c.queries = 2;
+        let ds = XkgGenerator::new(c).generate();
+        let path = std::env::temp_dir().join(format!(
+            "specqp_datagen_snapshot_{}.snap",
+            std::process::id()
+        ));
+        ds.to_snapshot(&path).unwrap();
+        let g = kgstore::snapshot::load_snapshot(&path).unwrap();
+        assert_eq!(g.len(), ds.graph.len());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -261,7 +261,7 @@ mod tests {
         let d = small();
         let dict = d.graph.dictionary();
         let has_tag = dict.lookup("hasTag").unwrap();
-        for st in d.graph.triples() {
+        for st in d.graph.iter_scored() {
             assert_eq!(st.triple.p, has_tag);
         }
     }

@@ -1,8 +1,9 @@
 //! Construction of [`KnowledgeGraph`]s.
 
+use crate::columns::TripleColumns;
 use crate::index::PatternIndexes;
 use crate::store::KnowledgeGraph;
-use crate::triple::{ScoredTriple, Triple};
+use crate::triple::Triple;
 use specqp_common::Dictionary;
 use specqp_common::{FxHashMap, Score, TermId};
 
@@ -24,7 +25,7 @@ pub enum DuplicatePolicy {
 #[derive(Default)]
 pub struct KnowledgeGraphBuilder {
     dict: Dictionary,
-    triples: Vec<ScoredTriple>,
+    cols: TripleColumns,
     seen: FxHashMap<Triple, u32>,
     policy: DuplicatePolicy,
 }
@@ -45,7 +46,7 @@ impl KnowledgeGraphBuilder {
 
     /// Pre-allocates space for `n` triples.
     pub fn reserve(&mut self, n: usize) {
-        self.triples.reserve(n);
+        self.cols.reserve(n);
     }
 
     /// Interns a term without adding a triple (useful for queries that
@@ -68,16 +69,19 @@ impl KnowledgeGraphBuilder {
         let t = Triple::new(s, p, o);
         match self.seen.get(&t) {
             Some(&i) => {
-                let slot = &mut self.triples[i as usize].score;
-                *slot = match self.policy {
-                    DuplicatePolicy::Max => (*slot).max(score),
-                    DuplicatePolicy::Sum => *slot + score,
-                    DuplicatePolicy::Replace => score,
-                };
+                let old = self.cols.score(i as usize);
+                self.cols.set_score(
+                    i as usize,
+                    match self.policy {
+                        DuplicatePolicy::Max => old.max(score),
+                        DuplicatePolicy::Sum => old + score,
+                        DuplicatePolicy::Replace => score,
+                    },
+                );
             }
             None => {
-                let i = self.triples.len() as u32;
-                self.triples.push(ScoredTriple { triple: t, score });
+                let i = self.cols.len() as u32;
+                self.cols.push(t, score);
                 self.seen.insert(t, i);
             }
         }
@@ -85,12 +89,12 @@ impl KnowledgeGraphBuilder {
 
     /// Number of distinct triples added so far.
     pub fn len(&self) -> usize {
-        self.triples.len()
+        self.cols.len()
     }
 
     /// `true` if nothing has been added.
     pub fn is_empty(&self) -> bool {
-        self.triples.is_empty()
+        self.cols.is_empty()
     }
 
     /// Read access to the dictionary built so far.
@@ -100,10 +104,10 @@ impl KnowledgeGraphBuilder {
 
     /// Finalizes the graph: builds every pattern index.
     pub fn build(self) -> KnowledgeGraph {
-        let indexes = PatternIndexes::build(&self.triples);
+        let indexes = PatternIndexes::build(&self.cols);
         KnowledgeGraph {
             dict: self.dict,
-            triples: self.triples,
+            cols: self.cols,
             indexes,
         }
     }
@@ -122,7 +126,7 @@ mod tests {
         b.add("a", "p", "b", 1.0);
         let kg = b.build();
         assert_eq!(kg.len(), 1);
-        assert_eq!(kg.triples()[0].score.value(), 5.0);
+        assert_eq!(kg.score(0).value(), 5.0);
     }
 
     #[test]
@@ -131,7 +135,7 @@ mod tests {
         b.add("a", "p", "b", 3.0);
         b.add("a", "p", "b", 5.0);
         let kg = b.build();
-        assert_eq!(kg.triples()[0].score.value(), 8.0);
+        assert_eq!(kg.score(0).value(), 8.0);
     }
 
     #[test]
@@ -140,7 +144,7 @@ mod tests {
         b.add("a", "p", "b", 3.0);
         b.add("a", "p", "b", 1.0);
         let kg = b.build();
-        assert_eq!(kg.triples()[0].score.value(), 1.0);
+        assert_eq!(kg.score(0).value(), 1.0);
     }
 
     #[test]

@@ -6,13 +6,31 @@
 //! unbound signature keeps one global sorted list; the fully bound signature
 //! keeps a membership map.
 //!
+//! All posting lists live in **one shared arena** (`postings`); the maps
+//! store `(start, len)` ranges into it. One contiguous buffer instead of one
+//! heap allocation per key keeps scans cache-dense and lets the snapshot
+//! loader rebuild every list with a single bulk append — no per-list
+//! allocation on the restart path.
+//!
 //! This mirrors what the paper gets from its PostgreSQL backend: "the
 //! database engine used to retrieve the matches for triple patterns in
 //! sorted order" (§4.4) — every access path streams matches best-first.
 
+use crate::columns::TripleColumns;
 use crate::pattern_key::pack2;
-use crate::triple::ScoredTriple;
 use specqp_common::{FxHashMap, TermId};
+use std::hash::Hash;
+
+/// A `(start, len)` window into the shared postings arena.
+///
+/// `start` is u64 because the arena concatenates six per-signature list
+/// families (each up to one entry per triple), so its total length can
+/// exceed `u32::MAX` even though individual triple ids cannot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct PostingRange {
+    pub(crate) start: u64,
+    pub(crate) len: u32,
+}
 
 /// Immutable indexes over a triple table. Built once by
 /// [`KnowledgeGraphBuilder::build`](crate::KnowledgeGraphBuilder::build).
@@ -20,65 +38,97 @@ use specqp_common::{FxHashMap, TermId};
 pub struct PatternIndexes {
     /// (s,p,o) → triple index (duplicates are merged by the builder).
     pub(crate) spo: FxHashMap<(TermId, TermId, TermId), u32>,
-    /// (s,p) → postings
-    pub(crate) sp: FxHashMap<u64, Vec<u32>>,
-    /// (s,o) → postings
-    pub(crate) so: FxHashMap<u64, Vec<u32>>,
-    /// (p,o) → postings
-    pub(crate) po: FxHashMap<u64, Vec<u32>>,
-    /// s → postings
-    pub(crate) s: FxHashMap<TermId, Vec<u32>>,
-    /// p → postings
-    pub(crate) p: FxHashMap<TermId, Vec<u32>>,
-    /// o → postings
-    pub(crate) o: FxHashMap<TermId, Vec<u32>>,
+    /// (s,p) → postings range
+    pub(crate) sp: FxHashMap<u64, PostingRange>,
+    /// (s,o) → postings range
+    pub(crate) so: FxHashMap<u64, PostingRange>,
+    /// (p,o) → postings range
+    pub(crate) po: FxHashMap<u64, PostingRange>,
+    /// s → postings range
+    pub(crate) s: FxHashMap<TermId, PostingRange>,
+    /// p → postings range
+    pub(crate) p: FxHashMap<TermId, PostingRange>,
+    /// o → postings range
+    pub(crate) o: FxHashMap<TermId, PostingRange>,
+    /// Shared arena holding every keyed posting list back to back.
+    pub(crate) postings: Vec<u32>,
     /// all triples, score-descending
     pub(crate) all: Vec<u32>,
 }
 
-impl PatternIndexes {
-    /// Builds all indexes for `triples`. Each posting list ends up sorted by
-    /// `(score desc, triple index asc)`.
-    pub(crate) fn build(triples: &[ScoredTriple]) -> Self {
-        let mut idx = PatternIndexes {
-            all: (0..triples.len() as u32).collect(),
-            ..PatternIndexes::default()
+/// Sorts each temporary list with `by_score_desc`, then concatenates them
+/// into `arena`, replacing the lists with ranges.
+fn freeze<K: Eq + Hash>(
+    map: FxHashMap<K, Vec<u32>>,
+    arena: &mut Vec<u32>,
+    by_score_desc: &impl Fn(&u32, &u32) -> std::cmp::Ordering,
+) -> FxHashMap<K, PostingRange> {
+    let mut out = FxHashMap::with_capacity_and_hasher(map.len(), Default::default());
+    for (key, mut list) in map {
+        list.sort_unstable_by(by_score_desc);
+        let range = PostingRange {
+            start: arena.len() as u64,
+            len: list.len() as u32,
         };
-        for (i, st) in triples.iter().enumerate() {
+        arena.extend_from_slice(&list);
+        out.insert(key, range);
+    }
+    out
+}
+
+impl PatternIndexes {
+    /// Resolves a range to its arena slice.
+    #[inline]
+    pub(crate) fn list(&self, r: PostingRange) -> &[u32] {
+        &self.postings[r.start as usize..r.start as usize + r.len as usize]
+    }
+
+    /// Builds all indexes for `cols`. Each posting list ends up sorted by
+    /// `(score desc, triple index asc)`.
+    ///
+    /// The insertion pass reads the three term columns; the sort passes read
+    /// only the score column — the columnar layout keeps both cache-dense.
+    pub(crate) fn build(cols: &TripleColumns) -> Self {
+        let n = cols.len();
+        let mut spo = FxHashMap::with_capacity_and_hasher(n, Default::default());
+        let mut sp: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        let mut so: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        let mut po: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        let mut s_map: FxHashMap<TermId, Vec<u32>> = FxHashMap::default();
+        let mut p_map: FxHashMap<TermId, Vec<u32>> = FxHashMap::default();
+        let mut o_map: FxHashMap<TermId, Vec<u32>> = FxHashMap::default();
+        let (subjects, predicates, objects) = (cols.subjects(), cols.predicates(), cols.objects());
+        for i in 0..n {
+            let (s, p, o) = (subjects[i], predicates[i], objects[i]);
             let i = i as u32;
-            let t = st.triple;
-            idx.spo.insert((t.s, t.p, t.o), i);
-            idx.sp.entry(pack2(t.s, t.p)).or_default().push(i);
-            idx.so.entry(pack2(t.s, t.o)).or_default().push(i);
-            idx.po.entry(pack2(t.p, t.o)).or_default().push(i);
-            idx.s.entry(t.s).or_default().push(i);
-            idx.p.entry(t.p).or_default().push(i);
-            idx.o.entry(t.o).or_default().push(i);
+            spo.insert((s, p, o), i);
+            sp.entry(pack2(s, p)).or_default().push(i);
+            so.entry(pack2(s, o)).or_default().push(i);
+            po.entry(pack2(p, o)).or_default().push(i);
+            s_map.entry(s).or_default().push(i);
+            p_map.entry(p).or_default().push(i);
+            o_map.entry(o).or_default().push(i);
         }
+        let scores = cols.scores();
         let by_score_desc = |a: &u32, b: &u32| {
-            let (sa, sb) = (triples[*a as usize].score, triples[*b as usize].score);
+            let (sa, sb) = (scores[*a as usize], scores[*b as usize]);
             sb.cmp(&sa).then_with(|| a.cmp(b))
         };
-        for list in idx.sp.values_mut() {
-            list.sort_unstable_by(by_score_desc);
+        // Six list families, one entry per triple each.
+        let mut postings = Vec::with_capacity(6 * n);
+        let mut all: Vec<u32> = (0..n as u32).collect();
+        all.sort_unstable_by(by_score_desc);
+        PatternIndexes {
+            spo,
+            sp: freeze(sp, &mut postings, &by_score_desc),
+            so: freeze(so, &mut postings, &by_score_desc),
+            po: freeze(po, &mut postings, &by_score_desc),
+            s: freeze(s_map, &mut postings, &by_score_desc),
+            p: freeze(p_map, &mut postings, &by_score_desc),
+            o: freeze(o_map, &mut postings, &by_score_desc),
+            postings,
+            all,
         }
-        for list in idx.so.values_mut() {
-            list.sort_unstable_by(by_score_desc);
-        }
-        for list in idx.po.values_mut() {
-            list.sort_unstable_by(by_score_desc);
-        }
-        for list in idx.s.values_mut() {
-            list.sort_unstable_by(by_score_desc);
-        }
-        for list in idx.p.values_mut() {
-            list.sort_unstable_by(by_score_desc);
-        }
-        for list in idx.o.values_mut() {
-            list.sort_unstable_by(by_score_desc);
-        }
-        idx.all.sort_unstable_by(by_score_desc);
-        idx
     }
 
     /// Approximate heap size of the indexes in bytes (diagnostics only).
@@ -86,62 +136,59 @@ impl PatternIndexes {
         fn map_bytes<K, V>(len: usize) -> usize {
             len * (std::mem::size_of::<K>() + std::mem::size_of::<V>() + 8)
         }
-        let postings: usize = self
-            .sp
-            .values()
-            .chain(self.so.values())
-            .chain(self.po.values())
-            .chain(self.s.values())
-            .chain(self.p.values())
-            .chain(self.o.values())
-            .map(|v| v.len() * 4)
-            .sum::<usize>()
-            + self.all.len() * 4;
-        postings
+        (self.postings.len() + self.all.len()) * 4
             + map_bytes::<(TermId, TermId, TermId), u32>(self.spo.len())
-            + map_bytes::<u64, Vec<u32>>(self.sp.len() + self.so.len() + self.po.len())
-            + map_bytes::<TermId, Vec<u32>>(self.s.len() + self.p.len() + self.o.len())
+            + map_bytes::<u64, PostingRange>(self.sp.len() + self.so.len() + self.po.len())
+            + map_bytes::<TermId, PostingRange>(self.s.len() + self.p.len() + self.o.len())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::triple::Triple;
     use specqp_common::Score;
 
-    fn t(s: u32, p: u32, o: u32, score: f64) -> ScoredTriple {
-        ScoredTriple::new(TermId(s), TermId(p), TermId(o), Score::new(score))
+    fn cols(rows: &[(u32, u32, u32, f64)]) -> TripleColumns {
+        let mut c = TripleColumns::new();
+        for &(s, p, o, score) in rows {
+            c.push(
+                Triple::new(TermId(s), TermId(p), TermId(o)),
+                Score::new(score),
+            );
+        }
+        c
     }
 
     #[test]
     fn posting_lists_sorted_by_score_desc() {
-        let triples = vec![
-            t(1, 10, 100, 1.0),
-            t(2, 10, 100, 5.0),
-            t(3, 10, 100, 3.0),
-            t(1, 10, 101, 9.0),
-        ];
-        let idx = PatternIndexes::build(&triples);
-        let list = &idx.po[&pack2(TermId(10), TermId(100))];
+        let cols = cols(&[
+            (1, 10, 100, 1.0),
+            (2, 10, 100, 5.0),
+            (3, 10, 100, 3.0),
+            (1, 10, 101, 9.0),
+        ]);
+        let idx = PatternIndexes::build(&cols);
+        let list = idx.list(idx.po[&pack2(TermId(10), TermId(100))]);
         let scores: Vec<f64> = list
             .iter()
-            .map(|&i| triples[i as usize].score.value())
+            .map(|&i| cols.score(i as usize).value())
             .collect();
         assert_eq!(scores, vec![5.0, 3.0, 1.0]);
     }
 
     #[test]
     fn ties_break_by_triple_index() {
-        let triples = vec![t(1, 10, 100, 2.0), t(2, 10, 100, 2.0), t(3, 10, 100, 2.0)];
-        let idx = PatternIndexes::build(&triples);
-        let list = &idx.po[&pack2(TermId(10), TermId(100))];
-        assert_eq!(list, &vec![0, 1, 2]);
+        let cols = cols(&[(1, 10, 100, 2.0), (2, 10, 100, 2.0), (3, 10, 100, 2.0)]);
+        let idx = PatternIndexes::build(&cols);
+        let list = idx.list(idx.po[&pack2(TermId(10), TermId(100))]);
+        assert_eq!(list, &[0, 1, 2]);
     }
 
     #[test]
     fn all_lists_cover_each_triple() {
-        let triples = vec![t(1, 10, 100, 1.0), t(2, 11, 101, 2.0)];
-        let idx = PatternIndexes::build(&triples);
+        let cols = cols(&[(1, 10, 100, 1.0), (2, 11, 101, 2.0)]);
+        let idx = PatternIndexes::build(&cols);
         assert_eq!(idx.all.len(), 2);
         assert_eq!(idx.s.len(), 2);
         assert_eq!(idx.p.len(), 2);
@@ -149,5 +196,24 @@ mod tests {
         assert_eq!(idx.spo.len(), 2);
         // global list is sorted desc
         assert_eq!(idx.all, vec![1, 0]);
+    }
+
+    #[test]
+    fn arena_holds_one_entry_per_triple_per_family() {
+        let cols = cols(&[(1, 10, 100, 1.0), (2, 10, 100, 5.0), (2, 11, 101, 2.0)]);
+        let idx = PatternIndexes::build(&cols);
+        assert_eq!(idx.postings.len(), 6 * cols.len());
+        // Every range resolves without overlap gaps: total lengths add up.
+        let total: usize = idx
+            .sp
+            .values()
+            .chain(idx.so.values())
+            .chain(idx.po.values())
+            .chain(idx.s.values())
+            .chain(idx.p.values())
+            .chain(idx.o.values())
+            .map(|r| r.len as usize)
+            .sum();
+        assert_eq!(total, idx.postings.len());
     }
 }

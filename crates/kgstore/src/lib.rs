@@ -39,15 +39,19 @@
 //! ```
 
 pub mod builder;
+pub mod columns;
 pub mod index;
 pub mod io;
 pub mod pattern_key;
+pub mod snapshot;
 pub mod store;
 pub mod triple;
 
 pub use builder::{DuplicatePolicy, KnowledgeGraphBuilder};
+pub use columns::TripleColumns;
 pub use io::{read_tsv, read_tsv_into, write_tsv};
 pub use pattern_key::{PatternKey, Signature};
+pub use snapshot::{load_snapshot, read_snapshot, save_snapshot, write_snapshot};
 pub use store::{KnowledgeGraph, MatchList};
 pub use triple::{ScoredTriple, Triple};
 

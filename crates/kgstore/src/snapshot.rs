@@ -1,0 +1,728 @@
+//! Versioned binary KG snapshots.
+//!
+//! A snapshot serializes everything [`KnowledgeGraphBuilder::build`](crate::KnowledgeGraphBuilder::build) spends
+//! its time computing — the interned dictionary, the four triple columns and
+//! all eight prebuilt pattern indexes with their score-sorted posting lists —
+//! into one checksummed file. Loading a snapshot deserializes the posting
+//! lists verbatim: no TSV parsing, no duplicate folding and, crucially, no
+//! re-sorting of any posting list. (The hash maps that key the posting lists
+//! are re-inserted with pre-sized capacity; that is the only per-entry work
+//! left on the load path.)
+//!
+//! # Layout (format version 1)
+//!
+//! All integers are little-endian.
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ magic      8 B   b"SPECQPKG"                                 │
+//! │ version    u32   format version (currently 1)                │
+//! │ sections   u32   section count                               │
+//! │ table      n × (id: u32, len: u64)  — offsets are implicit:  │
+//! │                  sections are stored back to back in order   │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ section 1  DICT  term count, then (len: u32, utf-8 bytes)    │
+//! │ section 2  COLS  row count n, then s[n] p[n] o[n] (u32) and  │
+//! │                  score[n] (f64 bits) as contiguous columns   │
+//! │ section 3  IDX   spo map, sp/so/po pair maps, s/p/o single   │
+//! │                  maps, global score-sorted list              │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ checksum   u64   word-wise FNV-1a (fnv1a_64_words) over      │
+//! │                  every preceding byte                        │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Unknown trailing sections are skipped on read, so additive extensions do
+//! not need a version bump; any change to an existing section's encoding
+//! does. Readers reject versions newer than [`FORMAT_VERSION`] with
+//! [`SnapshotError::UnsupportedVersion`].
+//!
+//! Every corruption mode maps to a typed [`SnapshotError`] — truncation,
+//! foreign files, version skew, checksum mismatch and structural
+//! inconsistencies all return errors, never panic.
+
+use crate::columns::TripleColumns;
+use crate::index::{PatternIndexes, PostingRange};
+use crate::store::KnowledgeGraph;
+use specqp_common::{fnv1a_64_words, Dictionary, FxHashMap, Result, Score, SnapshotError, TermId};
+use std::path::Path;
+
+/// The 8-byte file magic.
+pub const MAGIC: [u8; 8] = *b"SPECQPKG";
+/// Highest snapshot format version this build reads and the version it
+/// writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+const SECTION_DICT: u32 = 1;
+const SECTION_COLS: u32 = 2;
+const SECTION_IDX: u32 = 3;
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_dict(dict: &Dictionary) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, dict.len() as u64);
+    for (_, name) in dict.iter() {
+        put_u32(&mut buf, name.len() as u32);
+        buf.extend_from_slice(name.as_bytes());
+    }
+    buf
+}
+
+fn encode_cols(cols: &TripleColumns) -> Vec<u8> {
+    let n = cols.len();
+    let mut buf = Vec::with_capacity(8 + n * 20);
+    put_u64(&mut buf, n as u64);
+    for &t in cols.subjects() {
+        put_u32(&mut buf, t.0);
+    }
+    for &t in cols.predicates() {
+        put_u32(&mut buf, t.0);
+    }
+    for &t in cols.objects() {
+        put_u32(&mut buf, t.0);
+    }
+    for &s in cols.scores() {
+        put_u64(&mut buf, s.value().to_bits());
+    }
+    buf
+}
+
+/// Writes a map's entries sorted by key so snapshot bytes are deterministic
+/// for a given graph (hash-map iteration order is not). Posting lists are
+/// written inline after their key — on load they are re-concatenated into
+/// the shared arena in file order.
+fn encode_idx(idx: &PatternIndexes) -> Vec<u8> {
+    let mut buf = Vec::new();
+
+    let mut spo: Vec<(&(TermId, TermId, TermId), &u32)> = idx.spo.iter().collect();
+    spo.sort_unstable_by_key(|(k, _)| **k);
+    put_u64(&mut buf, spo.len() as u64);
+    for ((s, p, o), &i) in spo {
+        put_u32(&mut buf, s.0);
+        put_u32(&mut buf, p.0);
+        put_u32(&mut buf, o.0);
+        put_u32(&mut buf, i);
+    }
+
+    for map in [&idx.sp, &idx.so, &idx.po] {
+        let mut entries: Vec<(&u64, &crate::index::PostingRange)> = map.iter().collect();
+        entries.sort_unstable_by_key(|(k, _)| **k);
+        put_u64(&mut buf, entries.len() as u64);
+        for (&key, &range) in entries {
+            put_u64(&mut buf, key);
+            let list = idx.list(range);
+            put_u32(&mut buf, list.len() as u32);
+            for &i in list {
+                put_u32(&mut buf, i);
+            }
+        }
+    }
+
+    for map in [&idx.s, &idx.p, &idx.o] {
+        let mut entries: Vec<(&TermId, &crate::index::PostingRange)> = map.iter().collect();
+        entries.sort_unstable_by_key(|(k, _)| **k);
+        put_u64(&mut buf, entries.len() as u64);
+        for (&key, &range) in entries {
+            put_u32(&mut buf, key.0);
+            let list = idx.list(range);
+            put_u32(&mut buf, list.len() as u32);
+            for &i in list {
+                put_u32(&mut buf, i);
+            }
+        }
+    }
+
+    put_u64(&mut buf, idx.all.len() as u64);
+    for &i in &idx.all {
+        put_u32(&mut buf, i);
+    }
+    buf
+}
+
+/// Serializes `graph` into an in-memory snapshot image.
+pub fn write_snapshot(graph: &KnowledgeGraph) -> Vec<u8> {
+    let sections = [
+        (SECTION_DICT, encode_dict(&graph.dict)),
+        (SECTION_COLS, encode_cols(&graph.cols)),
+        (SECTION_IDX, encode_idx(&graph.indexes)),
+    ];
+    let payload_len: usize = sections.iter().map(|(_, b)| b.len()).sum();
+    let mut out = Vec::with_capacity(16 + sections.len() * 12 + payload_len + 8);
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    put_u32(&mut out, sections.len() as u32);
+    for (id, body) in &sections {
+        put_u32(&mut out, *id);
+        put_u64(&mut out, body.len() as u64);
+    }
+    for (_, body) in &sections {
+        out.extend_from_slice(body);
+    }
+    let checksum = fnv1a_64_words(&out);
+    put_u64(&mut out, checksum);
+    out
+}
+
+/// Serializes `graph` to a snapshot file at `path`.
+pub fn save_snapshot(graph: &KnowledgeGraph, path: impl AsRef<Path>) -> Result<()> {
+    let bytes = write_snapshot(graph);
+    std::fs::write(path.as_ref(), bytes)
+        .map_err(|e| SnapshotError::Io(format!("writing {}: {e}", path.as_ref().display())).into())
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian reader over one snapshot section.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    context: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8], context: &'static str) -> Self {
+        Cursor {
+            buf,
+            pos: 0,
+            context,
+        }
+    }
+
+    fn truncated(&self) -> SnapshotError {
+        SnapshotError::Truncated {
+            context: self.context.to_string(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.truncated())?;
+        if end > self.buf.len() {
+            return Err(self.truncated());
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Bulk-decodes `n` little-endian u32s in one bounds check — the hot
+    /// path for columns and posting lists (per-element reads would dominate
+    /// the whole load).
+    fn u32_vec(&mut self, n: usize) -> Result<Vec<u32>, SnapshotError> {
+        let raw = self.take(n.checked_mul(4).ok_or_else(|| self.truncated())?)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Bulk-decodes `n` little-endian u32s, appending into `out` (the
+    /// postings-arena fill path — no per-list allocation).
+    fn u32_into(&mut self, n: usize, out: &mut Vec<u32>) -> Result<(), SnapshotError> {
+        let raw = self.take(n.checked_mul(4).ok_or_else(|| self.truncated())?)?;
+        out.extend(
+            raw.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+        );
+        Ok(())
+    }
+
+    /// Bulk-decodes `n` little-endian u64s in one bounds check.
+    fn u64_vec(&mut self, n: usize) -> Result<Vec<u64>, SnapshotError> {
+        let raw = self.take(n.checked_mul(8).ok_or_else(|| self.truncated())?)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// A count field, validated against what the remaining bytes could
+    /// possibly hold (each counted element occupies >= `min_elem_bytes`),
+    /// so corrupt counts fail fast instead of attempting huge allocations.
+    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = self.u64()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if n.saturating_mul(min_elem_bytes as u64) > remaining {
+            return Err(SnapshotError::Corrupt(format!(
+                "{}: count {n} exceeds section capacity",
+                self.context
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn decode_dict(bytes: &[u8]) -> Result<Dictionary, SnapshotError> {
+    let mut c = Cursor::new(bytes, "dictionary");
+    let n = c.count(4)?;
+    // Borrowed &str slices straight off the snapshot buffer — the only
+    // per-term allocations are the ones interning itself performs.
+    let mut names: Vec<&str> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = c.u32()? as usize;
+        let raw = c.take(len)?;
+        let name = std::str::from_utf8(raw)
+            .map_err(|e| SnapshotError::Corrupt(format!("dictionary term not utf-8: {e}")))?;
+        names.push(name);
+    }
+    if !c.done() {
+        return Err(SnapshotError::Corrupt(
+            "dictionary: trailing bytes after last term".into(),
+        ));
+    }
+    Dictionary::from_names(names).map_err(|e| SnapshotError::Corrupt(e.to_string()))
+}
+
+fn decode_cols(bytes: &[u8], dict_len: usize) -> Result<TripleColumns, SnapshotError> {
+    let mut c = Cursor::new(bytes, "triple columns");
+    let n = c.count(20)?;
+    let term_col = |c: &mut Cursor<'_>, what: &str| -> Result<Vec<TermId>, SnapshotError> {
+        let raw = c.u32_vec(n)?;
+        if let Some(&id) = raw.iter().find(|&&id| id as usize >= dict_len) {
+            return Err(SnapshotError::Corrupt(format!(
+                "{what} column references term {id} outside dictionary (len {dict_len})"
+            )));
+        }
+        // Same-width map lets the collect reuse the u32 allocation in place.
+        Ok(raw.into_iter().map(TermId).collect())
+    };
+    let s = term_col(&mut c, "subject")?;
+    let p = term_col(&mut c, "predicate")?;
+    let o = term_col(&mut c, "object")?;
+    let mut score = Vec::with_capacity(n);
+    for bits in c.u64_vec(n)? {
+        let v = f64::from_bits(bits);
+        // Same invariant the TSV reader enforces: finite and non-negative.
+        if !v.is_finite() || v < 0.0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "invalid score {v} in score column (must be finite and non-negative)"
+            )));
+        }
+        score.push(Score::new(v));
+    }
+    if !c.done() {
+        return Err(SnapshotError::Corrupt(
+            "triple columns: trailing bytes after score column".into(),
+        ));
+    }
+    TripleColumns::from_parts(s, p, o, score)
+        .ok_or_else(|| SnapshotError::Corrupt("triple columns have unequal lengths".into()))
+}
+
+fn decode_idx(bytes: &[u8], n_triples: usize) -> Result<PatternIndexes, SnapshotError> {
+    let mut c = Cursor::new(bytes, "pattern indexes");
+    let check_list = |list: &[u32]| -> Result<(), SnapshotError> {
+        if let Some(&i) = list.iter().find(|&&i| i as usize >= n_triples) {
+            return Err(SnapshotError::Corrupt(format!(
+                "posting references triple {i} outside table (len {n_triples})"
+            )));
+        }
+        Ok(())
+    };
+
+    let mut idx = PatternIndexes::default();
+
+    let spo_count = c.count(16)?;
+    idx.spo = FxHashMap::with_capacity_and_hasher(spo_count, Default::default());
+    let spo_raw = c.u32_vec(spo_count * 4)?;
+    for e in spo_raw.chunks_exact(4) {
+        let (s, p, o) = (TermId(e[0]), TermId(e[1]), TermId(e[2]));
+        check_list(&e[3..4])?;
+        if idx.spo.insert((s, p, o), e[3]).is_some() {
+            return Err(SnapshotError::Corrupt(format!(
+                "duplicate spo entry ({s:?},{p:?},{o:?})"
+            )));
+        }
+    }
+
+    // Posting lists are concatenated into the shared arena in file order;
+    // maps record only (start, len) ranges — no per-list allocation.
+    let mut arena: Vec<u32> = Vec::with_capacity(6 * n_triples);
+    let pair_map = |c: &mut Cursor<'_>,
+                    arena: &mut Vec<u32>|
+     -> Result<FxHashMap<u64, PostingRange>, SnapshotError> {
+        let count = c.count(12)?;
+        let mut map = FxHashMap::with_capacity_and_hasher(count, Default::default());
+        for _ in 0..count {
+            let key = c.u64()?;
+            let len = c.u32()?;
+            let start = arena.len() as u64;
+            c.u32_into(len as usize, arena)?;
+            check_list(&arena[start as usize..])?;
+            if map.insert(key, PostingRange { start, len }).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate posting key {key:#x}"
+                )));
+            }
+        }
+        Ok(map)
+    };
+    idx.sp = pair_map(&mut c, &mut arena)?;
+    idx.so = pair_map(&mut c, &mut arena)?;
+    idx.po = pair_map(&mut c, &mut arena)?;
+
+    let single_map = |c: &mut Cursor<'_>,
+                      arena: &mut Vec<u32>|
+     -> Result<FxHashMap<TermId, PostingRange>, SnapshotError> {
+        let count = c.count(8)?;
+        let mut map = FxHashMap::with_capacity_and_hasher(count, Default::default());
+        for _ in 0..count {
+            let key = TermId(c.u32()?);
+            let len = c.u32()?;
+            let start = arena.len() as u64;
+            c.u32_into(len as usize, arena)?;
+            check_list(&arena[start as usize..])?;
+            if map.insert(key, PostingRange { start, len }).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate posting key {key:?}"
+                )));
+            }
+        }
+        Ok(map)
+    };
+    idx.s = single_map(&mut c, &mut arena)?;
+    idx.p = single_map(&mut c, &mut arena)?;
+    idx.o = single_map(&mut c, &mut arena)?;
+    idx.postings = arena;
+
+    let all_count = c.count(4)?;
+    idx.all = c.u32_vec(all_count)?;
+    check_list(&idx.all)?;
+    if idx.all.len() != n_triples {
+        return Err(SnapshotError::Corrupt(format!(
+            "global list has {} entries for {} triples",
+            idx.all.len(),
+            n_triples
+        )));
+    }
+    if !c.done() {
+        return Err(SnapshotError::Corrupt(
+            "pattern indexes: trailing bytes after global list".into(),
+        ));
+    }
+    Ok(idx)
+}
+
+/// Deserializes a snapshot image produced by [`write_snapshot`].
+///
+/// Validates the magic, version, overall framing and FNV-1a trailer before
+/// touching any section, then checks every cross-reference (term ids against
+/// the dictionary, posting entries against the triple count) while decoding.
+pub fn read_snapshot(bytes: &[u8]) -> Result<KnowledgeGraph> {
+    let header_err = |context: &str| SnapshotError::Truncated {
+        context: context.to_string(),
+    };
+    if bytes.len() < 8 {
+        return Err(header_err("magic").into());
+    }
+    if bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic.into());
+    }
+    if bytes.len() < 16 {
+        return Err(header_err("header").into());
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        }
+        .into());
+    }
+    let section_count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let table_end = 16 + section_count * 12;
+    if bytes.len() < table_end {
+        return Err(header_err("section table").into());
+    }
+    let mut sections = Vec::with_capacity(section_count);
+    let mut payload_len = 0usize;
+    for i in 0..section_count {
+        let at = 16 + i * 12;
+        let id = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap());
+        let len = usize::try_from(len)
+            .map_err(|_| SnapshotError::Corrupt(format!("section {id} length overflows")))?;
+        payload_len = payload_len
+            .checked_add(len)
+            .ok_or_else(|| SnapshotError::Corrupt("section lengths overflow".into()))?;
+        sections.push((id, len));
+    }
+    let expected_total = table_end
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(8))
+        .ok_or_else(|| SnapshotError::Corrupt("section lengths overflow".into()))?;
+    if bytes.len() < expected_total {
+        return Err(header_err("payload").into());
+    }
+    if bytes.len() > expected_total {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes after checksum",
+            bytes.len() - expected_total
+        ))
+        .into());
+    }
+    let body_end = expected_total - 8;
+    let expected = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    let actual = fnv1a_64_words(&bytes[..body_end]);
+    if expected != actual {
+        return Err(SnapshotError::ChecksumMismatch { expected, actual }.into());
+    }
+
+    let mut dict_bytes = None;
+    let mut cols_bytes = None;
+    let mut idx_bytes = None;
+    let mut offset = table_end;
+    for (id, len) in sections {
+        let body = &bytes[offset..offset + len];
+        offset += len;
+        match id {
+            SECTION_DICT => dict_bytes = Some(body),
+            SECTION_COLS => cols_bytes = Some(body),
+            SECTION_IDX => idx_bytes = Some(body),
+            // Unknown sections are additive extensions — skip them.
+            _ => {}
+        }
+    }
+    let missing = |name: &str| SnapshotError::Corrupt(format!("required section {name} missing"));
+    let dict = decode_dict(dict_bytes.ok_or_else(|| missing("DICT"))?)?;
+    let cols = decode_cols(cols_bytes.ok_or_else(|| missing("COLS"))?, dict.len())?;
+    let indexes = decode_idx(idx_bytes.ok_or_else(|| missing("IDX"))?, cols.len())?;
+    Ok(KnowledgeGraph {
+        dict,
+        cols,
+        indexes,
+    })
+}
+
+/// Loads a knowledge graph from a snapshot file at `path`.
+pub fn load_snapshot(path: impl AsRef<Path>) -> Result<KnowledgeGraph> {
+    let bytes = std::fs::read(path.as_ref()).map_err(|e| {
+        specqp_common::Error::from(SnapshotError::Io(format!(
+            "reading {}: {e}",
+            path.as_ref().display()
+        )))
+    })?;
+    read_snapshot(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KnowledgeGraphBuilder, PatternKey};
+    use specqp_common::Error;
+
+    fn sample() -> KnowledgeGraph {
+        let mut b = KnowledgeGraphBuilder::new();
+        b.add("a", "type", "singer", 10.0);
+        b.add("b", "type", "singer", 4.0);
+        b.add("c", "type", "singer", 2.0);
+        b.add("a", "type", "lyricist", 7.0);
+        b.add("a", "plays", "guitar", 3.0);
+        b.intern("ghost"); // interned term with no triples must survive
+        b.build()
+    }
+
+    fn snapshot_err(r: Result<KnowledgeGraph>) -> SnapshotError {
+        match r {
+            Err(Error::Snapshot(e)) => e,
+            Err(other) => panic!("expected snapshot error, got {other:?}"),
+            Ok(_) => panic!("expected error, got a graph"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample();
+        let bytes = write_snapshot(&g);
+        let g2 = read_snapshot(&bytes).unwrap();
+        assert_eq!(g2.len(), g.len());
+        assert_eq!(g2.dictionary().len(), g.dictionary().len());
+        // Ids are identical, not merely isomorphic.
+        for (id, name) in g.dictionary().iter() {
+            assert_eq!(g2.dictionary().lookup(name), Some(id));
+        }
+        // Every signature answers identically.
+        let d = g.dictionary();
+        let (a, ty, singer) = (
+            d.lookup("a").unwrap(),
+            d.lookup("type").unwrap(),
+            d.lookup("singer").unwrap(),
+        );
+        for key in [
+            PatternKey::spo(a, ty, singer),
+            PatternKey::sp(a, ty),
+            PatternKey::so(a, singer),
+            PatternKey::po(ty, singer),
+            PatternKey::s_only(a),
+            PatternKey::p_only(ty),
+            PatternKey::o_only(singer),
+            PatternKey::any(),
+        ] {
+            let m1 = g.matches(key);
+            let m2 = g2.matches(key);
+            assert_eq!(m1.len(), m2.len(), "{key:?}");
+            for r in 0..m1.len() {
+                assert_eq!(m1.id_at(r), m2.id_at(r), "{key:?} rank {r}");
+                assert_eq!(m1.score_at(r), m2.score_at(r), "{key:?} rank {r}");
+            }
+        }
+        assert_eq!(g2.dictionary().lookup("ghost"), d.lookup("ghost"));
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic() {
+        let g = sample();
+        assert_eq!(write_snapshot(&g), write_snapshot(&g));
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = KnowledgeGraphBuilder::new().build();
+        let g2 = read_snapshot(&write_snapshot(&g)).unwrap();
+        assert!(g2.is_empty());
+        assert!(g2.matches(PatternKey::any()).is_empty());
+    }
+
+    #[test]
+    fn truncated_file_is_typed_error() {
+        let bytes = write_snapshot(&sample());
+        // Every proper prefix must fail with Truncated (or a checksum/corrupt
+        // error is impossible here because framing is checked first).
+        for cut in [0, 4, 8, 12, 15, 20, bytes.len() / 2, bytes.len() - 1] {
+            let e = snapshot_err(read_snapshot(&bytes[..cut]));
+            if cut >= 8 {
+                assert!(
+                    matches!(e, SnapshotError::Truncated { .. }),
+                    "cut at {cut}: {e:?}"
+                );
+            } else {
+                // Shorter than the magic: either truncated-magic or, for a
+                // cut inside the magic, bad magic is also acceptable.
+                assert!(
+                    matches!(e, SnapshotError::Truncated { .. } | SnapshotError::BadMagic),
+                    "cut at {cut}: {e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_typed_error() {
+        let mut bytes = write_snapshot(&sample());
+        bytes[0] = b'X';
+        assert_eq!(snapshot_err(read_snapshot(&bytes)), SnapshotError::BadMagic);
+        // A TSV file is not a snapshot.
+        let e = snapshot_err(read_snapshot(b"alice\trdf:type\tsinger\t12.5\n"));
+        assert_eq!(e, SnapshotError::BadMagic);
+    }
+
+    #[test]
+    fn wrong_version_is_typed_error() {
+        let mut bytes = write_snapshot(&sample());
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let e = snapshot_err(read_snapshot(&bytes));
+        assert_eq!(
+            e,
+            SnapshotError::UnsupportedVersion {
+                found: 99,
+                supported: FORMAT_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn checksum_mismatch_is_typed_error() {
+        let mut bytes = write_snapshot(&sample());
+        // Flip one payload byte (past header + table, before the trailer).
+        let mid = bytes.len() - 16;
+        bytes[mid] ^= 0xff;
+        let e = snapshot_err(read_snapshot(&bytes));
+        assert!(matches!(e, SnapshotError::ChecksumMismatch { .. }), "{e:?}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_typed_error() {
+        let mut bytes = write_snapshot(&sample());
+        bytes.extend_from_slice(b"extra");
+        let e = snapshot_err(read_snapshot(&bytes));
+        assert!(matches!(e, SnapshotError::Corrupt(_)), "{e:?}");
+    }
+
+    #[test]
+    fn corrupt_count_fails_without_huge_allocation() {
+        let g = sample();
+        let bytes = write_snapshot(&g);
+        // The DICT section starts right after the header+table; overwrite its
+        // term count with an absurd value and refresh the checksum so the
+        // framing passes and the structural check is what fires.
+        let table_end = 16 + 3 * 12;
+        let mut bytes = bytes;
+        bytes[table_end..table_end + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let body_end = bytes.len() - 8;
+        let sum = fnv1a_64_words(&bytes[..body_end]);
+        bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
+        let e = snapshot_err(read_snapshot(&bytes));
+        assert!(matches!(e, SnapshotError::Corrupt(_)), "{e:?}");
+    }
+
+    #[test]
+    fn negative_or_infinite_score_in_snapshot_is_corrupt() {
+        let g = sample();
+        for bad in [-1.0f64, f64::INFINITY, f64::NAN] {
+            let mut bytes = write_snapshot(&g);
+            // Section table entry 0 (DICT) holds its length at offset 20;
+            // COLS follows the table + DICT, scores follow count + 3 term
+            // columns. Patch the first score and refresh the checksum so
+            // the structural check (not the checksum) is what fires.
+            let dict_len = u64::from_le_bytes(bytes[20..28].try_into().unwrap()) as usize;
+            let score_off = (16 + 3 * 12) + dict_len + 8 + 3 * 4 * g.len();
+            bytes[score_off..score_off + 8].copy_from_slice(&bad.to_bits().to_le_bytes());
+            let body_end = bytes.len() - 8;
+            let sum = fnv1a_64_words(&bytes[..body_end]);
+            bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
+            let e = snapshot_err(read_snapshot(&bytes));
+            assert!(matches!(e, SnapshotError::Corrupt(_)), "{bad}: {e:?}");
+        }
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let g = sample();
+        let path =
+            std::env::temp_dir().join(format!("specqp_snapshot_test_{}.snap", std::process::id()));
+        save_snapshot(&g, &path).unwrap();
+        let g2 = load_snapshot(&path).unwrap();
+        assert_eq!(g2.len(), g.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let e = snapshot_err(load_snapshot("/nonexistent/specqp.snap"));
+        assert!(matches!(e, SnapshotError::Io(_)), "{e:?}");
+    }
+}

@@ -1,5 +1,6 @@
 //! The immutable knowledge graph and its match-list access path.
 
+use crate::columns::TripleColumns;
 use crate::index::PatternIndexes;
 use crate::pattern_key::{pack2, PatternKey, Signature};
 use crate::triple::{ScoredTriple, Triple};
@@ -8,12 +9,18 @@ use specqp_common::{Score, TermId};
 
 /// An immutable, fully indexed scored knowledge graph (Def. 1).
 ///
-/// Build one with [`KnowledgeGraphBuilder`](crate::KnowledgeGraphBuilder).
+/// Build one with [`KnowledgeGraphBuilder`](crate::KnowledgeGraphBuilder),
+/// or load one from a binary snapshot with
+/// [`snapshot::load_snapshot`](crate::snapshot::load_snapshot).
 /// All lookup methods return matches sorted by descending raw score.
+///
+/// Storage is columnar: the triple table is four parallel `s`/`p`/`o`/`score`
+/// columns ([`TripleColumns`]), so score-only access paths (upper bounds,
+/// normalizers) never touch the term columns.
 #[derive(Debug)]
 pub struct KnowledgeGraph {
     pub(crate) dict: Dictionary,
-    pub(crate) triples: Vec<ScoredTriple>,
+    pub(crate) cols: TripleColumns,
     pub(crate) indexes: PatternIndexes,
 }
 
@@ -27,29 +34,40 @@ impl KnowledgeGraph {
 
     /// Number of stored triples.
     pub fn len(&self) -> usize {
-        self.triples.len()
+        self.cols.len()
     }
 
     /// `true` if the graph holds no triples.
     pub fn is_empty(&self) -> bool {
-        self.triples.is_empty()
+        self.cols.is_empty()
     }
 
-    /// The triple at storage index `i`.
+    /// The triple components at storage index `i`.
     #[inline]
-    pub fn triple(&self, i: u32) -> &ScoredTriple {
-        &self.triples[i as usize]
+    pub fn triple(&self, i: u32) -> Triple {
+        self.cols.triple(i as usize)
     }
 
-    /// All triples in storage order.
-    pub fn triples(&self) -> &[ScoredTriple] {
-        &self.triples
+    /// The triple at storage index `i` with its score.
+    #[inline]
+    pub fn scored(&self, i: u32) -> ScoredTriple {
+        self.cols.scored(i as usize)
+    }
+
+    /// The columnar triple table.
+    pub fn columns(&self) -> &TripleColumns {
+        &self.cols
+    }
+
+    /// Iterates all triples with scores in storage order.
+    pub fn iter_scored(&self) -> impl Iterator<Item = ScoredTriple> + '_ {
+        self.cols.iter()
     }
 
     /// Raw score of the triple at storage index `i`.
     #[inline]
     pub fn score(&self, i: u32) -> Score {
-        self.triples[i as usize].score
+        self.cols.score(i as usize)
     }
 
     /// Returns the score-descending [`MatchList`] for `key`.
@@ -57,10 +75,14 @@ impl KnowledgeGraph {
     /// Fully bound keys yield a 0- or 1-element list; everything else is a
     /// posting-list lookup; the all-wildcard key returns the global list.
     pub fn matches(&self, key: PatternKey) -> MatchList<'_> {
+        let idx = &self.indexes;
+        let resolve = |r: Option<&crate::index::PostingRange>| -> &[u32] {
+            r.map(|&r| idx.list(r)).unwrap_or(&EMPTY)
+        };
         let ids: &[u32] = match key.signature() {
             Signature::Spo => {
                 let (s, p, o) = (key.s.unwrap(), key.p.unwrap(), key.o.unwrap());
-                match self.indexes.spo.get(&(s, p, o)) {
+                match idx.spo.get(&(s, p, o)) {
                     Some(i) => {
                         // Return a 1-element slice borrowed from a per-call
                         // allocation-free path: we keep singleton lists in the
@@ -68,12 +90,7 @@ impl KnowledgeGraph {
                         // the (s,p) postings and filter on o lazily — but that
                         // breaks the "slice" contract. We store the singleton
                         // in the po postings and search it.
-                        let list = self
-                            .indexes
-                            .po
-                            .get(&pack2(p, o))
-                            .map(|v| &v[..])
-                            .unwrap_or(&EMPTY);
+                        let list = resolve(idx.po.get(&pack2(p, o)));
                         // Find position of `i` — lists are tiny for spo keys.
                         match list.iter().position(|x| x == i) {
                             Some(pos) => &list[pos..=pos],
@@ -83,43 +100,13 @@ impl KnowledgeGraph {
                     None => &EMPTY,
                 }
             }
-            Signature::SpX => self
-                .indexes
-                .sp
-                .get(&pack2(key.s.unwrap(), key.p.unwrap()))
-                .map(|v| &v[..])
-                .unwrap_or(&EMPTY),
-            Signature::SxO => self
-                .indexes
-                .so
-                .get(&pack2(key.s.unwrap(), key.o.unwrap()))
-                .map(|v| &v[..])
-                .unwrap_or(&EMPTY),
-            Signature::XpO => self
-                .indexes
-                .po
-                .get(&pack2(key.p.unwrap(), key.o.unwrap()))
-                .map(|v| &v[..])
-                .unwrap_or(&EMPTY),
-            Signature::Sxx => self
-                .indexes
-                .s
-                .get(&key.s.unwrap())
-                .map(|v| &v[..])
-                .unwrap_or(&EMPTY),
-            Signature::XpX => self
-                .indexes
-                .p
-                .get(&key.p.unwrap())
-                .map(|v| &v[..])
-                .unwrap_or(&EMPTY),
-            Signature::XxO => self
-                .indexes
-                .o
-                .get(&key.o.unwrap())
-                .map(|v| &v[..])
-                .unwrap_or(&EMPTY),
-            Signature::Xxx => &self.indexes.all,
+            Signature::SpX => resolve(idx.sp.get(&pack2(key.s.unwrap(), key.p.unwrap()))),
+            Signature::SxO => resolve(idx.so.get(&pack2(key.s.unwrap(), key.o.unwrap()))),
+            Signature::XpO => resolve(idx.po.get(&pack2(key.p.unwrap(), key.o.unwrap()))),
+            Signature::Sxx => resolve(idx.s.get(&key.s.unwrap())),
+            Signature::XpX => resolve(idx.p.get(&key.p.unwrap())),
+            Signature::XxO => resolve(idx.o.get(&key.o.unwrap())),
+            Signature::Xxx => &idx.all,
         };
         MatchList { graph: self, ids }
     }
@@ -139,12 +126,12 @@ impl KnowledgeGraph {
         self.indexes
             .spo
             .get(&(s, p, o))
-            .map(|&i| self.triples[i as usize].score)
+            .map(|&i| self.cols.score(i as usize))
     }
 
     /// Approximate resident bytes (diagnostics).
     pub fn approx_bytes(&self) -> usize {
-        self.triples.len() * std::mem::size_of::<ScoredTriple>() + self.indexes.approx_bytes()
+        self.cols.approx_bytes() + self.indexes.approx_bytes()
     }
 }
 
@@ -177,14 +164,14 @@ impl<'g> MatchList<'g> {
 
     /// The triple at `rank`.
     #[inline]
-    pub fn triple_at(&self, rank: usize) -> &'g Triple {
-        &self.graph.triples[self.ids[rank] as usize].triple
+    pub fn triple_at(&self, rank: usize) -> Triple {
+        self.graph.cols.triple(self.ids[rank] as usize)
     }
 
-    /// Raw score at `rank`.
+    /// Raw score at `rank` (touches only the score column).
     #[inline]
     pub fn score_at(&self, rank: usize) -> Score {
-        self.graph.triples[self.ids[rank] as usize].score
+        self.graph.cols.score(self.ids[rank] as usize)
     }
 
     /// The maximum raw score (score at rank 0), i.e. the Def.-5 normalizer
@@ -197,7 +184,7 @@ impl<'g> MatchList<'g> {
         }
     }
 
-    /// Normalized score at `rank`: `S(t|q) = S(t)/max` ∈ [0,1] (Def. 5).
+    /// Normalized score at `rank`: `S(t|q) = S(t)/max` ∈ \[0,1\] (Def. 5).
     /// Zero for an empty list.
     pub fn normalized_score_at(&self, rank: usize) -> Score {
         let max = self.max_score();
@@ -213,23 +200,22 @@ impl<'g> MatchList<'g> {
         let graph = self.graph;
         self.ids
             .iter()
-            .map(move |&i| (i, graph.triples[i as usize].score))
+            .map(move |&i| (i, graph.cols.score(i as usize)))
     }
 
     /// Iterates the matching triples in descending-score order.
-    pub fn iter_triples(&self) -> impl Iterator<Item = (&'g Triple, Score)> + 'g {
+    pub fn iter_triples(&self) -> impl Iterator<Item = (Triple, Score)> + 'g {
         let graph = self.graph;
-        self.ids.iter().map(move |&i| {
-            let st = &graph.triples[i as usize];
-            (&st.triple, st.score)
-        })
+        self.ids
+            .iter()
+            .map(move |&i| (graph.cols.triple(i as usize), graph.cols.score(i as usize)))
     }
 
     /// Sum of raw scores over ranks `0..=rank` (the `S_r` statistic).
     pub fn cumulative_score(&self, rank: usize) -> Score {
         self.ids[..=rank]
             .iter()
-            .map(|&i| self.graph.triples[i as usize].score)
+            .map(|&i| self.graph.cols.score(i as usize))
             .sum()
     }
 
@@ -339,5 +325,20 @@ mod tests {
         for w in scores.windows(2) {
             assert!(w[0] >= w[1]);
         }
+    }
+
+    #[test]
+    fn columnar_accessors_agree_with_rows() {
+        let kg = sample();
+        let cols = kg.columns();
+        assert_eq!(cols.len(), kg.len());
+        for i in 0..kg.len() as u32 {
+            let st = kg.scored(i);
+            assert_eq!(st.triple, kg.triple(i));
+            assert_eq!(st.score, kg.score(i));
+            assert_eq!(cols.subjects()[i as usize], st.triple.s);
+            assert_eq!(cols.scores()[i as usize], st.score);
+        }
+        assert_eq!(kg.iter_scored().count(), kg.len());
     }
 }

@@ -80,7 +80,7 @@ impl<'g> PatternScan<'g> {
 
     fn find_satisfying(&self, from: usize) -> usize {
         let mut r = from;
-        while r < self.list.len() && !self.satisfies(self.list.triple_at(r)) {
+        while r < self.list.len() && !self.satisfies(&self.list.triple_at(r)) {
             r += 1;
         }
         r
@@ -117,7 +117,7 @@ impl RankedStream for PatternScan<'_> {
         let rank = self.next_rank;
         self.next_rank = self.find_satisfying(rank + 1);
         let triple = self.list.triple_at(rank);
-        let answer = PartialAnswer::new(self.bind(triple), self.weighted_score(rank));
+        let answer = PartialAnswer::new(self.bind(&triple), self.weighted_score(rank));
         self.metrics.count_sorted_access();
         self.metrics.count_answer();
         Some(answer)

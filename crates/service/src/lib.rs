@@ -45,6 +45,8 @@ use kgstore::KnowledgeGraph;
 use relax::RelaxationRegistry;
 use sparql::Query;
 use specqp::{Engine, EngineConfig, QueryOutcome};
+use specqp_common::Result;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -221,6 +223,24 @@ impl QueryService {
     /// cardinality estimator, chain rules, …).
     pub fn with_engine(engine: Arc<Engine<'static>>, config: ServiceConfig) -> Self {
         QueryService { engine, config }
+    }
+
+    /// Boots a service directly from a binary KG snapshot file: the graph is
+    /// deserialized with its posting lists intact (no TSV parse, no index
+    /// rebuild — see [`kgstore::snapshot`]), wrapped in an `Arc` and shared
+    /// by the worker pool. This is the restart-fast path: a service replica
+    /// comes up without repeating any of the build work the snapshot froze.
+    ///
+    /// Returns the typed [`specqp_common::SnapshotError`] (wrapped in
+    /// [`specqp_common::Error::Snapshot`]) if the file is missing, truncated
+    /// or corrupt.
+    pub fn from_snapshot(
+        path: impl AsRef<Path>,
+        registry: Arc<RelaxationRegistry>,
+        config: ServiceConfig,
+    ) -> Result<Self> {
+        let graph = Arc::new(kgstore::snapshot::load_snapshot(path)?);
+        Ok(QueryService::new(graph, registry, config))
     }
 
     /// The shared engine.
@@ -458,6 +478,48 @@ mod tests {
         assert!(
             msg.contains("query job 0 panicked"),
             "panic names the job: {msg}"
+        );
+    }
+
+    #[test]
+    fn from_snapshot_answers_like_builder_path() {
+        let (g, reg) = setup();
+        let path = std::env::temp_dir().join(format!(
+            "specqp_service_snapshot_{}.snap",
+            std::process::id()
+        ));
+        kgstore::snapshot::save_snapshot(&g, &path).unwrap();
+        let q = parse_query("SELECT ?s WHERE { ?s <type> <small> }", g.dictionary()).unwrap();
+        let jobs = vec![QueryJob::specqp(q, 5)];
+
+        let direct = QueryService::new(g.clone(), reg.clone(), ServiceConfig::with_threads(2));
+        let booted =
+            QueryService::from_snapshot(&path, reg, ServiceConfig::with_threads(2)).unwrap();
+        let a = direct.run_batch(&jobs);
+        let b = booted.run_batch(&jobs);
+        assert_eq!(a.outcomes[0].answers.len(), b.outcomes[0].answers.len());
+        for (x, y) in a.outcomes[0].answers.iter().zip(&b.outcomes[0].answers) {
+            assert_eq!(x.score, y.score);
+            assert_eq!(x.binding, y.binding);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_snapshot_missing_file_is_typed_error() {
+        let (_, reg) = setup();
+        let e = QueryService::from_snapshot(
+            "/nonexistent/specqp_service.snap",
+            reg,
+            ServiceConfig::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                e,
+                specqp_common::Error::Snapshot(specqp_common::SnapshotError::Io(_))
+            ),
+            "{e:?}"
         );
     }
 

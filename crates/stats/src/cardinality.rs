@@ -126,7 +126,7 @@ impl ExactCardinality {
             let (s, pp, o) = p.const_parts();
             let list = graph.matches(PatternKey { s, p: pp, o });
             for (t, _) in list.iter_triples() {
-                if let Some(b) = bind_triple(p, t, &var_index) {
+                if let Some(b) = bind_triple(p, &t, &var_index) {
                     acc.push(b);
                     if acc.len() >= self.cap {
                         break;
@@ -159,7 +159,7 @@ impl ExactCardinality {
             let mut next_acc: Vec<CountBinding> = Vec::new();
             'outer: for (t, _) in list.iter_triples() {
                 // Bindings contributed by this pattern alone.
-                let Some(local) = bind_triple(p, t, &var_index) else {
+                let Some(local) = bind_triple(p, &t, &var_index) else {
                     continue;
                 };
                 let key: Box<[TermId]> = p

@@ -129,7 +129,7 @@ fn chains_compose_with_multi_pattern_queries() {
     let (g, reg, _chains) = setup();
     // Add a second pattern so the chain's merged stream feeds a rank join.
     let mut b = KnowledgeGraphBuilder::new();
-    for st in g.triples() {
+    for st in g.iter_scored() {
         let d = g.dictionary();
         b.add(
             d.name_or_unknown(st.triple.s),
