@@ -16,7 +16,8 @@ build:
 	$(CARGO) build --release --workspace
 
 test:
-	$(CARGO) test -q --workspace
+	SPECQP_EXEC=row $(CARGO) test -q --workspace
+	SPECQP_EXEC=block $(CARGO) test -q --workspace
 	env -u RUST_TEST_THREADS $(CARGO) test -q --release --test integration_service
 	env -u RUST_TEST_THREADS $(CARGO) test -q --release -p specqp_service
 
@@ -31,14 +32,16 @@ example:
 
 # The weekly bench-smoke job in one command.
 smoke:
-	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --json BENCH_probe.json
+	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --block-size 128 --json BENCH_probe.json
 
 # The CI bench-regression job: probe the current tree, gate against the
-# committed baseline (3x noise tolerance), and check the snapshot speedup.
+# committed baseline (3x noise tolerance), and check the snapshot and
+# block-executor speedups.
 gate:
-	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --json target/BENCH_current.json
+	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --block-size 128 --json target/BENCH_current.json
 	$(CARGO) run --release -p bench --bin bench_gate -- regression BENCH_probe.json target/BENCH_current.json 3
 	$(CARGO) run --release -p bench --bin bench_gate -- snapshot target/BENCH_current.json 3
+	$(CARGO) run --release -p bench --bin bench_gate -- block target/BENCH_current.json 1.3
 
 # The CI snapshot-roundtrip job: datagen -> save snapshot -> reload ->
 # results must be byte-identical to the builder/TSV path.

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use operators::{
-    top_k, Binding, NestedLoopsRankJoin, OpMetrics, PartialAnswer, PullStrategy, RankJoin,
-    RankedStream, VecStream,
+    top_k, top_k_blocks, AnswerBlock, Binding, BlockNestedLoopsRankJoin, NestedLoopsRankJoin,
+    OpMetrics, PartialAnswer, PullStrategy, RankJoin, RankedStream, VecStream,
 };
 use sparql::Var;
 use specqp_common::{Score, TermId};
@@ -55,6 +55,31 @@ fn bench_rank_join(c: &mut Criterion) {
             let m = OpMetrics::new_handle();
             let mut join = NestedLoopsRankJoin::new(l.clone(), r.clone(), vec![Var(0)], m);
             top_k(&mut join, 10).len()
+        })
+    });
+
+    // Block-at-a-time NRJN: same threshold/re-scan semantics, rows exposed
+    // in batches and matched by direct key-column comparison.
+    let to_block = |rows: &[PartialAnswer], side_var: u32| {
+        let mut blk = AnswerBlock::new(vec![Var(0), Var(1 + side_var)]);
+        for a in rows {
+            blk.push_row(
+                &[
+                    a.binding.get(Var(0)).unwrap(),
+                    a.binding.get(Var(1 + side_var)).unwrap(),
+                ],
+                a.score,
+            );
+        }
+        blk
+    };
+    let (lb, rb) = (to_block(&l, 0), to_block(&r, 1));
+    group.bench_function("nrjn_block_64", |b| {
+        b.iter(|| {
+            let m = OpMetrics::new_handle();
+            let mut join =
+                BlockNestedLoopsRankJoin::new(lb.clone(), rb.clone(), vec![Var(0)], m, 64);
+            top_k_blocks(&mut join, 10).len()
         })
     });
 

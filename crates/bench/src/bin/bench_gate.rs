@@ -7,6 +7,7 @@
 //! bench_gate regression <baseline.json> <current.json> [tolerance]
 //! bench_gate determinism <a.json> <b.json>
 //! bench_gate snapshot <current.json> [min_speedup]
+//! bench_gate block <current.json> [min_speedup]
 //! ```
 //!
 //! * `regression` compares `planning_us` / `execution_us` (Spec-QP executor)
@@ -20,6 +21,9 @@
 //!   the TSV/builder path.
 //! * `snapshot` asserts the report's snapshot-vs-TSV load `speedup` meets
 //!   the floor (default 3×).
+//! * `block` asserts the report's block-vs-row executor `speedup` meets the
+//!   floor (default 1.3×) **and** that the two executors returned identical
+//!   answers (`answers_match`) — a fast wrong executor must never pass.
 //!
 //! The workspace is dependency-free, so instead of a JSON library this uses
 //! a small field scanner that understands exactly the shape `probe` emits.
@@ -120,6 +124,29 @@ fn regression(baseline_path: &str, current_path: &str, tol: f64) -> i32 {
         if !ok {
             failures.push(format!("specqp.{key} {cur:.0}us > {limit:.0}us"));
         }
+    }
+
+    // block_execution_us only gates when both reports carry a block object
+    // (older baselines predate block execution).
+    match (
+        object_slice(&baseline, "block").and_then(|s| num_field(s, "block_execution_us")),
+        object_slice(&current, "block").and_then(|s| num_field(s, "block_execution_us")),
+    ) {
+        (Some(base), Some(cur)) => {
+            let limit = base * tol + LATENCY_SLACK_US;
+            let ok = cur <= limit;
+            println!(
+                "block.block_execution_us: baseline {base:.0}us, current {cur:.0}us, \
+                 limit {limit:.0}us -> {}",
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            if !ok {
+                failures.push(format!(
+                    "block.block_execution_us {cur:.0}us > {limit:.0}us"
+                ));
+            }
+        }
+        _ => println!("block.block_execution_us: absent in baseline or current, skipped"),
     }
 
     // queries_per_sec only gates when both reports carry a service object
@@ -226,13 +253,58 @@ fn snapshot_gate(path: &str, min_speedup: f64) -> i32 {
     }
 }
 
+/// `true`-literal check for a boolean field inside `slice`.
+fn bool_field(slice: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\":");
+    let at = slice.find(&pat)?;
+    let rest = slice[at + pat.len()..].trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn block_gate(path: &str, min_speedup: f64) -> i32 {
+    let json = read(path);
+    let slice = object_slice(&json, "block").unwrap_or_else(|| {
+        eprintln!("bench_gate: {path} has no \"block\" object");
+        exit(2);
+    });
+    let speedup = require_num(&json, "block", "speedup", path);
+    let row = require_num(&json, "block", "row_execution_us", path);
+    let block = require_num(&json, "block", "block_execution_us", path);
+    let answers_match = bool_field(slice, "answers_match").unwrap_or_else(|| {
+        eprintln!("bench_gate: {path} lacks boolean block.answers_match");
+        exit(2);
+    });
+    println!(
+        "block executor {block:.0}us vs row executor {row:.0}us -> {speedup:.2}x \
+         (floor {min_speedup}x, answers_match={answers_match})"
+    );
+    if !answers_match {
+        eprintln!("bench_gate block FAILED: block and row executors disagreed on answers");
+        return 1;
+    }
+    if speedup >= min_speedup {
+        println!("bench_gate block: ok");
+        0
+    } else {
+        eprintln!("bench_gate block FAILED: {speedup:.2}x < {min_speedup}x");
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || -> ! {
         eprintln!(
             "usage: bench_gate regression <baseline.json> <current.json> [tolerance]\n\
              \x20      bench_gate determinism <a.json> <b.json>\n\
-             \x20      bench_gate snapshot <current.json> [min_speedup]"
+             \x20      bench_gate snapshot <current.json> [min_speedup]\n\
+             \x20      bench_gate block <current.json> [min_speedup]"
         );
         exit(2);
     };
@@ -251,6 +323,13 @@ fn main() {
                 .map(|s| s.parse::<f64>().unwrap_or_else(|_| usage()))
                 .unwrap_or(3.0);
             snapshot_gate(&args[1], floor)
+        }
+        Some("block") if args.len() >= 2 => {
+            let floor = args
+                .get(2)
+                .map(|s| s.parse::<f64>().unwrap_or_else(|_| usage()))
+                .unwrap_or(1.3);
+            block_gate(&args[1], floor)
         }
         _ => usage(),
     };
@@ -273,6 +352,7 @@ mod tests {
   "specqp": {"planning_us":754,"execution_us":2249,"top_k":10,"scores":[2.6,2.5]},
   "trinit": {"planning_us":0,"execution_us":1994,"top_k":10,"scores":[2.6,2.5]},
   "snapshot": {"triples":10,"bytes":123,"load_us":100,"tsv_load_us":900,"speedup":9.000,"from_snapshot":false},
+  "block": {"block_size":256,"queries":18,"k":10,"row_execution_us":9000,"block_execution_us":4000,"speedup":2.250,"answers_match":true},
   "service": {"threads":4,"queries_per_sec":730.059,"cache":{"hits":37}}
 }"#;
 
@@ -306,5 +386,16 @@ mod tests {
     fn snapshot_speedup_readable() {
         let snap = object_slice(SAMPLE, "snapshot").unwrap();
         assert_eq!(num_field(snap, "speedup"), Some(9.0));
+    }
+
+    #[test]
+    fn block_object_fields_readable() {
+        let block = object_slice(SAMPLE, "block").unwrap();
+        assert_eq!(num_field(block, "speedup"), Some(2.25));
+        assert_eq!(num_field(block, "row_execution_us"), Some(9000.0));
+        assert_eq!(num_field(block, "block_execution_us"), Some(4000.0));
+        assert_eq!(bool_field(block, "answers_match"), Some(true));
+        assert_eq!(bool_field(block, "block_size"), None);
+        assert_eq!(bool_field(block, "missing"), None);
     }
 }

@@ -17,6 +17,11 @@
 //! and plan-cache hit rates — landing in the JSON report as a `service`
 //! object so BENCH artifacts track serving throughput over time.
 //!
+//! With `--json`, the report also carries a `block` object comparing the
+//! vectorized block executor against the row-at-a-time reference over the
+//! whole workload (`--block-size N` overrides the default block size; the
+//! CI bench gate asserts the block path stays faster).
+//!
 //! Snapshot flags: `--save-snapshot <path>` writes the generated graph as a
 //! binary KG snapshot; `--snapshot <path>` boots the probe's graph from a
 //! snapshot instead of the freshly built one (term ids are preserved, so the
@@ -27,7 +32,8 @@
 //! graph — the CI bench gate asserts the speedup stays ≥ 3×.
 
 use datagen::{TwitterConfig, TwitterGenerator, XkgConfig, XkgGenerator};
-use specqp::{prediction_covering, prediction_exact, required_relaxations, Engine};
+use operators::ExecutionMode;
+use specqp::{prediction_covering, prediction_exact, required_relaxations, Engine, EngineConfig};
 use specqp_service::{QueryJob, QueryService, ServiceConfig};
 use specqp_stats::{
     expected_score_at_rank, CardinalityEstimator, ExactCardinality, ScoreEstimator, StatsCatalog,
@@ -72,6 +78,17 @@ fn main() {
     });
     let save_snapshot_path = take_flag("--save-snapshot", "a file path");
     let snapshot_path = take_flag("--snapshot", "a file path");
+    let block_size = take_flag("--block-size", "a row count")
+        .map(|s| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("--block-size requires a positive row count, got {s:?}");
+                    std::process::exit(2);
+                })
+        })
+        .unwrap_or(operators::DEFAULT_BLOCK_SIZE);
     let mut args = raw.into_iter();
     let dataset_name = args.next().unwrap_or_else(|| "xkg".into());
     let qid: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(0);
@@ -258,6 +275,65 @@ fn main() {
         );
     }
 
+    // Row-vs-block executor comparison for the JSON report: the whole
+    // workload through two engines differing only in
+    // `EngineConfig::execution`, summing per-query execution time (planning
+    // is warmed out via the plan cache). Rounds are *interleaved*
+    // (row, block, row, block, …) and the best round per executor is kept,
+    // so an ambient slowdown on a shared runner degrades both sides instead
+    // of skewing the ratio; answers are cross-checked so the reported
+    // speedup is only ever for an equivalent executor. The CI bench gate
+    // asserts the speedup floor.
+    let mut block_json = String::new();
+    if json_path.is_some() {
+        let row_engine = Engine::with_config(
+            &ds.graph,
+            &ds.registry,
+            EngineConfig::default().with_execution(ExecutionMode::RowAtATime),
+        );
+        let block_engine = Engine::with_config(
+            &ds.graph,
+            &ds.registry,
+            EngineConfig::default().with_execution(ExecutionMode::Block(block_size)),
+        );
+        for q in &ds.workload.queries {
+            row_engine.warm(q, k);
+            block_engine.warm(q, k);
+        }
+        let mut answers_match = true;
+        for q in &ds.workload.queries {
+            let a = row_engine.run_specqp(q, k);
+            let b = block_engine.run_specqp(q, k);
+            if a.answers != b.answers {
+                answers_match = false;
+            }
+        }
+        let one_round = |engine: &Engine<'_>| -> u128 {
+            ds.workload
+                .queries
+                .iter()
+                .map(|q| engine.run_specqp(q, k).report.execution.as_micros())
+                .sum::<u128>()
+        };
+        let (mut row_us, mut block_us) = (u128::MAX, u128::MAX);
+        for _ in 0..5 {
+            row_us = row_us.min(one_round(&row_engine));
+            block_us = block_us.min(one_round(&block_engine));
+        }
+        let speedup = row_us as f64 / (block_us.max(1)) as f64;
+        println!(
+            "execution: block({block_size}) {block_us}us vs row {row_us}us over {} queries \
+             ({speedup:.2}x, answers_match={answers_match})",
+            ds.workload.queries.len(),
+        );
+        block_json = format!(
+            ",\n  \"block\": {{\"block_size\":{block_size},\"queries\":{},\"k\":{k},\
+             \"row_execution_us\":{row_us},\"block_execution_us\":{block_us},\
+             \"speedup\":{speedup:.3},\"answers_match\":{answers_match}}}",
+            ds.workload.queries.len(),
+        );
+    }
+
     // Optional serving-throughput probe: the whole workload, cycled ×3 so
     // repeated shapes hit the plan cache, through an N-thread service.
     // This consumes the dataset's graph/registry (moved into Arcs), so it
@@ -296,7 +372,8 @@ fn main() {
         service_json = format!(
             ",\n  \"service\": {{\"threads\":{},\"queries\":{},\"queries_per_sec\":{:.3},\
              \"wall_us\":{},\"mean_latency_us\":{},\"p50_latency_us\":{},\
-             \"p95_latency_us\":{},\"max_latency_us\":{},\"cache\":{{\"lookups\":{},\
+             \"p95_latency_us\":{},\"p99_latency_us\":{},\"max_latency_us\":{},\
+             \"cache\":{{\"lookups\":{},\
              \"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\
              \"hit_rate\":{:.4}}}}}",
             s.threads,
@@ -306,6 +383,7 @@ fn main() {
             s.mean_latency.as_micros(),
             s.p50_latency.as_micros(),
             s.p95_latency.as_micros(),
+            s.p99_latency.as_micros(),
             s.max_latency.as_micros(),
             s.cache.lookups,
             s.cache.hits,
@@ -345,7 +423,7 @@ fn main() {
             "{{\n  \"dataset\": \"{}\",\n  \"summary\": \"{}\",\n  \"query\": {qid},\n  \
              \"k\": {k},\n  \"plan_singletons\": {:?},\n  \"required\": {:?},\n  \
              \"prediction_exact\": {exact},\n  \"prediction_covers\": {covers},\n  \
-             \"specqp\": {},\n  \"trinit\": {}{snapshot_json}{service_json}\n}}\n",
+             \"specqp\": {},\n  \"trinit\": {}{snapshot_json}{block_json}{service_json}\n}}\n",
             json_escape(&ds.name),
             json_escape(&summary),
             spec.plan.singletons(),

@@ -164,6 +164,7 @@ pub fn ablation_summary(dataset: &Dataset, k: usize) -> String {
         EngineConfig {
             refit: RefitMode::MultiBucket(64),
             pull: PullStrategy::Adaptive,
+            ..EngineConfig::default()
         },
     );
 

@@ -2,13 +2,13 @@
 //! and configuration, with `run_*` entry points for Spec-QP, TriniT and the
 //! naive executor.
 
-use crate::executor::{run_naive, run_plan_with_chains};
+use crate::executor::{run_naive, run_plan_blocks_with_chains, run_plan_with_chains};
 use crate::plan::QueryPlan;
 use crate::plan_cache::{PlanCache, QueryShape};
 use crate::plangen::plan_query;
 use crate::trace::RunReport;
 use kgstore::KnowledgeGraph;
-use operators::{CacheMetricsHandle, OpMetrics, PartialAnswer, PullStrategy};
+use operators::{CacheMetricsHandle, ExecutionMode, OpMetrics, PartialAnswer, PullStrategy};
 use relax::{ChainRuleSet, RelaxationRegistry};
 use sparql::Query;
 use specqp_stats::{CardinalityEstimator, ExactCardinality, RefitMode, StatsCatalog};
@@ -42,6 +42,12 @@ pub struct EngineConfig {
     pub refit: RefitMode,
     /// Rank-join pull strategy (default: adaptive / HRJN*).
     pub pull: PullStrategy,
+    /// Row-at-a-time (reference) or vectorized block execution. Both paths
+    /// return identical answers; the block path exists for speed. The
+    /// default honours the `SPECQP_EXEC` environment variable
+    /// (`row` | `block` | `block:N`, see [`ExecutionMode::from_env`]), which
+    /// is how CI runs the whole test suite once per executor.
+    pub execution: ExecutionMode,
 }
 
 impl Default for EngineConfig {
@@ -49,7 +55,16 @@ impl Default for EngineConfig {
         EngineConfig {
             refit: RefitMode::TwoBucket,
             pull: PullStrategy::Adaptive,
+            execution: ExecutionMode::from_env(),
         }
+    }
+}
+
+impl EngineConfig {
+    /// This configuration with `execution` replaced.
+    pub fn with_execution(mut self, execution: ExecutionMode) -> Self {
+        self.execution = execution;
+        self
     }
 }
 
@@ -261,16 +276,29 @@ impl<'g> Engine<'g> {
     ) -> QueryOutcome {
         let metrics = OpMetrics::new_handle();
         let t0 = Instant::now();
-        let answers = run_plan_with_chains(
-            self.graph.get(),
-            query,
-            &plan,
-            self.registry.get(),
-            &self.chains,
-            metrics.clone(),
-            self.config.pull,
-            k,
-        );
+        let answers = match self.config.execution {
+            ExecutionMode::RowAtATime => run_plan_with_chains(
+                self.graph.get(),
+                query,
+                &plan,
+                self.registry.get(),
+                &self.chains,
+                metrics.clone(),
+                self.config.pull,
+                k,
+            ),
+            ExecutionMode::Block(size) => run_plan_blocks_with_chains(
+                self.graph.get(),
+                query,
+                &plan,
+                self.registry.get(),
+                &self.chains,
+                metrics.clone(),
+                self.config.pull,
+                k,
+                size,
+            ),
+        };
         let execution = t0.elapsed();
         QueryOutcome {
             answers,
@@ -441,6 +469,32 @@ mod tests {
         // A different shape (same query, different k) misses again.
         let _ = engine.plan(&q, 3);
         assert_eq!(m.misses(), 2);
+    }
+
+    /// The `EngineConfig::execution` knob: a block-mode engine answers
+    /// exactly like the row-mode reference (scores included), for both
+    /// Spec-QP and TriniT.
+    #[test]
+    fn block_engine_matches_row_engine() {
+        let (g, reg) = setup();
+        let q = parse_query(
+            "SELECT ?s WHERE { ?s <type> <big> . ?s <type> <small> }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let row_cfg = EngineConfig::default().with_execution(ExecutionMode::RowAtATime);
+        let row = Engine::with_config(&g, &reg, row_cfg);
+        for size in [1, 64, 4096] {
+            let block_cfg = EngineConfig::default().with_execution(ExecutionMode::Block(size));
+            let block = Engine::with_config(&g, &reg, block_cfg);
+            for (a, b) in [
+                (row.run_specqp(&q, 10), block.run_specqp(&q, 10)),
+                (row.run_trinit(&q, 10), block.run_trinit(&q, 10)),
+            ] {
+                assert_eq!(a.plan, b.plan, "size {size}");
+                assert_eq!(a.answers, b.answers, "size {size}");
+            }
+        }
     }
 
     #[test]

@@ -18,8 +18,9 @@
 use crate::plan::QueryPlan;
 use kgstore::KnowledgeGraph;
 use operators::{
-    top_k, BoxedStream, IncrementalMerge, MetricsHandle, PartialAnswer, PatternScan, Projected,
-    PullStrategy, RankJoin, RankedStream, Scaled,
+    top_k, top_k_blocks, BlockIncrementalMerge, BlockRankJoin, BlockScan, BoxedBlockStream,
+    BoxedStream, IncrementalMerge, MetricsHandle, PartialAnswer, PatternScan, Projected,
+    PullStrategy, RankJoin, RankedStream, RowsToBlocks, Scaled,
 };
 use relax::{ChainRuleSet, RelaxationRegistry};
 use sparql::{Query, Var};
@@ -136,6 +137,112 @@ pub fn build_plan_stream_with_chains<'g>(
     acc
 }
 
+/// Block-at-a-time sibling of [`build_plan_stream_with_chains`]: the same
+/// operator-tree shape (same scans, same join order, same merge input
+/// order), built from the vectorized operators with blocks of up to
+/// `block_size` rows. Chain-relaxation subtrees reuse the row
+/// implementation behind a [`RowsToBlocks`] adapter, so both executors
+/// compute chain scores through identical code.
+pub fn build_block_stream_with_chains<'g>(
+    graph: &'g KnowledgeGraph,
+    query: &Query,
+    plan: &QueryPlan,
+    registry: &RelaxationRegistry,
+    chains: &ChainRuleSet,
+    metrics: MetricsHandle,
+    strategy: PullStrategy,
+    block_size: usize,
+) -> BoxedBlockStream<'g> {
+    assert_eq!(plan.len(), query.len(), "plan/query arity mismatch");
+    let block_size = block_size.max(1);
+    let patterns = query.patterns();
+    let mut next_fresh = query.var_count() as u32;
+
+    let scan = |i: usize, weight: Score| -> BoxedBlockStream<'g> {
+        Box::new(BlockScan::new(
+            graph,
+            patterns[i],
+            weight,
+            metrics.clone(),
+            block_size,
+        ))
+    };
+
+    let mut parts: Vec<BoxedBlockStream<'g>> = Vec::new();
+
+    // 1. Join group: left-deep block rank joins over bare block scans.
+    let join_group = plan.join_group();
+    if !join_group.is_empty() {
+        let mut acc: Option<BoxedBlockStream<'g>> = None;
+        for &i in &join_group {
+            let right = scan(i, Score::ONE);
+            acc = Some(match acc {
+                None => right,
+                Some(left) => block_join(left, right, strategy, &metrics, block_size),
+            });
+        }
+        parts.push(acc.expect("non-empty join group"));
+    }
+
+    // 2. Singletons: block merges over the pattern + its relaxations (and
+    //    adapted chain streams).
+    for i in plan.singletons() {
+        let mut inputs: Vec<BoxedBlockStream<'g>> = Vec::new();
+        inputs.push(scan(i, Score::ONE));
+        for r in registry.relaxations_for(&patterns[i]) {
+            inputs.push(Box::new(BlockScan::new(
+                graph,
+                r.pattern,
+                Score::new(r.weight),
+                metrics.clone(),
+                block_size,
+            )));
+        }
+        for c in chains.chain_relaxations_for(&patterns[i], next_fresh) {
+            next_fresh += c.fresh_vars.len() as u32;
+            let row_stream = build_chain_stream(graph, &c, &patterns[i], &metrics, strategy);
+            inputs.push(Box::new(RowsToBlocks::new(
+                row_stream,
+                collect_vars(std::slice::from_ref(&patterns[i])),
+                block_size,
+            )));
+        }
+        parts.push(Box::new(BlockIncrementalMerge::new(inputs, block_size)));
+    }
+
+    // 3. Combine all parts with block rank joins, left-deep in construction
+    //    order.
+    let mut iter = parts.into_iter();
+    let mut acc = iter.next().expect("plan covers ≥1 pattern");
+    for stream in iter {
+        acc = block_join(acc, stream, strategy, &metrics, block_size);
+    }
+    acc
+}
+
+fn block_join<'g>(
+    left: BoxedBlockStream<'g>,
+    right: BoxedBlockStream<'g>,
+    strategy: PullStrategy,
+    metrics: &MetricsHandle,
+    block_size: usize,
+) -> BoxedBlockStream<'g> {
+    let shared: Vec<Var> = left
+        .schema()
+        .iter()
+        .copied()
+        .filter(|v| right.schema().contains(v))
+        .collect();
+    Box::new(BlockRankJoin::new(
+        left,
+        right,
+        shared,
+        strategy,
+        metrics.clone(),
+        block_size,
+    ))
+}
+
 fn join<'g>(
     left: BoxedStream<'g>,
     lvars: Vec<Var>,
@@ -236,6 +343,51 @@ pub fn run_plan_with_chains(
     let mut stream =
         build_plan_stream_with_chains(graph, query, plan, registry, chains, metrics, strategy);
     top_k(&mut stream, k)
+}
+
+/// Executes `plan` to the top-`k` answers through the vectorized block
+/// pipeline (blocks of up to `block_size` rows). Produces exactly the
+/// answers (same bindings, same order, same scores) as [`run_plan`].
+pub fn run_plan_blocks(
+    graph: &KnowledgeGraph,
+    query: &Query,
+    plan: &QueryPlan,
+    registry: &RelaxationRegistry,
+    metrics: MetricsHandle,
+    strategy: PullStrategy,
+    k: usize,
+    block_size: usize,
+) -> Vec<PartialAnswer> {
+    static NO_CHAINS: std::sync::OnceLock<ChainRuleSet> = std::sync::OnceLock::new();
+    run_plan_blocks_with_chains(
+        graph,
+        query,
+        plan,
+        registry,
+        NO_CHAINS.get_or_init(ChainRuleSet::new),
+        metrics,
+        strategy,
+        k,
+        block_size,
+    )
+}
+
+/// [`run_plan_blocks`] plus chain relaxations.
+pub fn run_plan_blocks_with_chains(
+    graph: &KnowledgeGraph,
+    query: &Query,
+    plan: &QueryPlan,
+    registry: &RelaxationRegistry,
+    chains: &ChainRuleSet,
+    metrics: MetricsHandle,
+    strategy: PullStrategy,
+    k: usize,
+    block_size: usize,
+) -> Vec<PartialAnswer> {
+    let mut stream = build_block_stream_with_chains(
+        graph, query, plan, registry, chains, metrics, strategy, block_size,
+    );
+    top_k_blocks(&mut stream, k)
 }
 
 /// Brute-force ground truth: for every pattern, materialize the merged
@@ -482,6 +634,41 @@ mod tests {
             m_spec.answers_created(),
             m_trinit.answers_created()
         );
+    }
+
+    #[test]
+    fn block_execution_matches_row_execution_bitwise() {
+        let (g, reg) = setup();
+        let q = query(&g);
+        for plan in [
+            QueryPlan::all_relaxed(2),
+            QueryPlan::none_relaxed(2),
+            QueryPlan::new(2, &[0]),
+            QueryPlan::new(2, &[1]),
+        ] {
+            let rows = run_plan(
+                &g,
+                &q,
+                &plan,
+                &reg,
+                OpMetrics::new_handle(),
+                PullStrategy::Adaptive,
+                10,
+            );
+            for size in [1, 3, 256] {
+                let blocks = run_plan_blocks(
+                    &g,
+                    &q,
+                    &plan,
+                    &reg,
+                    OpMetrics::new_handle(),
+                    PullStrategy::Adaptive,
+                    10,
+                    size,
+                );
+                assert_eq!(blocks, rows, "plan {plan:?} size {size}");
+            }
+        }
     }
 
     #[test]

@@ -77,7 +77,8 @@ pub use evaluation::{
     ScoreError,
 };
 pub use executor::{
-    build_plan_stream, build_plan_stream_with_chains, run_naive, run_plan, run_plan_with_chains,
+    build_block_stream_with_chains, build_plan_stream, build_plan_stream_with_chains, run_naive,
+    run_plan, run_plan_blocks, run_plan_blocks_with_chains, run_plan_with_chains,
 };
 pub use plan::QueryPlan;
 pub use plan_cache::{PlanCache, QueryShape};

@@ -162,6 +162,14 @@ impl<'g> MatchList<'g> {
         self.ids[rank]
     }
 
+    /// The raw storage-index slice in rank order — the arena range this
+    /// list borrows. Block scans slice this to gather whole batches of
+    /// triples column-wise (see [`TripleColumns::gather_into`]).
+    #[inline]
+    pub fn ids(&self) -> &'g [u32] {
+        self.ids
+    }
+
     /// The triple at `rank`.
     #[inline]
     pub fn triple_at(&self, rank: usize) -> Triple {

@@ -1,0 +1,940 @@
+//! Block-at-a-time join and merge operators.
+//!
+//! These are the batched siblings of [`RankJoin`](crate::RankJoin),
+//! [`IncrementalMerge`](crate::IncrementalMerge) and
+//! [`NestedLoopsRankJoin`](crate::NestedLoopsRankJoin). They keep the exact
+//! corner-bound/threshold logic of the row operators (so early termination
+//! is preserved), but move data as [`AnswerBlock`]s: the inner loops match
+//! bindings by comparing term slices at precomputed schema offsets instead
+//! of merging variable-keyed pair lists, and join keys pack into a `u128`
+//! (up to four `TermId`s) so the hot hash paths allocate nothing.
+//!
+//! Output order is identical to the row operators': results are emitted
+//! from a heap ordered by the same total `(score, binding)` order that
+//! [`PartialAnswer`](crate::PartialAnswer) uses — for same-schema rows,
+//! comparing term slices in schema order *is* comparing sorted binding pair
+//! lists.
+
+use crate::block::{AnswerBlock, BlockSizer, BlockStream, BoxedBlockStream};
+use crate::metrics::MetricsHandle;
+use crate::rank_join::PullStrategy;
+use sparql::Var;
+use specqp_common::{FxHashMap, FxHashSet, Score, TermId};
+use std::collections::BinaryHeap;
+
+/// A join/dedup key: up to four terms packed into a `u128`, wider keys
+/// boxed. Within one operator every key has the same width, so packed and
+/// wide keys never collide semantically.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Key {
+    Packed(u128),
+    Wide(Box<[TermId]>),
+}
+
+/// Extracts the key of `row` at the column positions `idx`.
+#[inline]
+fn key_of(row: &[TermId], idx: &[usize]) -> Key {
+    if idx.len() <= 4 {
+        let mut packed = 0u128;
+        for &i in idx {
+            packed = (packed << 32) | u128::from(row[i].0);
+        }
+        Key::Packed(packed)
+    } else {
+        Key::Wide(idx.iter().map(|&i| row[i]).collect())
+    }
+}
+
+/// A heap entry ordered exactly like the row path's `PartialAnswer`:
+/// by score, ties broken so the lexicographically smaller term row ranks
+/// higher (pops first).
+#[derive(PartialEq, Eq, Debug)]
+struct HeapRow {
+    score: Score,
+    terms: Box<[TermId]>,
+}
+
+impl Ord for HeapRow {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .cmp(&other.score)
+            .then_with(|| other.terms.cmp(&self.terms))
+    }
+}
+
+impl PartialOrd for HeapRow {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One input of a [`BlockRankJoin`]: the columnar store of every row seen so
+/// far, hashed by join key, plus the HRJN corner-bound state.
+struct SideState {
+    width: usize,
+    /// Positions of the join variables in this side's schema.
+    key_idx: Vec<usize>,
+    /// For each schema slot, its position in the join's output schema.
+    out_map: Vec<usize>,
+    /// Flattened seen rows (`width` terms each).
+    terms: Vec<TermId>,
+    scores: Vec<Score>,
+    hash: FxHashMap<Key, Vec<u32>>,
+    /// Score of the first row ever pulled (top₁).
+    top1: Option<Score>,
+    /// Score of the most recent row pulled (cur).
+    cur: Option<Score>,
+    exhausted: bool,
+}
+
+impl SideState {
+    fn new(schema: &[Var], join_vars: &[Var], out_schema: &[Var]) -> Self {
+        let pos = |v: Var| -> usize {
+            schema
+                .iter()
+                .position(|&w| w == v)
+                .expect("join variables must appear in both schemas")
+        };
+        SideState {
+            width: schema.len(),
+            key_idx: join_vars.iter().map(|&v| pos(v)).collect(),
+            out_map: schema
+                .iter()
+                .map(|v| {
+                    out_schema
+                        .iter()
+                        .position(|w| w == v)
+                        .expect("side schema is a subset of the output schema")
+                })
+                .collect(),
+            terms: Vec::new(),
+            scores: Vec::new(),
+            hash: FxHashMap::default(),
+            top1: None,
+            cur: None,
+            exhausted: false,
+        }
+    }
+
+    #[inline]
+    fn row(&self, i: u32) -> &[TermId] {
+        let w = self.width;
+        &self.terms[i as usize * w..(i as usize + 1) * w]
+    }
+
+    /// Same corner-bound term as the row join's `Side::bound_with`.
+    fn bound_with(&self, other_top1: Option<Score>) -> Option<Score> {
+        if self.exhausted {
+            return None;
+        }
+        match (self.cur, other_top1) {
+            (None, _) => Some(Score::new(f64::INFINITY)),
+            (Some(cur), Some(top1)) => Some(cur + top1),
+            (Some(_), None) => Some(Score::new(f64::INFINITY)),
+        }
+    }
+}
+
+/// Block-at-a-time HRJN hash rank join: consumes two [`BlockStream`]s and
+/// produces their join results in the same order (and with the same scores)
+/// as [`RankJoin`](crate::RankJoin) over the equivalent row streams, but
+/// pulls, probes and emits whole batches.
+pub struct BlockRankJoin<'g> {
+    left: BoxedBlockStream<'g>,
+    right: BoxedBlockStream<'g>,
+    lstate: SideState,
+    rstate: SideState,
+    out_schema: Vec<Var>,
+    output: BinaryHeap<HeapRow>,
+    strategy: PullStrategy,
+    pull_left_next: bool,
+    sizer: BlockSizer,
+    metrics: MetricsHandle,
+}
+
+impl<'g> BlockRankJoin<'g> {
+    /// Creates a block rank join of `left ⋈ right` on `join_vars`, emitting
+    /// blocks of up to `block_size` rows.
+    pub fn new(
+        left: BoxedBlockStream<'g>,
+        right: BoxedBlockStream<'g>,
+        join_vars: Vec<Var>,
+        strategy: PullStrategy,
+        metrics: MetricsHandle,
+        block_size: usize,
+    ) -> Self {
+        let mut out_schema: Vec<Var> = left.schema().to_vec();
+        for &v in right.schema() {
+            if !out_schema.contains(&v) {
+                out_schema.push(v);
+            }
+        }
+        out_schema.sort_unstable();
+        let lstate = SideState::new(left.schema(), &join_vars, &out_schema);
+        let rstate = SideState::new(right.schema(), &join_vars, &out_schema);
+        BlockRankJoin {
+            left,
+            right,
+            lstate,
+            rstate,
+            out_schema,
+            output: BinaryHeap::new(),
+            strategy,
+            pull_left_next: true,
+            sizer: BlockSizer::new(block_size),
+            metrics,
+        }
+    }
+
+    /// The corner-bound threshold (same formula as the row join).
+    fn threshold(&self) -> Option<Score> {
+        if (self.lstate.exhausted && self.lstate.top1.is_none())
+            || (self.rstate.exhausted && self.rstate.top1.is_none())
+        {
+            return None;
+        }
+        let tl = self.lstate.bound_with(self.rstate.top1);
+        let tr = self.rstate.bound_with(self.lstate.top1);
+        match (tl, tr) {
+            (None, None) => None,
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (Some(a), Some(b)) => Some(a.max(b)),
+        }
+    }
+
+    /// Pulls one block from the chosen side, inserts its rows and probes the
+    /// other side's hash table row-by-row in a tight loop.
+    fn pull_block(&mut self) {
+        let pull_left = match self.strategy {
+            PullStrategy::Alternate => {
+                if self.lstate.exhausted {
+                    false
+                } else if self.rstate.exhausted {
+                    true
+                } else {
+                    let side = self.pull_left_next;
+                    self.pull_left_next = !side;
+                    side
+                }
+            }
+            PullStrategy::Adaptive => {
+                if self.lstate.exhausted {
+                    false
+                } else if self.rstate.exhausted || self.lstate.top1.is_none() {
+                    // Right done, or the left head is still unknown: the
+                    // corner bounds are meaningless until both heads are
+                    // seen, so fetch left first (same order as the row
+                    // join).
+                    true
+                } else if self.rstate.top1.is_none() {
+                    false
+                } else {
+                    let tl = self.lstate.bound_with(self.rstate.top1);
+                    let tr = self.rstate.bound_with(self.lstate.top1);
+                    match (tl, tr) {
+                        (Some(a), Some(b)) => a >= b,
+                        (Some(_), None) => true,
+                        _ => false,
+                    }
+                }
+            }
+        };
+
+        let (src, dst, probe) = if pull_left {
+            (&mut self.left, &mut self.lstate, &self.rstate)
+        } else {
+            (&mut self.right, &mut self.rstate, &self.lstate)
+        };
+
+        let Some(block) = src.next_block() else {
+            dst.exhausted = true;
+            return;
+        };
+        let rows = block.len();
+        self.metrics.count_sorted_accesses(rows as u64);
+        if dst.top1.is_none() && rows > 0 {
+            dst.top1 = Some(block.score(0));
+        }
+        if rows > 0 {
+            dst.cur = Some(block.score(rows - 1));
+        }
+
+        let out_width = self.out_schema.len();
+        let mut scratch: Vec<TermId> = vec![TermId(0); out_width];
+        let mut results = 0u64;
+        let mut probes = 0u64;
+        for i in 0..rows {
+            let row = block.row(i);
+            let score = block.score(i);
+            let key = key_of(row, &dst.key_idx);
+            if let Some(partners) = probe.hash.get(&key) {
+                for &pi in partners {
+                    probes += 1;
+                    let partner = probe.row(pi);
+                    // Assemble the merged row positionally: partner columns
+                    // first, then this side's (shared slots overwrite with
+                    // equal values).
+                    for (j, &t) in partner.iter().enumerate() {
+                        scratch[probe.out_map[j]] = t;
+                    }
+                    for (j, &t) in row.iter().enumerate() {
+                        scratch[dst.out_map[j]] = t;
+                    }
+                    self.output.push(HeapRow {
+                        score: score + probe.scores[pi as usize],
+                        terms: scratch.as_slice().into(),
+                    });
+                    results += 1;
+                }
+            }
+            let idx = dst.scores.len() as u32;
+            dst.terms.extend_from_slice(row);
+            dst.scores.push(score);
+            dst.hash.entry(key).or_default().push(idx);
+        }
+        self.metrics.count_random_accesses(probes);
+        self.metrics.count_answers(results);
+        self.metrics.count_heap_pushes(results);
+    }
+}
+
+impl BlockStream for BlockRankJoin<'_> {
+    fn schema(&self) -> &[Var] {
+        &self.out_schema
+    }
+
+    /// Strict-threshold emission (`top > T`), mirroring
+    /// [`RankJoin::next`](crate::RankJoin): ties are fully queued before any
+    /// is emitted, so the drain below pops them in the canonical
+    /// (score desc, binding asc) order regardless of pull granularity.
+    fn next_block(&mut self) -> Option<AnswerBlock> {
+        loop {
+            let t = self.threshold();
+            match (self.output.peek(), t) {
+                (Some(top), Some(t)) if top.score <= t => self.pull_block(),
+                (Some(_), bound) => {
+                    // Drain every emittable result (threshold can't move
+                    // while we're not pulling), up to the block size.
+                    let n = self.sizer.take();
+                    let mut out = AnswerBlock::with_capacity(self.out_schema.clone(), n);
+                    while out.len() < n {
+                        match self.output.peek() {
+                            Some(top) if bound.is_none_or(|t| top.score > t) => {
+                                let row = self.output.pop().expect("peeked");
+                                out.push_row(&row.terms, row.score);
+                            }
+                            _ => break,
+                        }
+                    }
+                    return Some(out);
+                }
+                (None, None) => return None,
+                (None, Some(_)) => self.pull_block(),
+            }
+        }
+    }
+
+    fn upper_bound(&self) -> Option<Score> {
+        let heap_top = self.output.peek().map(|a| a.score);
+        match (heap_top, self.threshold()) {
+            (None, None) => None,
+            (Some(h), None) => Some(h),
+            (None, Some(t)) => Some(t),
+            (Some(h), Some(t)) => Some(h.max(t)),
+        }
+    }
+}
+
+/// Block-at-a-time incremental merge: same max-score deduplication and
+/// emission order as [`IncrementalMerge`](crate::IncrementalMerge) — ties
+/// across inputs resolve to the earliest input — but heads advance through
+/// buffered blocks and the dedup set stores packed term keys instead of
+/// cloned [`Binding`](crate::Binding)s.
+///
+/// All inputs must share one schema (a pattern and its relaxations bind the
+/// same variables).
+pub struct BlockIncrementalMerge<'g> {
+    inputs: Vec<BoxedBlockStream<'g>>,
+    /// Buffered current block + cursor per input (`None` = exhausted).
+    bufs: Vec<Option<(AnswerBlock, usize)>>,
+    schema: Vec<Var>,
+    all_idx: Vec<usize>,
+    seen: FxHashSet<Key>,
+    sizer: BlockSizer,
+}
+
+impl<'g> BlockIncrementalMerge<'g> {
+    /// Builds a merge over `inputs`, emitting blocks of up to `block_size`
+    /// rows.
+    ///
+    /// # Panics
+    /// Panics if the inputs' schemas differ.
+    pub fn new(mut inputs: Vec<BoxedBlockStream<'g>>, block_size: usize) -> Self {
+        let schema: Vec<Var> = inputs
+            .first()
+            .map(|s| s.schema().to_vec())
+            .unwrap_or_default();
+        for s in &inputs {
+            assert_eq!(s.schema(), schema.as_slice(), "merge inputs share a schema");
+        }
+        let bufs = inputs
+            .iter_mut()
+            .map(|s| s.next_block().map(|b| (b, 0)))
+            .collect();
+        BlockIncrementalMerge {
+            inputs,
+            bufs,
+            all_idx: (0..schema.len()).collect(),
+            schema,
+            seen: FxHashSet::default(),
+            sizer: BlockSizer::new(block_size),
+        }
+    }
+
+    /// Index of the input whose buffered head has the maximum score
+    /// (earliest input wins ties, as in the row merge), plus the best head
+    /// score among the *other* inputs — everything the winner's head run
+    /// can be emitted against without re-scanning all heads per row.
+    fn best_input(&self) -> Option<(usize, Option<Score>)> {
+        let mut best: Option<(usize, Score)> = None;
+        let mut second: Option<Score> = None;
+        for (i, buf) in self.bufs.iter().enumerate() {
+            if let Some((block, cursor)) = buf {
+                let score = block.score(*cursor);
+                match best {
+                    Some((_, cur)) if cur >= score => match second {
+                        Some(s) if s >= score => {}
+                        _ => second = Some(score),
+                    },
+                    prev => {
+                        second = prev.map(|(_, s)| s);
+                        best = Some((i, score));
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| (i, second))
+    }
+}
+
+impl BlockStream for BlockIncrementalMerge<'_> {
+    fn schema(&self) -> &[Var] {
+        &self.schema
+    }
+
+    fn next_block(&mut self) -> Option<AnswerBlock> {
+        let n = self.sizer.take();
+        let mut out = AnswerBlock::with_capacity(self.schema.clone(), n);
+        while out.len() < n {
+            let Some((i, second)) = self.best_input() else {
+                break;
+            };
+            // Emit the winner's whole run in one tight loop: every row
+            // scoring strictly above the best other head comes from input
+            // `i` next, so the per-row head scan is amortized away. Ties
+            // with `second` fall back to single-row steps, preserving the
+            // row merge's earliest-input-wins order exactly.
+            let (block, cursor) = self.bufs[i].as_mut().expect("best input is buffered");
+            let mut advanced = *cursor;
+            while advanced < block.len() && out.len() < n {
+                let score = block.score(advanced);
+                if advanced > *cursor && second.is_some_and(|s| score <= s) {
+                    break;
+                }
+                let row = block.row(advanced);
+                if self.seen.insert(key_of(row, &self.all_idx)) {
+                    out.push_row(row, score);
+                }
+                // Duplicate binding from a lower-weighted relaxation: skip —
+                // the earlier emission already carried the maximum score.
+                advanced += 1;
+            }
+            *cursor = advanced;
+            if *cursor >= block.len() {
+                self.bufs[i] = self.inputs[i].next_block().map(|b| (b, 0));
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    fn upper_bound(&self) -> Option<Score> {
+        self.bufs
+            .iter()
+            .flatten()
+            .map(|(block, cursor)| block.score(*cursor))
+            .max()
+    }
+}
+
+/// Block-at-a-time NRJN: the storage-free nested-loops rank join over two
+/// materialized [`AnswerBlock`]s. Keeps NRJN's threshold and re-scan
+/// semantics, but exposes rows to the join a block at a time and matches
+/// bindings by comparing key columns directly — no per-probe key
+/// allocation at all.
+pub struct BlockNestedLoopsRankJoin {
+    left: AnswerBlock,
+    right: AnswerBlock,
+    lkey: Vec<usize>,
+    rkey: Vec<usize>,
+    lmap: Vec<usize>,
+    rmap: Vec<usize>,
+    lseen: usize,
+    rseen: usize,
+    out_schema: Vec<Var>,
+    output: BinaryHeap<HeapRow>,
+    pull_left_next: bool,
+    block_size: usize,
+    metrics: MetricsHandle,
+}
+
+impl BlockNestedLoopsRankJoin {
+    /// Creates the join; inputs must be sorted by non-increasing score.
+    pub fn new(
+        left: AnswerBlock,
+        right: AnswerBlock,
+        join_vars: Vec<Var>,
+        metrics: MetricsHandle,
+        block_size: usize,
+    ) -> Self {
+        let mut out_schema: Vec<Var> = left.schema().to_vec();
+        for &v in right.schema() {
+            if !out_schema.contains(&v) {
+                out_schema.push(v);
+            }
+        }
+        out_schema.sort_unstable();
+        let pos = |schema: &[Var], v: Var| {
+            schema
+                .iter()
+                .position(|&w| w == v)
+                .expect("join variables must appear in both schemas")
+        };
+        let map = |schema: &[Var]| -> Vec<usize> {
+            schema
+                .iter()
+                .map(|v| out_schema.iter().position(|w| w == v).expect("subset"))
+                .collect()
+        };
+        BlockNestedLoopsRankJoin {
+            lkey: join_vars.iter().map(|&v| pos(left.schema(), v)).collect(),
+            rkey: join_vars.iter().map(|&v| pos(right.schema(), v)).collect(),
+            lmap: map(left.schema()),
+            rmap: map(right.schema()),
+            left,
+            right,
+            lseen: 0,
+            rseen: 0,
+            out_schema,
+            output: BinaryHeap::new(),
+            pull_left_next: true,
+            block_size: block_size.max(1),
+            metrics,
+        }
+    }
+
+    fn threshold(&self) -> Option<Score> {
+        if self.left.is_empty() || self.right.is_empty() {
+            return None;
+        }
+        let cur = |block: &AnswerBlock, seen: usize| {
+            if seen == 0 {
+                Score::new(f64::INFINITY)
+            } else {
+                block.score(seen - 1)
+            }
+        };
+        let tl = (self.lseen < self.left.len())
+            .then(|| cur(&self.left, self.lseen) + self.right.score(0));
+        let tr = (self.rseen < self.right.len())
+            .then(|| cur(&self.right, self.rseen) + self.left.score(0));
+        match (tl, tr) {
+            (None, None) => None,
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (Some(a), Some(b)) => Some(a.max(b)),
+        }
+    }
+
+    /// Exposes up to `block_size` new rows from one side and re-scans the
+    /// other side's seen prefix for key matches.
+    fn pull_block(&mut self) {
+        let l_more = self.lseen < self.left.len();
+        let r_more = self.rseen < self.right.len();
+        let pull_left = if !l_more {
+            false
+        } else if !r_more {
+            true
+        } else {
+            let side = self.pull_left_next;
+            self.pull_left_next = !side;
+            side
+        };
+
+        let (new_side, new_from, new_to, new_key, old_side, old_seen, old_key) = if pull_left {
+            let to = (self.lseen + self.block_size).min(self.left.len());
+            let from = self.lseen;
+            self.lseen = to;
+            (
+                &self.left,
+                from,
+                to,
+                &self.lkey,
+                &self.right,
+                self.rseen,
+                &self.rkey,
+            )
+        } else {
+            let to = (self.rseen + self.block_size).min(self.right.len());
+            let from = self.rseen;
+            self.rseen = to;
+            (
+                &self.right,
+                from,
+                to,
+                &self.rkey,
+                &self.left,
+                self.lseen,
+                &self.lkey,
+            )
+        };
+        let (new_map, old_map) = if pull_left {
+            (&self.lmap, &self.rmap)
+        } else {
+            (&self.rmap, &self.lmap)
+        };
+
+        let out_width = self.out_schema.len();
+        let mut scratch: Vec<TermId> = vec![TermId(0); out_width];
+        let mut probes = 0u64;
+        let mut results = 0u64;
+        for i in new_from..new_to {
+            let row = new_side.row(i);
+            for j in 0..old_seen {
+                probes += 1;
+                let other = old_side.row(j);
+                if new_key
+                    .iter()
+                    .zip(old_key.iter())
+                    .all(|(&a, &b)| row[a] == other[b])
+                {
+                    for (c, &t) in other.iter().enumerate() {
+                        scratch[old_map[c]] = t;
+                    }
+                    for (c, &t) in row.iter().enumerate() {
+                        scratch[new_map[c]] = t;
+                    }
+                    self.output.push(HeapRow {
+                        score: new_side.score(i) + old_side.score(j),
+                        terms: scratch.as_slice().into(),
+                    });
+                    results += 1;
+                }
+            }
+        }
+        self.metrics
+            .count_sorted_accesses((new_to - new_from) as u64);
+        self.metrics.count_random_accesses(probes);
+        self.metrics.count_answers(results);
+        self.metrics.count_heap_pushes(results);
+    }
+}
+
+impl BlockStream for BlockNestedLoopsRankJoin {
+    fn schema(&self) -> &[Var] {
+        &self.out_schema
+    }
+
+    /// Strict-threshold emission — see
+    /// [`BlockRankJoin::next_block`](BlockRankJoin).
+    fn next_block(&mut self) -> Option<AnswerBlock> {
+        loop {
+            let t = self.threshold();
+            match (self.output.peek(), t) {
+                (Some(top), Some(t)) if top.score <= t => self.pull_block(),
+                (Some(_), bound) => {
+                    let mut out =
+                        AnswerBlock::with_capacity(self.out_schema.clone(), self.block_size);
+                    while out.len() < self.block_size {
+                        match self.output.peek() {
+                            Some(top) if bound.is_none_or(|t| top.score > t) => {
+                                let row = self.output.pop().expect("peeked");
+                                out.push_row(&row.terms, row.score);
+                            }
+                            _ => break,
+                        }
+                    }
+                    return Some(out);
+                }
+                (None, None) => return None,
+                (None, Some(_)) => self.pull_block(),
+            }
+        }
+    }
+
+    fn upper_bound(&self) -> Option<Score> {
+        let heap_top = self.output.peek().map(|a| a.score);
+        match (heap_top, self.threshold()) {
+            (None, None) => None,
+            (Some(h), None) => Some(h),
+            (None, Some(t)) => Some(t),
+            (Some(h), Some(t)) => Some(h.max(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::{Binding, PartialAnswer};
+    use crate::block::{top_k_blocks, RowsToBlocks};
+    use crate::metrics::OpMetrics;
+    use crate::nrjn::NestedLoopsRankJoin;
+    use crate::rank_join::RankJoin;
+    use crate::stream::{materialize, VecStream};
+
+    fn ans(pairs: &[(u32, u32)], s: f64) -> PartialAnswer {
+        PartialAnswer::new(
+            Binding::from_pairs(pairs.iter().map(|&(v, t)| (Var(v), TermId(t))).collect()),
+            Score::new(s),
+        )
+    }
+
+    fn simple(join_val: u32, score: f64) -> PartialAnswer {
+        ans(&[(0, join_val)], score)
+    }
+
+    fn block_of(rows: &[PartialAnswer], vars: &[u32], size: usize) -> RowsToBlocks<'static> {
+        RowsToBlocks::new(
+            Box::new(VecStream::new(rows.to_vec())),
+            vars.iter().map(|&v| Var(v)).collect(),
+            size,
+        )
+    }
+
+    fn drain<S: BlockStream>(mut s: S) -> Vec<PartialAnswer> {
+        let mut out = Vec::new();
+        while let Some(b) = s.next_block() {
+            out.extend(b.to_answers());
+        }
+        out
+    }
+
+    #[test]
+    fn key_packing_matches_wide() {
+        let row = [TermId(7), TermId(9), TermId(1)];
+        assert_eq!(
+            key_of(&row, &[0, 2]),
+            key_of(&[TermId(7), TermId(0), TermId(1)], &[0, 2])
+        );
+        assert_ne!(key_of(&row, &[0, 2]), key_of(&row, &[2, 0]));
+        let wide_idx: Vec<usize> = vec![0, 1, 2, 0, 1];
+        assert!(matches!(key_of(&row, &wide_idx), Key::Wide(_)));
+    }
+
+    #[test]
+    fn block_join_matches_row_join_all_strategies_and_sizes() {
+        let l: Vec<_> = (0..60)
+            .map(|i| simple(i % 7, 1.0 - f64::from(i) * 0.01))
+            .collect();
+        let r: Vec<_> = (0..60)
+            .map(|i| simple(i % 7, 1.0 - f64::from(i) * 0.013))
+            .collect();
+        for strategy in [PullStrategy::Alternate, PullStrategy::Adaptive] {
+            let want = materialize(RankJoin::new(
+                Box::new(VecStream::new(l.clone())),
+                Box::new(VecStream::new(r.clone())),
+                vec![Var(0)],
+                strategy,
+                OpMetrics::new_handle(),
+            ));
+            for size in [1, 7, 64] {
+                let join = BlockRankJoin::new(
+                    Box::new(block_of(&l, &[0], size)),
+                    Box::new(block_of(&r, &[0], size)),
+                    vec![Var(0)],
+                    strategy,
+                    OpMetrics::new_handle(),
+                    size,
+                );
+                assert_eq!(drain(join), want, "strategy {strategy:?} size {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_join_merges_disjoint_side_vars() {
+        let l = vec![ans(&[(0, 1), (1, 100)], 1.0)];
+        let r = vec![ans(&[(0, 1), (2, 200)], 0.5)];
+        let join = BlockRankJoin::new(
+            Box::new(block_of(&l, &[0, 1], 8)),
+            Box::new(block_of(&r, &[0, 2], 8)),
+            vec![Var(0)],
+            PullStrategy::Alternate,
+            OpMetrics::new_handle(),
+            8,
+        );
+        let out = drain(join);
+        assert_eq!(out, vec![ans(&[(0, 1), (1, 100), (2, 200)], 1.5)]);
+    }
+
+    #[test]
+    fn block_join_empty_side() {
+        let join = BlockRankJoin::new(
+            Box::new(block_of(&[], &[0], 4)),
+            Box::new(block_of(&[simple(1, 1.0)], &[0], 4)),
+            vec![Var(0)],
+            PullStrategy::Adaptive,
+            OpMetrics::new_handle(),
+            4,
+        );
+        assert!(drain(join).is_empty());
+    }
+
+    #[test]
+    fn block_join_cross_product_when_no_join_vars() {
+        let l = vec![ans(&[(1, 10)], 1.0), ans(&[(1, 11)], 0.5)];
+        let r = vec![ans(&[(2, 20)], 0.9)];
+        let join = BlockRankJoin::new(
+            Box::new(block_of(&l, &[1], 4)),
+            Box::new(block_of(&r, &[2], 4)),
+            vec![],
+            PullStrategy::Alternate,
+            OpMetrics::new_handle(),
+            4,
+        );
+        let out = drain(join);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].score, Score::new(1.9));
+        assert_eq!(out[1].score, Score::new(1.4));
+    }
+
+    #[test]
+    fn block_join_upper_bound_never_underestimates() {
+        let l: Vec<_> = (0..20)
+            .map(|i| simple(i % 5, 1.0 - f64::from(i) * 0.04))
+            .collect();
+        let r: Vec<_> = (0..20)
+            .map(|i| simple(i % 5, 1.0 - f64::from(i) * 0.03))
+            .collect();
+        let mut join = BlockRankJoin::new(
+            Box::new(block_of(&l, &[0], 4)),
+            Box::new(block_of(&r, &[0], 4)),
+            vec![Var(0)],
+            PullStrategy::Alternate,
+            OpMetrics::new_handle(),
+            4,
+        );
+        loop {
+            let bound = join.upper_bound();
+            match join.next_block() {
+                Some(b) => {
+                    let bound = bound.expect("bound exists while answers remain");
+                    assert!(bound >= b.score(0), "{bound:?} < {:?}", b.score(0));
+                }
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn block_merge_matches_row_merge_with_dedup() {
+        use crate::incr_merge::IncrementalMerge;
+        let a = vec![
+            ans(&[(0, 7)], 1.0),
+            ans(&[(0, 1)], 0.9),
+            ans(&[(0, 3)], 0.2),
+        ];
+        let b = vec![ans(&[(0, 7)], 0.8), ans(&[(0, 2)], 0.5)];
+        let want = materialize(IncrementalMerge::new(vec![
+            Box::new(VecStream::new(a.clone())),
+            Box::new(VecStream::new(b.clone())),
+        ]));
+        for size in [1, 2, 64] {
+            let merge = BlockIncrementalMerge::new(
+                vec![
+                    Box::new(block_of(&a, &[0], size)),
+                    Box::new(block_of(&b, &[0], size)),
+                ],
+                size,
+            );
+            assert_eq!(drain(merge), want, "size {size}");
+        }
+    }
+
+    #[test]
+    fn block_merge_empty_inputs() {
+        let mut m = BlockIncrementalMerge::new(vec![], 4);
+        assert!(m.next_block().is_none());
+        assert_eq!(m.upper_bound(), None);
+        let mut m2 = BlockIncrementalMerge::new(
+            vec![
+                Box::new(block_of(&[], &[0], 4)) as BoxedBlockStream<'static>,
+                Box::new(block_of(&[], &[0], 4)),
+            ],
+            4,
+        );
+        assert!(m2.next_block().is_none());
+    }
+
+    #[test]
+    fn block_nrjn_agrees_with_row_nrjn() {
+        let l: Vec<_> = (0..40)
+            .map(|i| simple(i % 6, 1.0 - f64::from(i) * 0.02))
+            .collect();
+        let r: Vec<_> = (0..40)
+            .map(|i| simple(i % 6, 1.0 - f64::from(i) * 0.025))
+            .collect();
+        let want = materialize(NestedLoopsRankJoin::new(
+            l.clone(),
+            r.clone(),
+            vec![Var(0)],
+            OpMetrics::new_handle(),
+        ));
+        let to_block = |rows: &[PartialAnswer]| {
+            let mut b = AnswerBlock::new(vec![Var(0)]);
+            for a in rows {
+                b.push_row(&[a.binding.get(Var(0)).unwrap()], a.score);
+            }
+            b
+        };
+        for size in [1, 3, 64] {
+            let m = OpMetrics::new_handle();
+            let join =
+                BlockNestedLoopsRankJoin::new(to_block(&l), to_block(&r), vec![Var(0)], m, size);
+            let got = drain(join);
+            assert_eq!(got.len(), want.len(), "size {size}");
+            for (x, y) in got.iter().zip(&want) {
+                assert_eq!(x.score, y.score, "size {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_top_k_over_join() {
+        let l: Vec<_> = (0..100)
+            .map(|i| simple(i, 1.0 - f64::from(i) * 0.005))
+            .collect();
+        let r: Vec<_> = (0..100)
+            .map(|i| simple(i, 1.0 - f64::from(i) * 0.005))
+            .collect();
+        let mut join = BlockRankJoin::new(
+            Box::new(block_of(&l, &[0], 16)),
+            Box::new(block_of(&r, &[0], 16)),
+            vec![Var(0)],
+            PullStrategy::Adaptive,
+            OpMetrics::new_handle(),
+            16,
+        );
+        let top = top_k_blocks(&mut join, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].score, Score::new(2.0));
+        for w in top.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

@@ -26,8 +26,19 @@
 //! answer objects created directly corresponds to the amount of search space
 //! traversed").
 
+//! # Block-at-a-time execution
+//!
+//! Every operator above also has a vectorized sibling moving
+//! [`AnswerBlock`] batches instead of single answers — [`BlockScan`],
+//! [`BlockRankJoin`], [`BlockIncrementalMerge`], [`BlockNestedLoopsRankJoin`]
+//! and [`top_k_blocks`] — behind the [`BlockStream`] trait. Both paths
+//! produce identical answers in identical order; [`ExecutionMode`] is the
+//! engine-level switch (see the `block` module docs).
+
 pub mod adapt;
 pub mod answer;
+pub mod block;
+pub mod block_join;
 pub mod incr_merge;
 pub mod metrics;
 pub mod nrjn;
@@ -38,10 +49,15 @@ pub mod topk;
 
 pub use adapt::{Projected, Scaled};
 pub use answer::{Binding, PartialAnswer};
+pub use block::{
+    top_k_blocks, AnswerBlock, Block, BlockStream, BoxedBlockStream, ExecutionMode, RowsToBlocks,
+    DEFAULT_BLOCK_SIZE,
+};
+pub use block_join::{BlockIncrementalMerge, BlockNestedLoopsRankJoin, BlockRankJoin};
 pub use incr_merge::IncrementalMerge;
 pub use metrics::{CacheMetrics, CacheMetricsHandle, MetricsHandle, OpMetrics};
 pub use nrjn::NestedLoopsRankJoin;
 pub use rank_join::{PullStrategy, RankJoin};
-pub use scan::PatternScan;
+pub use scan::{BlockScan, PatternScan};
 pub use stream::{materialize, BoxedStream, RankedStream, VecStream};
 pub use topk::{top_k, top_k_projected};

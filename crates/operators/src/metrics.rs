@@ -55,6 +55,24 @@ impl OpMetrics {
         self.sorted_accesses.set(self.sorted_accesses.get() + 1);
     }
 
+    /// Records `n` sequential accesses at once (block-at-a-time gathers).
+    #[inline]
+    pub fn count_sorted_accesses(&self, n: u64) {
+        self.sorted_accesses.set(self.sorted_accesses.get() + n);
+    }
+
+    /// Records `n` random accesses at once (block-at-a-time probes).
+    #[inline]
+    pub fn count_random_accesses(&self, n: u64) {
+        self.random_accesses.set(self.random_accesses.get() + n);
+    }
+
+    /// Records `n` priority-queue pushes at once.
+    #[inline]
+    pub fn count_heap_pushes(&self, n: u64) {
+        self.heap_pushes.set(self.heap_pushes.get() + n);
+    }
+
     /// Records one random access (hash probe hit enumeration).
     #[inline]
     pub fn count_random_access(&self) {

@@ -138,10 +138,13 @@ impl NestedLoopsRankJoin {
 }
 
 impl RankedStream for NestedLoopsRankJoin {
+    /// Strict-threshold emission, for the same canonical-order reason as
+    /// [`RankJoin::next`](crate::RankJoin): ties must all be queued before
+    /// any of them is emitted.
     fn next(&mut self) -> Option<PartialAnswer> {
         loop {
             match (self.output.peek(), self.threshold()) {
-                (Some(top), Some(t)) if top.score >= t => return self.output.pop(),
+                (Some(top), Some(t)) if top.score > t => return self.output.pop(),
                 (Some(_), None) => return self.output.pop(),
                 (None, None) => return None,
                 _ => self.pull_once(),

@@ -208,10 +208,26 @@ impl<'g> RankJoin<'g> {
 }
 
 impl RankedStream for RankJoin<'_> {
+    /// Emits the best queued result once it scores **strictly above** the
+    /// threshold (or the threshold is gone). Strictness matters for
+    /// determinism: at `top == T` further results with the same score may
+    /// still be discovered, so emitting early would order ties by discovery
+    /// (i.e. by pull granularity). Holding until `T` drops puts every tie in
+    /// the heap first, making the output the canonical
+    /// (score desc, binding asc) order — identical across the row executor,
+    /// the block executor and the naive executor's full sort.
+    ///
+    /// The cost of canonical ties: a score *plateau* at the corner bound is
+    /// fully enumerated before its first result is emitted, so degenerate
+    /// inputs whose scores are all identical (e.g. a score-less TSV load
+    /// where every triple defaults to the same score) materialize the whole
+    /// join even for small `k`. That is inherent — the canonical first `k`
+    /// of a tie plateau cannot be known without seeing the plateau — and
+    /// such data carries no ranking signal for a top-k engine anyway.
     fn next(&mut self) -> Option<PartialAnswer> {
         loop {
             match (self.output.peek(), self.threshold()) {
-                (Some(top), Some(t)) if top.score >= t => return self.output.pop(),
+                (Some(top), Some(t)) if top.score > t => return self.output.pop(),
                 (Some(_), None) => return self.output.pop(),
                 (None, None) => return None,
                 _ => self.pull_once(),

@@ -1,6 +1,8 @@
-//! Sorted scans of one triple pattern's match list.
+//! Sorted scans of one triple pattern's match list — tuple-at-a-time
+//! ([`PatternScan`]) and block-at-a-time ([`BlockScan`]).
 
 use crate::answer::{Binding, PartialAnswer};
+use crate::block::{AnswerBlock, Block, BlockSizer, BlockStream};
 use crate::metrics::MetricsHandle;
 use crate::stream::RankedStream;
 use kgstore::{KnowledgeGraph, MatchList, PatternKey, Triple};
@@ -132,6 +134,219 @@ impl RankedStream for PatternScan<'_> {
     }
 }
 
+/// Which triple component supplies a schema slot's value.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    S,
+    P,
+    O,
+}
+
+/// Block-at-a-time sibling of [`PatternScan`]: streams the same normalized,
+/// weighted matches, but as [`AnswerBlock`] batches gathered column-wise
+/// from the store ([`Block::fill_from`]) instead of one allocated
+/// [`PartialAnswer`] at a time. Scores use the identical normalization
+/// expression, so the two scans are bit-for-bit interchangeable.
+///
+/// ```
+/// use kgstore::KnowledgeGraphBuilder;
+/// use operators::{BlockScan, BlockStream, OpMetrics};
+/// use sparql::{TriplePattern, Var};
+/// use specqp_common::Score;
+///
+/// let mut b = KnowledgeGraphBuilder::new();
+/// b.add("a", "type", "singer", 10.0);
+/// b.add("b", "type", "singer", 5.0);
+/// let g = b.build();
+/// let d = g.dictionary();
+/// let pat = TriplePattern::new(Var(0), d.lookup("type").unwrap(), d.lookup("singer").unwrap());
+/// let mut scan = BlockScan::new(&g, pat, Score::ONE, OpMetrics::new_handle(), 128);
+/// let block = scan.next_block().unwrap();
+/// assert_eq!(block.len(), 2);
+/// assert_eq!(block.score(0), Score::ONE); // head normalized to the weight
+/// assert_eq!(block.score(1), Score::new(0.5));
+/// assert!(scan.next_block().is_none());
+/// ```
+pub struct BlockScan<'g> {
+    list: MatchList<'g>,
+    weight: Score,
+    normalizer: Score,
+    /// Rank of the next match satisfying the repeated-variable constraint.
+    next_rank: usize,
+    /// Repeated-variable equality requirements (`?x p ?x` and friends).
+    req_sp: bool,
+    req_so: bool,
+    req_po: bool,
+    schema: Vec<Var>,
+    slots: Vec<Slot>,
+    sizer: BlockSizer,
+    /// Reused raw-gather scratch.
+    raw: Block,
+    metrics: MetricsHandle,
+}
+
+impl<'g> BlockScan<'g> {
+    /// Creates a block scan of `pattern` over `graph` with relaxation
+    /// weight `weight`, emitting blocks of up to `block_size` rows.
+    pub fn new(
+        graph: &'g KnowledgeGraph,
+        pattern: TriplePattern,
+        weight: Score,
+        metrics: MetricsHandle,
+        block_size: usize,
+    ) -> Self {
+        let (s, p, o) = pattern.const_parts();
+        let list = graph.matches(PatternKey { s, p, o });
+        let same = |x: Term, y: Term| x.is_var() && x == y;
+        let mut pairs: Vec<(Var, Slot)> = Vec::with_capacity(3);
+        for (t, slot) in [
+            (pattern.s, Slot::S),
+            (pattern.p, Slot::P),
+            (pattern.o, Slot::O),
+        ] {
+            if let Term::Var(v) = t {
+                if !pairs.iter().any(|&(w, _)| w == v) {
+                    pairs.push((v, slot));
+                }
+            }
+        }
+        pairs.sort_unstable_by_key(|&(v, _)| v);
+        let mut scan = BlockScan {
+            list,
+            weight,
+            normalizer: Score::ZERO,
+            next_rank: 0,
+            req_sp: same(pattern.s, pattern.p),
+            req_so: same(pattern.s, pattern.o),
+            req_po: same(pattern.p, pattern.o),
+            schema: pairs.iter().map(|&(v, _)| v).collect(),
+            slots: pairs.iter().map(|&(_, s)| s).collect(),
+            sizer: BlockSizer::new(block_size),
+            raw: Block::with_capacity(block_size.clamp(1, 32)),
+            metrics,
+        };
+        scan.next_rank = scan.find_satisfying(0);
+        if scan.next_rank < scan.list.len() {
+            scan.normalizer = scan.list.score_at(scan.next_rank);
+        }
+        scan
+    }
+
+    fn has_repeat(&self) -> bool {
+        self.req_sp || self.req_so || self.req_po
+    }
+
+    fn satisfies(&self, t: &Triple) -> bool {
+        !(self.req_sp && t.s != t.p || self.req_so && t.s != t.o || self.req_po && t.p != t.o)
+    }
+
+    fn find_satisfying(&self, from: usize) -> usize {
+        if !self.has_repeat() {
+            return from;
+        }
+        let mut r = from;
+        while r < self.list.len() && !self.satisfies(&self.list.triple_at(r)) {
+            r += 1;
+        }
+        r
+    }
+
+    /// Same expression as [`PatternScan`]'s weighting, evaluated on a raw
+    /// score (bit-identical results between the two paths).
+    #[inline]
+    fn weighted(&self, raw: Score) -> Score {
+        if self.normalizer == Score::ZERO {
+            return Score::ZERO;
+        }
+        self.weight * (raw / self.normalizer.value())
+    }
+}
+
+impl BlockStream for BlockScan<'_> {
+    fn schema(&self) -> &[Var] {
+        &self.schema
+    }
+
+    fn next_block(&mut self) -> Option<AnswerBlock> {
+        if self.next_rank >= self.list.len() {
+            return None;
+        }
+        let n = self.sizer.take();
+        self.raw.clear();
+        if !self.has_repeat() {
+            let end = (self.next_rank + n).min(self.list.len());
+            self.raw.fill_from(&self.list, self.next_rank..end);
+            self.next_rank = end;
+        } else {
+            // next_rank points at a satisfying rank, so at least one row
+            // lands in the block.
+            let mut rank = self.next_rank;
+            while rank < self.list.len() && self.raw.len() < n {
+                let t = self.list.triple_at(rank);
+                if self.satisfies(&t) {
+                    self.raw.push(t, self.list.score_at(rank));
+                }
+                rank += 1;
+            }
+            self.next_rank = self.find_satisfying(rank);
+        }
+
+        let rows = self.raw.len();
+        let mut out = AnswerBlock::with_capacity(self.schema.clone(), rows);
+        let (raw, slots) = (&self.raw, &self.slots);
+        let col = |slot: Slot| -> &[specqp_common::TermId] {
+            match slot {
+                Slot::S => &raw.s,
+                Slot::P => &raw.p,
+                Slot::O => &raw.o,
+            }
+        };
+        {
+            let (terms, scores) = out.parts_mut();
+            match *slots.as_slice() {
+                // Width-specialized fills: one columnar memcpy (width 1) or
+                // an interleaving loop without per-row dispatch.
+                [a] => terms.extend_from_slice(col(a)),
+                [a, b] => {
+                    let (ca, cb) = (col(a), col(b));
+                    for i in 0..rows {
+                        terms.push(ca[i]);
+                        terms.push(cb[i]);
+                    }
+                }
+                [a, b, c] => {
+                    let (ca, cb, cc) = (col(a), col(b), col(c));
+                    for i in 0..rows {
+                        terms.push(ca[i]);
+                        terms.push(cb[i]);
+                        terms.push(cc[i]);
+                    }
+                }
+                _ => {}
+            }
+            // Same float expression (and op order) as the row scan's
+            // `weighted_score`, evaluated over the whole score column.
+            if self.normalizer == Score::ZERO {
+                scores.extend(std::iter::repeat_n(Score::ZERO, rows));
+            } else {
+                let (w, norm) = (self.weight, self.normalizer.value());
+                scores.extend(raw.score.iter().map(|&s| w * (s / norm)));
+            }
+        }
+        self.metrics.count_sorted_accesses(rows as u64);
+        self.metrics.count_answers(rows as u64);
+        Some(out)
+    }
+
+    fn upper_bound(&self) -> Option<Score> {
+        if self.next_rank >= self.list.len() {
+            None
+        } else {
+            Some(self.weighted(self.list.score_at(self.next_rank)))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,5 +448,63 @@ mod tests {
         let mut scan = PatternScan::new(&g, pat, Score::ONE, m);
         assert_eq!(scan.upper_bound(), None);
         assert!(scan.next().is_none());
+    }
+
+    /// Drains a block scan into row answers.
+    fn drain_blocks(mut scan: BlockScan<'_>) -> Vec<PartialAnswer> {
+        let mut out = Vec::new();
+        while let Some(b) = scan.next_block() {
+            out.extend(b.to_answers());
+        }
+        out
+    }
+
+    #[test]
+    fn block_scan_matches_row_scan_bitwise() {
+        let g = graph();
+        let d = g.dictionary();
+        let patterns = vec![
+            type_pattern(&g, "singer"),
+            type_pattern(&g, "vocalist"),
+            TriplePattern::new(Var(0), Var(1), d.lookup("singer").unwrap()),
+            // Repeated variable: filter + renormalization must agree.
+            TriplePattern::new(Var(0), d.lookup("self").unwrap(), Var(0)),
+            // Empty match list.
+            TriplePattern::new(Var(0), d.lookup("type").unwrap(), d.lookup("a").unwrap()),
+        ];
+        for pat in patterns {
+            for weight in [Score::ONE, Score::new(0.8)] {
+                let rows = materialize(PatternScan::new(&g, pat, weight, OpMetrics::new_handle()));
+                for size in [1, 2, 64] {
+                    let m = OpMetrics::new_handle();
+                    let scan = BlockScan::new(&g, pat, weight, m.clone(), size);
+                    let got = drain_blocks(scan);
+                    assert_eq!(got, rows, "{pat:?} size {size}");
+                    assert_eq!(m.answers_created(), rows.len() as u64);
+                    assert_eq!(m.sorted_accesses(), rows.len() as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_scan_upper_bound_tracks_blocks() {
+        let g = graph();
+        let mut scan = BlockScan::new(
+            &g,
+            type_pattern(&g, "singer"),
+            Score::ONE,
+            OpMetrics::new_handle(),
+            2,
+        );
+        assert_eq!(scan.schema(), &[Var(0)]);
+        assert_eq!(scan.upper_bound(), Some(Score::ONE));
+        let b = scan.next_block().unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(scan.upper_bound(), Some(Score::new(0.1)));
+        let b = scan.next_block().unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(scan.upper_bound(), None);
+        assert!(scan.next_block().is_none());
     }
 }

@@ -164,6 +164,8 @@ pub struct BatchStats {
     pub p50_latency: Duration,
     /// 95th-percentile per-query latency.
     pub p95_latency: Duration,
+    /// 99th-percentile per-query latency.
+    pub p99_latency: Duration,
     /// Worst per-query latency.
     pub max_latency: Duration,
     /// Plan-cache counters accumulated on the engine (lifetime totals, not
@@ -344,37 +346,58 @@ impl QueryService {
     }
 
     fn stats_for(&self, latencies: &[Duration], wall: Duration) -> BatchStats {
-        let queries = latencies.len();
-        let mut sorted = latencies.to_vec();
-        sorted.sort_unstable();
-        let at = |q: f64| -> Duration {
-            if sorted.is_empty() {
-                Duration::ZERO
-            } else {
-                let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-                sorted[idx]
-            }
-        };
-        let total: Duration = latencies.iter().sum();
-        BatchStats {
-            queries,
-            threads: self.config.threads,
-            wall,
-            queries_per_sec: if wall.is_zero() {
-                0.0
-            } else {
-                queries as f64 / wall.as_secs_f64()
-            },
-            mean_latency: if queries == 0 {
-                Duration::ZERO
-            } else {
-                total / queries as u32
-            },
-            p50_latency: at(0.50),
-            p95_latency: at(0.95),
-            max_latency: sorted.last().copied().unwrap_or(Duration::ZERO),
-            cache: self.cache_snapshot(),
-        }
+        batch_stats(latencies, wall, self.config.threads, self.cache_snapshot())
+    }
+}
+
+/// Nearest-rank percentile over a **sorted** sample: the smallest value with
+/// at least `q·n` of the sample at or below it, i.e. `sorted[⌈q·n⌉ − 1]`.
+///
+/// The previous implementation used `round((n−1)·q)`, which for even-sized
+/// samples picked the element *above* the median (e.g. the 11th of 20 for
+/// p50) — one rank too high at every percentile boundary. `Duration::ZERO`
+/// for an empty sample.
+pub fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    debug_assert!((0.0..=1.0).contains(&q), "percentile out of range: {q}");
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Aggregates per-query latencies into a [`BatchStats`] — factored out of
+/// the service so the percentile math is unit-testable on hand-built
+/// samples.
+pub fn batch_stats(
+    latencies: &[Duration],
+    wall: Duration,
+    threads: usize,
+    cache: CacheSnapshot,
+) -> BatchStats {
+    let queries = latencies.len();
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    let total: Duration = latencies.iter().sum();
+    BatchStats {
+        queries,
+        threads,
+        wall,
+        queries_per_sec: if wall.is_zero() {
+            0.0
+        } else {
+            queries as f64 / wall.as_secs_f64()
+        },
+        mean_latency: if queries == 0 {
+            Duration::ZERO
+        } else {
+            total / queries as u32
+        },
+        p50_latency: percentile(&sorted, 0.50),
+        p95_latency: percentile(&sorted, 0.95),
+        p99_latency: percentile(&sorted, 0.99),
+        max_latency: sorted.last().copied().unwrap_or(Duration::ZERO),
+        cache,
     }
 }
 
@@ -521,6 +544,96 @@ mod tests {
             ),
             "{e:?}"
         );
+    }
+
+    /// Pins the nearest-rank definition on a hand-built sample: for
+    /// `n = 20` with values `1..=20` ms, p50 is the 10th value (10 ms, not
+    /// the 11th — the off-by-one the old `round((n−1)·q)` formula produced),
+    /// p95 the 19th and p99 the 20th.
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let ms = Duration::from_millis;
+        let sample: Vec<Duration> = (1..=20).map(ms).collect();
+        assert_eq!(percentile(&sample, 0.50), ms(10));
+        assert_eq!(percentile(&sample, 0.95), ms(19));
+        assert_eq!(percentile(&sample, 0.99), ms(20));
+        assert_eq!(percentile(&sample, 1.0), ms(20));
+        assert_eq!(percentile(&sample, 0.0), ms(1));
+        // Odd-sized sample: p50 is the true middle element.
+        let odd: Vec<Duration> = (1..=5).map(ms).collect();
+        assert_eq!(percentile(&odd, 0.50), ms(3));
+    }
+
+    #[test]
+    fn percentiles_single_sample_and_duplicates() {
+        let ms = Duration::from_millis;
+        // n = 1: every percentile is the one sample.
+        let one = vec![ms(7)];
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile(&one, q), ms(7), "q={q}");
+        }
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        // Duplicate values: ties collapse to the same answer at every rank.
+        let dup = vec![ms(5); 10];
+        assert_eq!(percentile(&dup, 0.5), ms(5));
+        assert_eq!(percentile(&dup, 0.99), ms(5));
+        // Mixed duplicates: 9×1ms + 1×100ms — p50 sits in the duplicate
+        // mass, p95/p99 pick the outlier.
+        let mut mixed: Vec<Duration> = vec![ms(1); 9];
+        mixed.push(ms(100));
+        assert_eq!(percentile(&mixed, 0.50), ms(1));
+        assert_eq!(percentile(&mixed, 0.95), ms(100));
+        assert_eq!(percentile(&mixed, 0.99), ms(100));
+    }
+
+    #[test]
+    fn batch_stats_aggregates_hand_built_sample() {
+        let ms = Duration::from_millis;
+        let latencies: Vec<Duration> = (1..=4).map(ms).collect();
+        let stats = batch_stats(&latencies, ms(10), 2, CacheSnapshot::default());
+        assert_eq!(stats.queries, 4);
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.mean_latency, Duration::from_micros(2500));
+        assert_eq!(stats.p50_latency, ms(2));
+        assert_eq!(stats.p95_latency, ms(4));
+        assert_eq!(stats.p99_latency, ms(4));
+        assert_eq!(stats.max_latency, ms(4));
+        assert!((stats.queries_per_sec - 400.0).abs() < 1e-9);
+        // Ordering invariants.
+        assert!(stats.p50_latency <= stats.p95_latency);
+        assert!(stats.p95_latency <= stats.p99_latency);
+        assert!(stats.p99_latency <= stats.max_latency);
+    }
+
+    /// Config plumb-through: a service built with a block-execution engine
+    /// config answers exactly like the row-mode service.
+    #[test]
+    fn block_execution_service_matches_row_service() {
+        use operators::ExecutionMode;
+        use specqp::EngineConfig;
+        let (g, reg) = setup();
+        let q = parse_query(
+            "SELECT ?s WHERE { ?s <type> <big> . ?s <type> <small> }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let jobs: Vec<QueryJob> = vec![
+            QueryJob::specqp(q.clone(), 10),
+            QueryJob::trinit(q.clone(), 5),
+            QueryJob::naive(q, 5),
+        ];
+        let mk = |mode: ExecutionMode| {
+            let mut cfg = ServiceConfig::with_threads(2);
+            cfg.engine = EngineConfig::default().with_execution(mode);
+            QueryService::new(g.clone(), reg.clone(), cfg)
+        };
+        let row = mk(ExecutionMode::RowAtATime).run_batch(&jobs);
+        for size in [1, 64] {
+            let block = mk(ExecutionMode::Block(size)).run_batch(&jobs);
+            for (a, b) in row.outcomes.iter().zip(&block.outcomes) {
+                assert_eq!(a.answers, b.answers, "size {size}");
+            }
+        }
     }
 
     #[test]

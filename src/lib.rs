@@ -41,7 +41,7 @@ pub use specqp_stats as stats;
 /// The most common imports in one place.
 pub mod prelude {
     pub use kgstore::{KnowledgeGraph, KnowledgeGraphBuilder, PatternKey};
-    pub use operators::{PartialAnswer, PullStrategy};
+    pub use operators::{ExecutionMode, PartialAnswer, PullStrategy};
     pub use relax::{
         CooccurrenceMiner, HierarchyMiner, Position, Relaxation, RelaxationRegistry, TermRule,
     };

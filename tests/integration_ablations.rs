@@ -16,6 +16,7 @@ fn pull_strategies_agree_on_results() {
         EngineConfig {
             refit: RefitMode::TwoBucket,
             pull: PullStrategy::Alternate,
+            ..EngineConfig::default()
         },
     );
     let ada = Engine::with_config(
@@ -24,6 +25,7 @@ fn pull_strategies_agree_on_results() {
         EngineConfig {
             refit: RefitMode::TwoBucket,
             pull: PullStrategy::Adaptive,
+            ..EngineConfig::default()
         },
     );
     for q in ds.workload.queries.iter().take(4) {
@@ -51,6 +53,7 @@ fn refit_modes_give_valid_plans() {
             EngineConfig {
                 refit,
                 pull: PullStrategy::Adaptive,
+                ..EngineConfig::default()
             },
         );
         for q in ds.workload.queries.iter().take(3) {
@@ -90,6 +93,7 @@ fn multibucket_richer_model_never_invalidates_results() {
         EngineConfig {
             refit: RefitMode::MultiBucket(64),
             pull: PullStrategy::Adaptive,
+            ..EngineConfig::default()
         },
     );
     let q = &ds.workload.queries[0];
