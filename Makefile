@@ -1,7 +1,7 @@
 # Mirrors .github/workflows/ci.yml — `make ci` is exactly the CI gate.
 CARGO ?= cargo
 
-.PHONY: ci lint fmt build test bench doc example smoke gate snapshot clean
+.PHONY: ci lint fmt build test bench doc example smoke gate quality snapshot clean
 
 ci: lint build test bench doc example
 
@@ -18,6 +18,7 @@ build:
 test:
 	SPECQP_EXEC=row $(CARGO) test -q --workspace
 	SPECQP_EXEC=block $(CARGO) test -q --workspace
+	SPECQP_SPEC=fallback $(CARGO) test -q --workspace
 	env -u RUST_TEST_THREADS $(CARGO) test -q --release --test integration_service
 	env -u RUST_TEST_THREADS $(CARGO) test -q --release -p specqp_service
 
@@ -32,16 +33,23 @@ example:
 
 # The weekly bench-smoke job in one command.
 smoke:
-	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --block-size 128 --json BENCH_probe.json
+	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --block-size 128 --quality --json BENCH_probe.json
 
 # The CI bench-regression job: probe the current tree, gate against the
-# committed baseline (3x noise tolerance), and check the snapshot and
-# block-executor speedups.
+# committed baseline (3x noise tolerance), and check the snapshot speedup,
+# the block-executor speedup and the speculation quality floor.
 gate:
-	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --block-size 128 --json target/BENCH_current.json
+	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --block-size 128 --quality --json target/BENCH_current.json
 	$(CARGO) run --release -p bench --bin bench_gate -- regression BENCH_probe.json target/BENCH_current.json 3
 	$(CARGO) run --release -p bench --bin bench_gate -- snapshot target/BENCH_current.json 3
 	$(CARGO) run --release -p bench --bin bench_gate -- block target/BENCH_current.json 1.3
+	$(CARGO) run --release -p bench --bin bench_gate -- quality target/BENCH_current.json 0.95 1.25
+
+# The speculation quality gate alone: precision@k vs TriniT must stay
+# >= 0.95 with the fallback lifecycle enabled, at <= 1.25x runtime overhead.
+quality:
+	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --quality --json target/BENCH_quality.json
+	$(CARGO) run --release -p bench --bin bench_gate -- quality target/BENCH_quality.json 0.95 1.25
 
 # The CI snapshot-roundtrip job: datagen -> save snapshot -> reload ->
 # results must be byte-identical to the builder/TSV path.

@@ -8,6 +8,7 @@
 //! bench_gate determinism <a.json> <b.json>
 //! bench_gate snapshot <current.json> [min_speedup]
 //! bench_gate block <current.json> [min_speedup]
+//! bench_gate quality <current.json> [min_precision] [max_overhead]
 //! ```
 //!
 //! * `regression` compares `planning_us` / `execution_us` (Spec-QP executor)
@@ -24,6 +25,12 @@
 //! * `block` asserts the report's block-vs-row executor `speedup` meets the
 //!   floor (default 1.3×) **and** that the two executors returned identical
 //!   answers (`answers_match`) — a fast wrong executor must never pass.
+//! * `quality` asserts the `speculation` object (emitted under
+//!   `probe --quality`) shows precision@k against TriniT of at least
+//!   `min_precision` (default 0.95) with the fallback lifecycle enabled,
+//!   at a total-runtime overhead of at most `max_overhead` (default 1.25×)
+//!   versus speculation off — quality recovered cheaply, not bought with a
+//!   TriniT-priced rerun of everything.
 //!
 //! The workspace is dependency-free, so instead of a JSON library this uses
 //! a small field scanner that understands exactly the shape `probe` emits.
@@ -297,6 +304,33 @@ fn block_gate(path: &str, min_speedup: f64) -> i32 {
     }
 }
 
+fn quality_gate(path: &str, min_precision: f64, max_overhead: f64) -> i32 {
+    let json = read(path);
+    let precision = require_num(&json, "speculation", "precision_fallback", path);
+    let overhead = require_num(&json, "speculation", "overhead", path);
+    let mis_rate = require_num(&json, "speculation", "mis_speculation_rate", path);
+    let fallback_rate = require_num(&json, "speculation", "fallback_rate", path);
+    println!(
+        "speculation quality: precision@k {precision:.3} (floor {min_precision}), \
+         lifecycle overhead {overhead:.2}x (ceiling {max_overhead}x), \
+         mis-speculation rate {mis_rate:.2}, fallback rate {fallback_rate:.2}"
+    );
+    let mut failures = Vec::new();
+    if precision < min_precision {
+        failures.push(format!("precision {precision:.3} < {min_precision}"));
+    }
+    if overhead > max_overhead {
+        failures.push(format!("overhead {overhead:.2}x > {max_overhead}x"));
+    }
+    if failures.is_empty() {
+        println!("bench_gate quality: ok");
+        0
+    } else {
+        eprintln!("bench_gate quality FAILED: {}", failures.join("; "));
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || -> ! {
@@ -304,7 +338,8 @@ fn main() {
             "usage: bench_gate regression <baseline.json> <current.json> [tolerance]\n\
              \x20      bench_gate determinism <a.json> <b.json>\n\
              \x20      bench_gate snapshot <current.json> [min_speedup]\n\
-             \x20      bench_gate block <current.json> [min_speedup]"
+             \x20      bench_gate block <current.json> [min_speedup]\n\
+             \x20      bench_gate quality <current.json> [min_precision] [max_overhead]"
         );
         exit(2);
     };
@@ -331,6 +366,17 @@ fn main() {
                 .unwrap_or(1.3);
             block_gate(&args[1], floor)
         }
+        Some("quality") if args.len() >= 2 => {
+            let min_precision = args
+                .get(2)
+                .map(|s| s.parse::<f64>().unwrap_or_else(|_| usage()))
+                .unwrap_or(0.95);
+            let max_overhead = args
+                .get(3)
+                .map(|s| s.parse::<f64>().unwrap_or_else(|_| usage()))
+                .unwrap_or(1.25);
+            quality_gate(&args[1], min_precision, max_overhead)
+        }
         _ => usage(),
     };
     exit(code);
@@ -353,6 +399,7 @@ mod tests {
   "trinit": {"planning_us":0,"execution_us":1994,"top_k":10,"scores":[2.6,2.5]},
   "snapshot": {"triples":10,"bytes":123,"load_us":100,"tsv_load_us":900,"speedup":9.000,"from_snapshot":false},
   "block": {"block_size":256,"queries":18,"k":10,"row_execution_us":9000,"block_execution_us":4000,"speedup":2.250,"answers_match":true},
+  "speculation": {"policy":"fallback:3","queries":18,"k":10,"mis_speculation_rate":0.1111,"fallback_rate":0.0556,"fallback_stages":2,"wasted_answers":120,"precision_fallback":0.9815,"precision_off":0.9259,"off_total_us":5000,"fallback_total_us":5600,"overhead":1.120},
   "service": {"threads":4,"queries_per_sec":730.059,"cache":{"hits":37}}
 }"#;
 
@@ -386,6 +433,18 @@ mod tests {
     fn snapshot_speedup_readable() {
         let snap = object_slice(SAMPLE, "snapshot").unwrap();
         assert_eq!(num_field(snap, "speedup"), Some(9.0));
+    }
+
+    #[test]
+    fn speculation_object_fields_readable() {
+        let spec = object_slice(SAMPLE, "speculation").unwrap();
+        assert_eq!(num_field(spec, "precision_fallback"), Some(0.9815));
+        assert_eq!(num_field(spec, "overhead"), Some(1.12));
+        assert_eq!(num_field(spec, "mis_speculation_rate"), Some(0.1111));
+        assert_eq!(num_field(spec, "fallback_rate"), Some(0.0556));
+        // The sample passes the default gate thresholds.
+        assert!(num_field(spec, "precision_fallback").unwrap() >= 0.95);
+        assert!(num_field(spec, "overhead").unwrap() <= 1.25);
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //! whole workload (`--block-size N` overrides the default block size; the
 //! CI bench gate asserts the block path stays faster).
 //!
+//! With `--quality` the JSON report additionally carries a `speculation`
+//! object comparing Spec-QP with the fallback lifecycle enabled
+//! (`SpeculationPolicy::Fallback`) against speculation-off and the TriniT
+//! ground truth over the whole seeded workload: mis-speculation rate,
+//! fallback rate, precision@k and the lifecycle's steady-state latency
+//! overhead. `bench_gate quality` asserts precision ≥ 0.95 at ≤ 1.25x
+//! overhead.
+//!
 //! Snapshot flags: `--save-snapshot <path>` writes the generated graph as a
 //! binary KG snapshot; `--snapshot <path>` boots the probe's graph from a
 //! snapshot instead of the freshly built one (term ids are preserved, so the
@@ -33,8 +41,11 @@
 
 use datagen::{TwitterConfig, TwitterGenerator, XkgConfig, XkgGenerator};
 use operators::ExecutionMode;
-use specqp::{prediction_covering, prediction_exact, required_relaxations, Engine, EngineConfig};
-use specqp_service::{QueryJob, QueryService, ServiceConfig};
+use specqp::{
+    precision_at_k, prediction_covering, prediction_exact, required_relaxations, Engine,
+    EngineConfig, SpeculationPolicy,
+};
+use specqp_service::{ExecMode, QueryJob, QueryService, ServiceConfig};
 use specqp_stats::{
     expected_score_at_rank, CardinalityEstimator, ExactCardinality, ScoreEstimator, StatsCatalog,
 };
@@ -57,6 +68,14 @@ fn json_escape(s: &str) -> String {
 
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    // Boolean flags are drained first (no value follows them).
+    let quality = raw
+        .iter()
+        .position(|a| a == "--quality")
+        .map(|i| {
+            raw.remove(i);
+        })
+        .is_some();
     // Drains `--flag <value>` out of the positional args, exiting 2 when the
     // value is missing (`what` names it in the error).
     let mut take_flag = |flag: &str, what: &str| {
@@ -334,6 +353,81 @@ fn main() {
         );
     }
 
+    // Speculation-quality probe (`--quality`): the whole seeded workload in
+    // Spec-QP mode with the fallback lifecycle enabled vs speculation off vs
+    // the TriniT baseline. Quality (precision@k against TriniT, mis-
+    // speculation/fallback rates) is measured on the first pass — the pass
+    // where fallback recoveries and feedback learning actually happen —
+    // while the latency overhead of the lifecycle is measured afterwards in
+    // steady state with interleaved best-of-5 rounds (same discipline as the
+    // block probe: ambient slowdowns hit both sides). The CI quality gate
+    // asserts precision_fallback ≥ 0.95 and overhead ≤ 1.25x.
+    let mut speculation_json = String::new();
+    if quality {
+        let max_stages = specqp::speculation::DEFAULT_MAX_STAGES;
+        let policy = SpeculationPolicy::Fallback { max_stages };
+        let policy_label = format!("fallback:{max_stages}");
+        let off_engine = Engine::with_config(
+            &ds.graph,
+            &ds.registry,
+            EngineConfig::default().with_speculation(SpeculationPolicy::Off),
+        );
+        let fb_engine = Engine::with_config(
+            &ds.graph,
+            &ds.registry,
+            EngineConfig::default().with_speculation(policy),
+        );
+        for q in &ds.workload.queries {
+            off_engine.warm(q, k);
+            fb_engine.warm(q, k);
+        }
+        let nq = ds.workload.queries.len();
+        let (mut mis, mut fallback_runs, mut stages, mut wasted) = (0u64, 0u64, 0u64, 0u64);
+        let (mut prec_fb, mut prec_off) = (0.0f64, 0.0f64);
+        for q in &ds.workload.queries {
+            let trinit = fb_engine.run_trinit(q, k);
+            let fb = fb_engine.run_specqp(q, k);
+            let off = off_engine.run_specqp(q, k);
+            prec_fb += precision_at_k(&fb.answers, &trinit.answers, k);
+            prec_off += precision_at_k(&off.answers, &trinit.answers, k);
+            mis += u64::from(fb.report.mis_speculated);
+            fallback_runs += u64::from(fb.report.fallback_stages > 0);
+            stages += fb.report.fallback_stages;
+            wasted += fb.report.wasted_answers;
+        }
+        let precision_fallback = prec_fb / nq as f64;
+        let precision_off = prec_off / nq as f64;
+        let mis_rate = mis as f64 / nq as f64;
+        let fallback_rate = fallback_runs as f64 / nq as f64;
+
+        let one_round = |engine: &Engine<'_>| -> u128 {
+            ds.workload
+                .queries
+                .iter()
+                .map(|q| engine.run_specqp(q, k).report.total_time().as_micros())
+                .sum::<u128>()
+        };
+        let (mut off_us, mut fb_us) = (u128::MAX, u128::MAX);
+        for _ in 0..5 {
+            off_us = off_us.min(one_round(&off_engine));
+            fb_us = fb_us.min(one_round(&fb_engine));
+        }
+        let overhead = fb_us as f64 / (off_us.max(1)) as f64;
+        println!(
+            "speculation: precision@{k} {precision_fallback:.3} with fallback vs \
+             {precision_off:.3} off; mis-speculation rate {mis_rate:.2}, fallback rate \
+             {fallback_rate:.2} ({stages} stages, {wasted} wasted answers); \
+             lifecycle {fb_us}us vs off {off_us}us ({overhead:.2}x overhead)",
+        );
+        speculation_json = format!(
+            ",\n  \"speculation\": {{\"policy\":\"{policy_label}\",\"queries\":{nq},\"k\":{k},\
+             \"mis_speculation_rate\":{mis_rate:.4},\"fallback_rate\":{fallback_rate:.4},\
+             \"fallback_stages\":{stages},\"wasted_answers\":{wasted},\
+             \"precision_fallback\":{precision_fallback:.4},\"precision_off\":{precision_off:.4},\
+             \"off_total_us\":{off_us},\"fallback_total_us\":{fb_us},\"overhead\":{overhead:.3}}}",
+        );
+    }
+
     // Optional serving-throughput probe: the whole workload, cycled ×3 so
     // repeated shapes hit the plan cache, through an N-thread service.
     // This consumes the dataset's graph/registry (moved into Arcs), so it
@@ -341,13 +435,16 @@ fn main() {
     let summary = ds.summary();
     let mut service_json = String::new();
     if let Some(threads) = service_threads {
-        let jobs: Vec<QueryJob> = ds
-            .workload
-            .queries
+        // Two Spec-QP passes plus one TriniT pass over the workload: the
+        // repeated Spec-QP shapes exercise the plan cache, and the mixed
+        // modes exercise the per-mode latency breakdown in BatchStats.
+        let queries = ds.workload.queries.clone();
+        let jobs: Vec<QueryJob> = queries
             .iter()
             .cycle()
-            .take(ds.workload.queries.len() * 3)
+            .take(queries.len() * 2)
             .map(|q| QueryJob::specqp(q.clone(), k))
+            .chain(queries.iter().map(|q| QueryJob::trinit(q.clone(), k)))
             .collect();
         let service = QueryService::new(
             Arc::new(ds.graph),
@@ -358,7 +455,8 @@ fn main() {
         let s = &report.stats;
         println!(
             "service: {} queries / {} threads -> {:.1} q/s (mean {:?}, p95 {:?}); \
-             plan cache: {} hits / {} lookups ({:.0}% hit rate, {} evictions)",
+             plan cache: {} hits / {} lookups ({:.0}% hit rate, {} evictions, {} stale); \
+             speculation: {} mis / {} fallback runs, {} stages",
             s.queries,
             s.threads,
             s.queries_per_sec,
@@ -368,13 +466,38 @@ fn main() {
             s.cache.lookups,
             s.cache.hit_rate * 100.0,
             s.cache.evictions,
+            s.cache.stale,
+            s.speculation.mis_speculations,
+            s.speculation.fallback_runs,
+            s.speculation.fallback_stages,
         );
+        let modes_json = ExecMode::ALL
+            .iter()
+            .filter_map(|m| s.per_mode[m.index()].as_ref())
+            .map(|m| {
+                format!(
+                    "\"{}\":{{\"queries\":{},\"mean_latency_us\":{},\"p50_latency_us\":{},\
+                     \"p95_latency_us\":{},\"max_latency_us\":{}}}",
+                    m.mode.label(),
+                    m.queries,
+                    m.mean_latency.as_micros(),
+                    m.p50_latency.as_micros(),
+                    m.p95_latency.as_micros(),
+                    m.max_latency.as_micros(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         service_json = format!(
             ",\n  \"service\": {{\"threads\":{},\"queries\":{},\"queries_per_sec\":{:.3},\
              \"wall_us\":{},\"mean_latency_us\":{},\"p50_latency_us\":{},\
              \"p95_latency_us\":{},\"p99_latency_us\":{},\"max_latency_us\":{},\
+             \"modes\":{{{modes_json}}},\
+             \"speculation\":{{\"speculative_runs\":{},\"mis_speculations\":{},\
+             \"fallback_runs\":{},\"fallback_stages\":{},\"wasted_answers\":{},\
+             \"verify_us\":{}}},\
              \"cache\":{{\"lookups\":{},\
-             \"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\
+             \"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\"stale\":{},\
              \"hit_rate\":{:.4}}}}}",
             s.threads,
             s.queries,
@@ -385,11 +508,18 @@ fn main() {
             s.p95_latency.as_micros(),
             s.p99_latency.as_micros(),
             s.max_latency.as_micros(),
+            s.speculation.speculative_runs,
+            s.speculation.mis_speculations,
+            s.speculation.fallback_runs,
+            s.speculation.fallback_stages,
+            s.speculation.wasted_answers,
+            s.speculation.verify.as_micros(),
             s.cache.lookups,
             s.cache.hits,
             s.cache.misses,
             s.cache.insertions,
             s.cache.evictions,
+            s.cache.stale,
             s.cache.hit_rate,
         );
     }
@@ -404,15 +534,21 @@ fn main() {
         };
         let report = |o: &specqp::QueryOutcome| {
             format!(
-                "{{\"planning_us\":{},\"execution_us\":{},\"answers_created\":{},\
+                "{{\"planning_us\":{},\"execution_us\":{},\"verify_us\":{},\
+                 \"answers_created\":{},\
                  \"sorted_accesses\":{},\"random_accesses\":{},\"heap_pushes\":{},\
+                 \"fallback_stages\":{},\"wasted_answers\":{},\"mis_speculated\":{},\
                  \"top_k\":{},\"scores\":[{}]}}",
                 o.report.planning.as_micros(),
                 o.report.execution.as_micros(),
+                o.report.verify.as_micros(),
                 o.report.answers_created,
                 o.report.sorted_accesses,
                 o.report.random_accesses,
                 o.report.heap_pushes,
+                o.report.fallback_stages,
+                o.report.wasted_answers,
+                o.report.mis_speculated,
                 o.answers.len(),
                 scores(o),
             )
@@ -423,7 +559,8 @@ fn main() {
             "{{\n  \"dataset\": \"{}\",\n  \"summary\": \"{}\",\n  \"query\": {qid},\n  \
              \"k\": {k},\n  \"plan_singletons\": {:?},\n  \"required\": {:?},\n  \
              \"prediction_exact\": {exact},\n  \"prediction_covers\": {covers},\n  \
-             \"specqp\": {},\n  \"trinit\": {}{snapshot_json}{block_json}{service_json}\n}}\n",
+             \"specqp\": {},\n  \"trinit\": \
+             {}{snapshot_json}{block_json}{speculation_json}{service_json}\n}}\n",
             json_escape(&ds.name),
             json_escape(&summary),
             spec.plan.singletons(),

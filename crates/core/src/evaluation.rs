@@ -13,8 +13,14 @@ use specqp_common::{FxHashSet, TermId};
 ///
 /// The paper notes precision = recall because both share denominator `k`;
 /// when the true result has fewer than `k` answers we use that smaller
-/// denominator (there is no way to return answers that do not exist).
+/// denominator (there is no way to return answers that do not exist). An
+/// empty truth met by an empty result is perfect precision (nothing existed
+/// and nothing was claimed — the degenerate case fallback-escalated empty
+/// queries hit); an empty truth met by invented answers stays 0.
 pub fn precision_at_k(spec: &[PartialAnswer], trinit: &[PartialAnswer], k: usize) -> f64 {
+    if trinit.is_empty() {
+        return if spec.is_empty() { 1.0 } else { 0.0 };
+    }
     let denom = k.min(trinit.len()).max(1);
     let truth: FxHashSet<_> = trinit.iter().take(k).map(|a| &a.binding).collect();
     let hits = spec
@@ -198,8 +204,9 @@ mod tests {
         let spec = vec![ans(1, 0.9)];
         let truth = vec![ans(1, 0.9)];
         assert!((precision_at_k(&spec, &truth, 10) - 1.0).abs() < 1e-9);
-        // Empty truth → degenerate 0/1.
+        // Empty truth: invented answers score 0, an empty result is perfect.
         assert_eq!(precision_at_k(&spec, &[], 10), 0.0);
+        assert_eq!(precision_at_k(&[], &[], 10), 1.0);
     }
 
     #[test]

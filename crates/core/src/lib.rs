@@ -21,6 +21,10 @@
 //!   tests,
 //! * [`Engine`] — a one-stop façade owning the statistics catalog and
 //!   cardinality oracle,
+//! * [`speculation`] — the runtime speculation lifecycle: mis-speculation
+//!   detection ([`speculation::verify`]), staged fallback re-execution and
+//!   the statistics feedback loop, governed by [`SpeculationPolicy`]
+//!   (`SPECQP_SPEC`),
 //! * [`evaluation`] — the paper's quality metrics (§4.3): precision/recall,
 //!   prediction accuracy, average score error,
 //! * [`RunReport`] — timing + the "number of answer objects created" memory
@@ -69,6 +73,7 @@ pub mod executor;
 pub mod plan;
 pub mod plan_cache;
 pub mod plangen;
+pub mod speculation;
 pub mod trace;
 
 pub use engine::{Engine, EngineConfig, QueryOutcome};
@@ -83,4 +88,5 @@ pub use executor::{
 pub use plan::QueryPlan;
 pub use plan_cache::{PlanCache, QueryShape};
 pub use plangen::plan_query;
+pub use speculation::{SpeculationPolicy, Verdict};
 pub use trace::RunReport;

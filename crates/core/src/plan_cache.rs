@@ -13,6 +13,21 @@
 //! Hit/miss/insertion/eviction counts are recorded in a shared
 //! [`CacheMetrics`] handle (`operators::metrics`), maintaining the invariant
 //! `hits + misses == lookups`.
+//!
+//! Staleness model: every cached plan is stamped with the statistics-catalog
+//! **feedback generation** it was planned under
+//! ([`StatsCatalog::generation`](specqp_stats::StatsCatalog::generation)).
+//! A lookup passes the *current* generation; entries stamped older are
+//! dropped on sight (counted as `stale` + `miss`), so a feedback refit can
+//! never serve a plan that pre-dates what the planner has since learned.
+//! The generation is deliberately **global**: a bump invalidates every
+//! cached shape, not just those containing the refitted pattern — a
+//! correctness-first coarseness. It stays cheap because bias flips are rare
+//! and self-limiting (the ledger's settled/exoneration machinery lets each
+//! pattern flip at most a handful of times per process before converging),
+//! after which the cache runs at full hit rate again. Per-dependency
+//! stamping would bound invalidation to affected shapes if workloads ever
+//! make flips frequent.
 
 use crate::plan::QueryPlan;
 use operators::{CacheMetrics, CacheMetricsHandle};
@@ -82,10 +97,17 @@ impl QueryShape {
     }
 }
 
+/// One cached plan plus the feedback generation it was planned under.
+#[derive(Debug)]
+struct CachedPlan {
+    plan: QueryPlan,
+    generation: u64,
+}
+
 /// One shard: a bounded map plus FIFO insertion order for eviction.
 #[derive(Default, Debug)]
 struct Shard {
-    map: FxHashMap<QueryShape, QueryPlan>,
+    map: FxHashMap<QueryShape, CachedPlan>,
     order: VecDeque<QueryShape>,
 }
 
@@ -149,13 +171,24 @@ impl PlanCache {
         &self.shards[h % self.shards.len()]
     }
 
-    /// Looks up the plan for `shape`, counting a hit or a miss.
-    pub fn lookup(&self, shape: &QueryShape) -> Option<QueryPlan> {
-        let shard = self.shard_for(shape).lock().expect("plan cache poisoned");
+    /// Looks up the plan for `shape` as of feedback `generation`, counting a
+    /// hit or a miss. An entry stamped with an older generation is dropped on
+    /// sight (counted as `stale` in addition to the miss): the statistics
+    /// feedback that bumped the generation may change PLANGEN's answer, so
+    /// the stale plan must never be served.
+    pub fn lookup(&self, shape: &QueryShape, generation: u64) -> Option<QueryPlan> {
+        let mut shard = self.shard_for(shape).lock().expect("plan cache poisoned");
         match shard.map.get(shape) {
-            Some(plan) => {
+            Some(cached) if cached.generation >= generation => {
                 self.metrics.count_hit();
-                Some(plan.clone())
+                Some(cached.plan.clone())
+            }
+            Some(_) => {
+                shard.map.remove(shape);
+                shard.order.retain(|s| s != shape);
+                self.metrics.count_stale();
+                self.metrics.count_miss();
+                None
             }
             None => {
                 self.metrics.count_miss();
@@ -164,14 +197,23 @@ impl PlanCache {
         }
     }
 
-    /// Inserts `plan` for `shape` unless an entry already exists (plans are
-    /// deterministic per shape, so the first insert wins and concurrent
-    /// duplicates are dropped). Evicts the oldest entry of a full shard.
-    /// Returns `true` when the plan was actually inserted.
-    pub fn insert(&self, shape: QueryShape, plan: QueryPlan) -> bool {
+    /// Inserts `plan` for `shape`, stamped with the feedback `generation` it
+    /// was planned under, unless a same-or-newer entry already exists (plans
+    /// are deterministic per shape *and generation*, so the first insert
+    /// wins and concurrent duplicates are dropped; a newer-generation insert
+    /// replaces a stale entry in place). Evicts the oldest entry of a full
+    /// shard. Returns `true` when the plan was actually stored.
+    pub fn insert(&self, shape: QueryShape, plan: QueryPlan, generation: u64) -> bool {
         let mut shard = self.shard_for(&shape).lock().expect("plan cache poisoned");
-        if shard.map.contains_key(&shape) {
-            return false;
+        if let Some(cached) = shard.map.get_mut(&shape) {
+            if cached.generation >= generation {
+                return false;
+            }
+            // Refresh a stale entry in place; it keeps its eviction slot.
+            *cached = CachedPlan { plan, generation };
+            self.metrics.count_stale();
+            self.metrics.count_insertion();
+            return true;
         }
         if shard.map.len() >= self.per_shard_capacity {
             if let Some(oldest) = shard.order.pop_front() {
@@ -180,7 +222,7 @@ impl PlanCache {
             }
         }
         shard.order.push_back(shape.clone());
-        shard.map.insert(shape, plan);
+        shard.map.insert(shape, CachedPlan { plan, generation });
         self.metrics.count_insertion();
         true
     }
@@ -241,11 +283,11 @@ mod tests {
     fn lookup_insert_roundtrip_with_metrics() {
         let cache = PlanCache::default();
         let shape = QueryShape::of(&query(["s", "o"], [5, 6]), 10);
-        assert!(cache.lookup(&shape).is_none());
-        assert!(cache.insert(shape.clone(), QueryPlan::new(3, &[1])));
-        // Duplicate insert is refused.
-        assert!(!cache.insert(shape.clone(), QueryPlan::new(3, &[2])));
-        let got = cache.lookup(&shape).unwrap();
+        assert!(cache.lookup(&shape, 0).is_none());
+        assert!(cache.insert(shape.clone(), QueryPlan::new(3, &[1]), 0));
+        // Duplicate same-generation insert is refused.
+        assert!(!cache.insert(shape.clone(), QueryPlan::new(3, &[2]), 0));
+        let got = cache.lookup(&shape, 0).unwrap();
         assert_eq!(got, QueryPlan::new(3, &[1]), "first insert wins");
         let m = cache.metrics();
         assert_eq!(m.lookups(), 2);
@@ -253,6 +295,7 @@ mod tests {
         assert_eq!(m.misses(), 1);
         assert_eq!(m.insertions(), 1);
         assert_eq!(m.evictions(), 0);
+        assert_eq!(m.stale(), 0);
         assert_eq!(cache.len(), 1);
     }
 
@@ -264,12 +307,52 @@ mod tests {
             .map(|i| QueryShape::of(&query(["s", "o"], [i, i + 10]), 10))
             .collect();
         for s in &shapes {
-            assert!(cache.insert(s.clone(), QueryPlan::none_relaxed(3)));
+            assert!(cache.insert(s.clone(), QueryPlan::none_relaxed(3), 0));
         }
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.metrics().evictions(), 1);
-        assert!(cache.lookup(&shapes[0]).is_none(), "oldest entry evicted");
-        assert!(cache.lookup(&shapes[1]).is_some());
-        assert!(cache.lookup(&shapes[2]).is_some());
+        assert!(
+            cache.lookup(&shapes[0], 0).is_none(),
+            "oldest entry evicted"
+        );
+        assert!(cache.lookup(&shapes[1], 0).is_some());
+        assert!(cache.lookup(&shapes[2], 0).is_some());
+    }
+
+    /// A feedback-generation bump makes every older entry unservable: the
+    /// lookup drops it (stale + miss) and a fresh insert replaces it.
+    #[test]
+    fn generation_bump_invalidates_cached_plans() {
+        let cache = PlanCache::default();
+        let shape = QueryShape::of(&query(["s", "o"], [5, 6]), 10);
+        assert!(cache.insert(shape.clone(), QueryPlan::new(3, &[1]), 0));
+        assert!(cache.lookup(&shape, 0).is_some(), "same generation serves");
+
+        // Generation moved on: the old plan must not be served.
+        assert!(cache.lookup(&shape, 1).is_none());
+        let m = cache.metrics();
+        assert_eq!(m.stale(), 1);
+        assert_eq!(m.misses(), 1);
+        assert_eq!(cache.len(), 0, "stale entry dropped eagerly");
+
+        // Re-planned under the new generation: serves again, including for
+        // later same-generation lookups.
+        assert!(cache.insert(shape.clone(), QueryPlan::new(3, &[1, 2]), 1));
+        assert_eq!(cache.lookup(&shape, 1).unwrap(), QueryPlan::new(3, &[1, 2]));
+    }
+
+    /// A newer-generation insert refreshes a stale entry in place instead of
+    /// being refused as a duplicate.
+    #[test]
+    fn stale_entry_is_replaced_by_newer_insert() {
+        let cache = PlanCache::new(1, 2);
+        let shape = QueryShape::of(&query(["s", "o"], [5, 6]), 10);
+        assert!(cache.insert(shape.clone(), QueryPlan::new(3, &[]), 0));
+        assert!(cache.insert(shape.clone(), QueryPlan::new(3, &[0]), 2));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&shape, 2).unwrap(), QueryPlan::new(3, &[0]));
+        // Older-generation insert never downgrades a newer entry.
+        assert!(!cache.insert(shape.clone(), QueryPlan::new(3, &[]), 1));
+        assert_eq!(cache.lookup(&shape, 2).unwrap(), QueryPlan::new(3, &[0]));
     }
 }

@@ -16,6 +16,7 @@ use crate::plan::QueryPlan;
 use kgstore::KnowledgeGraph;
 use relax::RelaxationRegistry;
 use sparql::{Query, TriplePattern};
+use specqp_common::Score;
 use specqp_stats::{CardinalityEstimator, RefitMode, ScoreEstimator, StatsCatalog};
 
 /// Runs PLANGEN and returns the speculative plan.
@@ -26,6 +27,17 @@ use specqp_stats::{CardinalityEstimator, RefitMode, ScoreEstimator, StatsCatalog
 /// the behaviour the paper describes for Twitter ("most of the queries
 /// required all triple patterns to be relaxed … we were able to identify the
 /// requirement of all the relaxations").
+///
+/// Two extensions over Algorithm 1 feed the speculation lifecycle:
+///
+/// * the plan carries PLANGEN's predictions — `E_Q(k)` as the
+///   [`score floor`](QueryPlan::score_floor) and each pattern's `E_{Q'}(1)`
+///   — so the runtime verifier can replay the pruning inequality against
+///   observed scores;
+/// * the catalog's speculation ledger is consulted: a pattern whose pruning
+///   is a recorded [repeat offender](StatsCatalog::repeat_offender) keeps
+///   its relaxations even when the (evidently miscalibrated) estimate says
+///   pruning is safe.
 pub fn plan_query<C: CardinalityEstimator + ?Sized>(
     graph: &KnowledgeGraph,
     query: &Query,
@@ -45,6 +57,7 @@ pub fn plan_query<C: CardinalityEstimator + ?Sized>(
         .expected_score_at_rank(k);
 
     let mut singletons: Vec<usize> = Vec::new();
+    let mut predicted_best: Vec<Option<Score>> = vec![None; patterns.len()];
     for (i, q_i) in patterns.iter().enumerate() {
         let Some(top) = registry.top_relaxation_for(q_i) else {
             // No relaxations exist for this pattern — nothing to speculate.
@@ -53,6 +66,7 @@ pub fn plan_query<C: CardinalityEstimator + ?Sized>(
         let mut relaxed = original.clone();
         relaxed[i] = (top.pattern, top.weight);
         let eq1_relaxed = estimator.estimate(graph, &relaxed).expected_top_score();
+        predicted_best[i] = eq1_relaxed.map(Score::new);
         let required = match (eq1_relaxed, eq_k) {
             (Some(best_relaxed), Some(kth_original)) => best_relaxed > kth_original,
             // Original can't fill the top-k but the relaxed query has
@@ -61,11 +75,14 @@ pub fn plan_query<C: CardinalityEstimator + ?Sized>(
             // The relaxed query itself yields nothing: pruning is free.
             (None, _) => false,
         };
-        if required {
+        // Feedback bias: the ledger outranks the estimate once a pattern's
+        // pruning has repeatedly proven wrong at runtime.
+        if required || catalog.repeat_offender(&q_i.stats_key()) {
             singletons.push(i);
         }
     }
     QueryPlan::new(patterns.len(), &singletons)
+        .with_predictions(eq_k.map(Score::new), predicted_best)
 }
 
 #[cfg(test)]
@@ -198,6 +215,43 @@ mod tests {
         let plan1 = plan_query(&g, &q, 1, &catalog, &card, &reg, RefitMode::TwoBucket);
         let plan10 = plan_query(&g, &q, 10, &catalog, &card, &reg, RefitMode::TwoBucket);
         assert!(plan1.relaxed_count() <= plan10.relaxed_count());
+    }
+
+    #[test]
+    fn plan_carries_floor_and_predictions() {
+        let (g, reg) = setup();
+        let catalog = StatsCatalog::new();
+        let card = ExactCardinality::new();
+        // `rich` alone fills k=10, so the floor is a real estimate and the
+        // pattern's relaxed-best prediction is populated (rich→tiny exists).
+        let q = query(&g, &["rich"]);
+        let plan = plan_query(&g, &q, 10, &catalog, &card, &reg, RefitMode::TwoBucket);
+        let floor = plan.score_floor().expect("rich fills the top-10");
+        assert!(floor.value() > 0.0 && floor.value() <= 1.0, "{floor:?}");
+        let best = plan.predicted_relaxed_best(0).expect("rich→tiny predicted");
+        assert!(best.value() <= 0.2 + 1e-9, "weight caps the relaxed best");
+        assert!(
+            best < floor,
+            "pruning was justified by best {best:?} ≤ floor {floor:?}"
+        );
+    }
+
+    #[test]
+    fn ledger_bias_forces_relaxation_of_repeat_offender() {
+        let (g, reg) = setup();
+        let catalog = StatsCatalog::new();
+        let card = ExactCardinality::new();
+        let q = query(&g, &["rich"]);
+        // Baseline: the estimate says rich→tiny can't reach the top-10.
+        let plan = plan_query(&g, &q, 10, &catalog, &card, &reg, RefitMode::TwoBucket);
+        assert_eq!(plan.relaxed_count(), 0);
+        // Record the pruning as a repeat offense; the bias must override the
+        // unchanged estimate.
+        let g0 = catalog.generation();
+        assert!(catalog.record_speculation(q.patterns()[0].stats_key(), true));
+        assert_eq!(catalog.generation(), g0 + 1);
+        let biased = plan_query(&g, &q, 10, &catalog, &card, &reg, RefitMode::TwoBucket);
+        assert_eq!(biased.singletons(), vec![0], "offender must stay relaxed");
     }
 
     #[test]

@@ -1,0 +1,481 @@
+//! The speculation lifecycle: mis-speculation detection and staged fallback.
+//!
+//! PLANGEN's bet is that pruned relaxations cannot reach the top-k. This
+//! module closes the loop on that bet at runtime:
+//!
+//! ```text
+//!           ┌────────┐    ┌─────────┐    ┌────────┐ clean ┌─────────┐
+//!  query ──▶│  plan  │───▶│ execute │───▶│ verify │──────▶│ answers │
+//!           └────────┘    └─────────┘    └────────┘       └─────────┘
+//!                ▲             ▲              │ mis-speculated
+//!                │             │              ▼
+//!                │             │        ┌──────────┐
+//!                │             └────────│ escalate │  stage 1‥N−1: relax the
+//!                │                      └──────────┘  top suspect; stage N:
+//!                │                            │        all-relaxed safety net
+//!                │        feedback ledger     ▼
+//!                └───── (StatsCatalog, generation bump) ◀── verdicts
+//! ```
+//!
+//! * **Detect** ([`verify`]): after the speculative plan drains, the verdict
+//!   replays PLANGEN's pruning inequality against *observed* scores — the
+//!   run is mis-speculated when the top-k is under-filled
+//!   (`answers.len() < k`) while pruned patterns still hold unprocessed
+//!   relaxations, or when the observed k-th score falls below some pruned
+//!   pattern's predicted relaxed-best score (with the carried
+//!   [score floor](crate::QueryPlan::score_floor) reported as a shortfall
+//!   diagnostic when reality misses the `E_Q(k)` prediction itself).
+//! * **Recover**: the engine escalates suspects one stage at a time
+//!   ([`QueryPlan::escalated`]) and re-executes, with a final all-relaxed
+//!   (TriniT) stage as the safety net. Every stage and every discarded
+//!   answer object is counted (`RunReport::fallback_stages`,
+//!   `RunReport::wasted_answers`), so the price of a wrong guess is
+//!   measured, not hidden.
+//! * **Learn**: verdicts feed the per-pattern-shape ledger in
+//!   [`specqp_stats::StatsCatalog`], which biases later PLANGEN runs away
+//!   from repeat offenders and bumps the catalog generation so stale cached
+//!   plans are re-planned.
+//!
+//! The policy is selected per engine through
+//! [`EngineConfig::speculation`](crate::EngineConfig::speculation), whose
+//! default honours the `SPECQP_SPEC` environment variable.
+
+use crate::plan::QueryPlan;
+use operators::PartialAnswer;
+use relax::RelaxationRegistry;
+use sparql::Query;
+use specqp_common::Score;
+
+/// Default number of fallback re-executions allowed per query under
+/// [`SpeculationPolicy::Fallback`] (`SPECQP_SPEC=fallback`).
+pub const DEFAULT_MAX_STAGES: usize = 3;
+
+/// Safety factor applied to the predicted score floor before the verdict's
+/// [`below_floor`](Verdict::below_floor) diagnostic reports a shortfall: the
+/// two-bucket convolution estimates behind [`QueryPlan::score_floor`] are
+/// deliberately coarse, so only a k-th observed score under 85% of the
+/// prediction is reported as "came in below what PLANGEN expected". The
+/// *decision* signals — under-filled top-k and per-pattern predicted
+/// relaxed-best versus the observed k-th score — are exact comparisons and
+/// need no slack.
+pub const FLOOR_TOLERANCE: f64 = 0.85;
+
+/// How the engine treats speculative runs.
+///
+/// The default is read from the `SPECQP_SPEC` environment variable
+/// (`off` | `detect` | `fallback` | `fallback:N` | `force`), falling back to
+/// [`SpeculationPolicy::Off`]:
+///
+/// ```
+/// use specqp::SpeculationPolicy;
+///
+/// assert_eq!(SpeculationPolicy::parse("off"), Some(SpeculationPolicy::Off));
+/// assert_eq!(SpeculationPolicy::parse("detect"), Some(SpeculationPolicy::Detect));
+/// assert_eq!(
+///     SpeculationPolicy::parse("fallback"),
+///     Some(SpeculationPolicy::Fallback { max_stages: specqp::speculation::DEFAULT_MAX_STAGES }),
+/// );
+/// assert_eq!(
+///     SpeculationPolicy::parse("fallback:2"),
+///     Some(SpeculationPolicy::Fallback { max_stages: 2 }),
+/// );
+/// assert_eq!(SpeculationPolicy::parse("force"), Some(SpeculationPolicy::ForceFinal));
+/// assert_eq!(SpeculationPolicy::parse("fallback:0"), None, "at least one stage");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpeculationPolicy {
+    /// Execute the speculative plan once and return whatever it produced —
+    /// the pre-lifecycle behaviour, and the default.
+    #[default]
+    Off,
+    /// Verify every speculative run and record verdicts in the statistics
+    /// feedback ledger, but never re-execute. Mis-speculations surface as
+    /// `RunReport::mis_speculated` and teach the planner; the answers are
+    /// returned as-is.
+    Detect,
+    /// Verify, and on a mis-speculation escalate the flagged patterns and
+    /// re-execute, up to `max_stages` times. Stages `1‥max_stages−1` each
+    /// relax the top remaining suspect; the final permitted stage executes
+    /// the all-relaxed (TriniT) safety net, guaranteeing the result quality
+    /// of the baseline whenever detection fires.
+    Fallback {
+        /// Maximum re-executions per query (≥ 1).
+        max_stages: usize,
+    },
+    /// Diagnostic mode: skip verification and always take one fallback
+    /// stage straight to the all-relaxed safety net. The answers are
+    /// byte-identical to `Engine::run_trinit` — the differential suite uses
+    /// this to prove the recovery path end to end. No feedback is recorded
+    /// (a forced verdict says nothing about the plan).
+    ForceFinal,
+}
+
+impl SpeculationPolicy {
+    /// Reads `SPECQP_SPEC`, defaulting to [`SpeculationPolicy::Off`].
+    ///
+    /// # Panics
+    /// Panics when the variable is set to something unparseable — CI sets
+    /// this variable on purpose, and a typo silently falling back to `Off`
+    /// would run the whole suite without the lifecycle it meant to test.
+    pub fn from_env() -> Self {
+        match std::env::var("SPECQP_SPEC") {
+            Ok(v) => Self::parse(&v).unwrap_or_else(|| {
+                panic!(
+                    "SPECQP_SPEC={v:?} is not a valid speculation policy \
+                     (expected off | detect | fallback | fallback:N | force)"
+                )
+            }),
+            Err(_) => SpeculationPolicy::Off,
+        }
+    }
+
+    /// Parses `off`, `detect`, `fallback`, `fallback:N` (or `fallback=N`,
+    /// `N ≥ 1`) and `force`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("off") {
+            return Some(SpeculationPolicy::Off);
+        }
+        if s.eq_ignore_ascii_case("detect") {
+            return Some(SpeculationPolicy::Detect);
+        }
+        if s.eq_ignore_ascii_case("force") || s.eq_ignore_ascii_case("force-final") {
+            return Some(SpeculationPolicy::ForceFinal);
+        }
+        if s.eq_ignore_ascii_case("fallback") {
+            return Some(SpeculationPolicy::Fallback {
+                max_stages: DEFAULT_MAX_STAGES,
+            });
+        }
+        let rest = s
+            .strip_prefix("fallback:")
+            .or_else(|| s.strip_prefix("fallback="))?;
+        let n: usize = rest.parse().ok()?;
+        if n == 0 {
+            None
+        } else {
+            Some(SpeculationPolicy::Fallback { max_stages: n })
+        }
+    }
+
+    /// `true` when the policy runs the verifier at all.
+    pub fn verifies(self) -> bool {
+        self != SpeculationPolicy::Off
+    }
+
+    /// `true` when the policy may re-execute after a mis-speculation.
+    pub fn recovers(self) -> bool {
+        matches!(
+            self,
+            SpeculationPolicy::Fallback { .. } | SpeculationPolicy::ForceFinal
+        )
+    }
+}
+
+/// The verifier's classification of one speculative execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Verdict {
+    /// `true` when the run is classified as mis-speculated (some suspect
+    /// exists that escalation could plausibly fix).
+    pub mis_speculated: bool,
+    /// The top-k came back with fewer than `k` answers while pruned
+    /// relaxations remained unprocessed.
+    pub under_filled: bool,
+    /// The k-th observed score fell below
+    /// [`FLOOR_TOLERANCE`]` × `[`QueryPlan::score_floor`].
+    pub below_floor: bool,
+    /// Pruned patterns whose relaxations are suspected of holding missing
+    /// top-k answers, strongest suspicion first. Always a subset of
+    /// [`Verdict::candidates`].
+    pub suspects: Vec<usize>,
+    /// Every escalation candidate: patterns the plan pruned that do have
+    /// registered relaxations. Empty for all-relaxed plans — such runs are
+    /// never mis-speculated because there is nothing left to escalate.
+    pub candidates: Vec<usize>,
+}
+
+impl Verdict {
+    /// A clean verdict (nothing suspected, nothing to escalate).
+    pub fn clean() -> Self {
+        Verdict {
+            mis_speculated: false,
+            under_filled: false,
+            below_floor: false,
+            suspects: Vec::new(),
+            candidates: Vec::new(),
+        }
+    }
+}
+
+/// Escalation candidates of `plan`: pattern indices that were pruned (not
+/// relaxed) but have registered relaxations, ascending.
+pub fn escalation_candidates(
+    query: &Query,
+    plan: &QueryPlan,
+    registry: &RelaxationRegistry,
+) -> Vec<usize> {
+    query
+        .patterns()
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| !plan.is_relaxed(*i) && registry.relaxation_count(p) > 0)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Inspects the outcome of executing `plan` and classifies the run.
+///
+/// `answers` must be the plan's top-`k` result, best first (what the
+/// executors return). Two signals flag a mis-speculation, both gated on the
+/// existence of escalation candidates:
+///
+/// * **under-filled** — fewer than `k` answers came back, so any pruned
+///   relaxation might contribute; every candidate becomes a suspect;
+/// * **predicted beater** — `k` answers came back but some pruned pattern's
+///   predicted relaxed-best score
+///   ([`QueryPlan::predicted_relaxed_best`]) beats the observed k-th score.
+///   PLANGEN pruned that pattern because `E'(1) ≤ E_Q(k)`-estimate; the
+///   observed k-th score replacing the estimate falsifies the inequality,
+///   so the pattern becomes a suspect.
+///
+/// The verdict additionally reports [`below_floor`](Verdict::below_floor)
+/// when the k-th observed score fell under [`FLOOR_TOLERANCE`] of the
+/// plan's carried floor `E_Q(k)` — a diagnostic for how far reality missed
+/// the prediction.
+///
+/// Suspects are ranked by predicted relaxed-best score (falling back to the
+/// pattern's top relaxation weight for hand-built plans), descending, ties
+/// by index.
+///
+/// ```
+/// use relax::{Position, RelaxationRegistry, TermRule};
+/// use specqp::{speculation::verify, QueryPlan};
+/// use sparql::QueryBuilder;
+/// use specqp_common::TermId;
+///
+/// let (ty, singer, lyricist, vocalist) = (TermId(0), TermId(1), TermId(2), TermId(3));
+/// let mut b = QueryBuilder::new();
+/// let s = b.var("s");
+/// b.pattern(s, ty, singer);
+/// b.pattern(s, ty, lyricist);
+/// let query = b.build().unwrap();
+/// let mut registry = RelaxationRegistry::new();
+/// registry.add(TermRule::with_context(Position::Object, singer, vocalist, 0.8, ty));
+///
+/// // A bare plan that returned nothing for k = 5: under-filled, and the
+/// // singer pattern (the only one with a relaxation) is the suspect.
+/// let verdict = verify(&query, &QueryPlan::none_relaxed(2), &registry, &[], 5);
+/// assert!(verdict.mis_speculated && verdict.under_filled);
+/// assert_eq!(verdict.suspects, vec![0]);
+///
+/// // The all-relaxed plan has nothing left to escalate: always clean.
+/// let verdict = verify(&query, &QueryPlan::all_relaxed(2), &registry, &[], 5);
+/// assert!(!verdict.mis_speculated);
+/// ```
+pub fn verify(
+    query: &Query,
+    plan: &QueryPlan,
+    registry: &RelaxationRegistry,
+    answers: &[PartialAnswer],
+    k: usize,
+) -> Verdict {
+    if k == 0 {
+        // Nothing was requested, so nothing can be missing (and there is no
+        // k-th answer to inspect).
+        return Verdict::clean();
+    }
+    let candidates = escalation_candidates(query, plan, registry);
+    if candidates.is_empty() {
+        return Verdict::clean();
+    }
+
+    // Suspicion strength: the plan's prediction where available, otherwise
+    // the best score the pattern's top relaxation could possibly contribute
+    // (its weight, by Def. 5 normalization).
+    let potential = |i: usize| -> Score {
+        plan.predicted_relaxed_best(i).unwrap_or_else(|| {
+            registry
+                .top_relaxation_for(&query.patterns()[i])
+                .map(|r| Score::new(r.weight))
+                .unwrap_or(Score::ZERO)
+        })
+    };
+    let rank = |mut idx: Vec<usize>| -> Vec<usize> {
+        idx.sort_by(|&a, &b| potential(b).cmp(&potential(a)).then(a.cmp(&b)));
+        idx
+    };
+
+    let under_filled = answers.len() < k;
+    if under_filled {
+        return Verdict {
+            mis_speculated: true,
+            under_filled: true,
+            below_floor: false,
+            suspects: rank(candidates.clone()),
+            candidates,
+        };
+    }
+
+    let kth = answers[k - 1].score;
+    let below_floor = plan
+        .score_floor()
+        .is_some_and(|floor| kth.value() < floor.value() * FLOOR_TOLERANCE);
+    // Suspect = a pruned pattern whose predicted relaxed-best beats what we
+    // actually observed at rank k: PLANGEN pruned it because
+    // `E'(1) ≤ E_Q(k)-estimate`, and the observed k-th score has just
+    // falsified the right-hand side of that inequality.
+    let suspects: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&i| plan.predicted_relaxed_best(i).is_some_and(|b| b > kth))
+        .collect();
+    Verdict {
+        mis_speculated: !suspects.is_empty(),
+        under_filled: false,
+        below_floor,
+        suspects: rank(suspects),
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use operators::Binding;
+    use relax::{Position, TermRule};
+    use sparql::{QueryBuilder, Var};
+    use specqp_common::TermId;
+
+    const TY: TermId = TermId(0);
+    const A: TermId = TermId(1);
+    const B: TermId = TermId(2);
+    const RA: TermId = TermId(3);
+    const RB: TermId = TermId(4);
+
+    fn query() -> Query {
+        let mut b = QueryBuilder::new();
+        let s = b.var("s");
+        b.pattern(s, TY, A);
+        b.pattern(s, TY, B);
+        b.build().unwrap()
+    }
+
+    fn registry(weights: &[(TermId, TermId, f64)]) -> RelaxationRegistry {
+        let mut reg = RelaxationRegistry::new();
+        for &(from, to, w) in weights {
+            reg.add(TermRule::with_context(Position::Object, from, to, w, TY));
+        }
+        reg
+    }
+
+    fn ans(id: u32, score: f64) -> PartialAnswer {
+        PartialAnswer::new(
+            Binding::from_pairs(vec![(Var(0), TermId(id))]),
+            Score::new(score),
+        )
+    }
+
+    #[test]
+    fn policy_parsing_and_env_contract() {
+        assert_eq!(
+            SpeculationPolicy::parse("OFF"),
+            Some(SpeculationPolicy::Off)
+        );
+        assert_eq!(
+            SpeculationPolicy::parse(" fallback=5 "),
+            Some(SpeculationPolicy::Fallback { max_stages: 5 })
+        );
+        assert_eq!(SpeculationPolicy::parse("bogus"), None);
+        assert_eq!(SpeculationPolicy::parse(""), None);
+        assert!(!SpeculationPolicy::Off.verifies());
+        assert!(SpeculationPolicy::Detect.verifies());
+        assert!(!SpeculationPolicy::Detect.recovers());
+        assert!(SpeculationPolicy::ForceFinal.recovers());
+        assert_eq!(SpeculationPolicy::default(), SpeculationPolicy::Off);
+    }
+
+    #[test]
+    fn k_zero_is_always_clean() {
+        let q = query();
+        let reg = registry(&[(A, RA, 0.9)]);
+        // Regression: `answers[k - 1]` used to underflow for k = 0.
+        let v = verify(&q, &QueryPlan::none_relaxed(2), &reg, &[], 0);
+        assert_eq!(v, Verdict::clean());
+    }
+
+    #[test]
+    fn no_candidates_is_always_clean() {
+        let q = query();
+        // No relaxations registered at all.
+        let reg = registry(&[]);
+        let v = verify(&q, &QueryPlan::none_relaxed(2), &reg, &[], 10);
+        assert_eq!(v, Verdict::clean());
+        // All patterns already relaxed.
+        let reg = registry(&[(A, RA, 0.9), (B, RB, 0.8)]);
+        let v = verify(&q, &QueryPlan::all_relaxed(2), &reg, &[], 10);
+        assert!(!v.mis_speculated && v.candidates.is_empty());
+    }
+
+    #[test]
+    fn under_filled_flags_all_candidates_ranked_by_weight() {
+        let q = query();
+        let reg = registry(&[(A, RA, 0.6), (B, RB, 0.9)]);
+        let v = verify(&q, &QueryPlan::none_relaxed(2), &reg, &[ans(1, 2.0)], 3);
+        assert!(v.mis_speculated && v.under_filled && !v.below_floor);
+        assert_eq!(v.candidates, vec![0, 1]);
+        assert_eq!(v.suspects, vec![1, 0], "stronger relaxation first");
+    }
+
+    #[test]
+    fn filled_run_without_floor_is_clean() {
+        let q = query();
+        let reg = registry(&[(A, RA, 0.9)]);
+        let answers = [ans(1, 2.0), ans(2, 1.5)];
+        let v = verify(&q, &QueryPlan::none_relaxed(2), &reg, &answers, 2);
+        assert!(!v.mis_speculated, "hand-built plans carry no floor");
+        assert_eq!(v.candidates, vec![0]);
+    }
+
+    #[test]
+    fn filled_run_flags_only_predicted_beaters() {
+        let q = query();
+        let reg = registry(&[(A, RA, 0.9), (B, RB, 0.8)]);
+        // Plan predicted the k-th original score at 1.8; pattern 0's relaxed
+        // best was predicted at 1.5 (beats the observed 0.4), pattern 1's at
+        // 0.3 (cannot help).
+        let plan = QueryPlan::none_relaxed(2).with_predictions(
+            Some(Score::new(1.8)),
+            vec![Some(Score::new(1.5)), Some(Score::new(0.3))],
+        );
+        let answers = [ans(1, 2.0), ans(2, 0.4)];
+        let v = verify(&q, &plan, &reg, &answers, 2);
+        assert!(v.mis_speculated && !v.under_filled);
+        assert!(v.below_floor, "0.4 < 0.85·1.8 is also a reported shortfall");
+        assert_eq!(v.suspects, vec![0], "only the predicted beater");
+
+        // A k-th score above every predicted relaxed-best: clean, and above
+        // the floor diagnostic too.
+        let answers = [ans(1, 2.0), ans(2, 1.6)];
+        let v = verify(&q, &plan, &reg, &answers, 2);
+        assert!(!v.mis_speculated && !v.below_floor);
+    }
+
+    #[test]
+    fn shortfall_with_no_beater_is_not_actionable() {
+        let q = query();
+        let reg = registry(&[(A, RA, 0.9)]);
+        // Reality came in far under the predicted floor (0.2 < 0.85·1.8),
+        // but no pruned relaxation was predicted to beat the observed k-th:
+        // escalation cannot fix it, so the run is reported (below_floor)
+        // without being classified mis-speculated.
+        let plan = QueryPlan::none_relaxed(2)
+            .with_predictions(Some(Score::new(1.8)), vec![Some(Score::new(0.1)), None]);
+        let answers = [ans(1, 2.0), ans(2, 0.2)];
+        let v = verify(&q, &plan, &reg, &answers, 2);
+        assert!(v.below_floor, "the shortfall is real…");
+        assert!(
+            !v.mis_speculated && v.suspects.is_empty(),
+            "…but escalation cannot fix it"
+        );
+    }
+}

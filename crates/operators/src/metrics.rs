@@ -25,6 +25,8 @@ pub struct OpMetrics {
     sorted_accesses: Cell<u64>,
     random_accesses: Cell<u64>,
     heap_pushes: Cell<u64>,
+    fallback_stages: Cell<u64>,
+    wasted_answers: Cell<u64>,
 }
 
 /// Cheap cloneable handle to [`OpMetrics`].
@@ -85,6 +87,21 @@ impl OpMetrics {
         self.heap_pushes.set(self.heap_pushes.get() + 1);
     }
 
+    /// Records one fallback re-execution stage taken by the speculation
+    /// lifecycle (the engine escalates a mis-speculated plan and re-runs).
+    #[inline]
+    pub fn count_fallback_stage(&self) {
+        self.fallback_stages.set(self.fallback_stages.get() + 1);
+    }
+
+    /// Records `n` answer objects whose work was discarded because the run
+    /// that produced them was abandoned by a fallback stage — the price of a
+    /// wrong speculative guess, measured instead of hidden.
+    #[inline]
+    pub fn count_wasted_answers(&self, n: u64) {
+        self.wasted_answers.set(self.wasted_answers.get() + n);
+    }
+
     /// Total answer objects created — the paper's memory metric.
     pub fn answers_created(&self) -> u64 {
         self.answers_created.get()
@@ -105,12 +122,24 @@ impl OpMetrics {
         self.heap_pushes.get()
     }
 
+    /// Fallback re-execution stages taken across this run.
+    pub fn fallback_stages(&self) -> u64 {
+        self.fallback_stages.get()
+    }
+
+    /// Answer objects created by abandoned (mis-speculated) executions.
+    pub fn wasted_answers(&self) -> u64 {
+        self.wasted_answers.get()
+    }
+
     /// Resets every counter to zero.
     pub fn reset(&self) {
         self.answers_created.set(0);
         self.sorted_accesses.set(0);
         self.random_accesses.set(0);
         self.heap_pushes.set(0);
+        self.fallback_stages.set(0);
+        self.wasted_answers.set(0);
     }
 }
 
@@ -127,6 +156,7 @@ pub struct CacheMetrics {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    stale: AtomicU64,
 }
 
 /// Cheap cloneable handle to [`CacheMetrics`].
@@ -164,6 +194,14 @@ impl CacheMetrics {
         self.evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one entry dropped because it was built against an older
+    /// statistics generation (a feedback refit made it stale). Counted in
+    /// addition to the miss the same lookup reports.
+    #[inline]
+    pub fn count_stale(&self) {
+        self.stale.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total lookups (hits + misses).
     pub fn lookups(&self) -> u64 {
         self.lookups.load(Ordering::Relaxed)
@@ -187,6 +225,11 @@ impl CacheMetrics {
     /// Entries evicted.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped as generation-stale.
+    pub fn stale(&self) -> u64 {
+        self.stale.load(Ordering::Relaxed)
     }
 
     /// Hit rate in `[0, 1]`; 0 when nothing has been looked up yet.

@@ -53,12 +53,37 @@ use std::time::{Duration, Instant};
 /// Which executor a job runs through.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecMode {
-    /// Speculative planning + execution (the paper's Spec-QP).
+    /// Speculative planning + execution (the paper's Spec-QP), including
+    /// the engine's speculation lifecycle when a policy is configured.
     SpecQp,
     /// The TriniT baseline: every pattern relaxed, no planning.
     TriniT,
     /// The brute-force ground-truth executor (tests / validation).
     Naive,
+}
+
+impl ExecMode {
+    /// Every mode, in the order used by [`BatchStats::per_mode`].
+    pub const ALL: [ExecMode; 3] = [ExecMode::SpecQp, ExecMode::TriniT, ExecMode::Naive];
+
+    /// Stable index of this mode inside [`ExecMode::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            ExecMode::SpecQp => 0,
+            ExecMode::TriniT => 1,
+            ExecMode::Naive => 2,
+        }
+    }
+
+    /// Short lowercase label (`specqp` / `trinit` / `naive`) used by probe
+    /// reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::SpecQp => "specqp",
+            ExecMode::TriniT => "trinit",
+            ExecMode::Naive => "naive",
+        }
+    }
 }
 
 /// One unit of work: a query, the answer budget `k` and the executor mode.
@@ -143,8 +168,68 @@ pub struct CacheSnapshot {
     pub insertions: u64,
     /// Plans evicted by capacity pressure.
     pub evictions: u64,
+    /// Entries dropped (or refreshed) because a statistics feedback refit
+    /// bumped the catalog generation after they were planned.
+    pub stale: u64,
     /// `hits / lookups` in `[0, 1]`.
     pub hit_rate: f64,
+}
+
+/// Latency breakdown for the jobs of one [`ExecMode`] within a batch.
+#[derive(Clone, Copy, Debug)]
+pub struct ModeLatency {
+    /// The mode these numbers describe.
+    pub mode: ExecMode,
+    /// Jobs of this mode in the batch.
+    pub queries: usize,
+    /// Mean per-query latency.
+    pub mean_latency: Duration,
+    /// Median per-query latency.
+    pub p50_latency: Duration,
+    /// 95th-percentile per-query latency.
+    pub p95_latency: Duration,
+    /// Worst per-query latency.
+    pub max_latency: Duration,
+}
+
+/// Speculation-lifecycle totals over one batch, aggregated from the
+/// per-query [`specqp::RunReport`]s (all zeros under
+/// `SpeculationPolicy::Off` or when the batch held no Spec-QP jobs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpeculationTotals {
+    /// Spec-QP jobs in the batch (the runs the lifecycle applies to).
+    pub speculative_runs: u64,
+    /// Runs the verifier classified as mis-speculated.
+    pub mis_speculations: u64,
+    /// Runs that took at least one fallback re-execution.
+    pub fallback_runs: u64,
+    /// Total fallback stages across the batch.
+    pub fallback_stages: u64,
+    /// Total answer objects discarded by abandoned executions.
+    pub wasted_answers: u64,
+    /// Total time spent in the verifier.
+    pub verify: Duration,
+}
+
+impl SpeculationTotals {
+    /// `mis_speculations / speculative_runs` in `[0, 1]` (0 when the batch
+    /// held no speculative runs).
+    pub fn mis_speculation_rate(&self) -> f64 {
+        if self.speculative_runs == 0 {
+            0.0
+        } else {
+            self.mis_speculations as f64 / self.speculative_runs as f64
+        }
+    }
+
+    /// `fallback_runs / speculative_runs` in `[0, 1]`.
+    pub fn fallback_rate(&self) -> f64 {
+        if self.speculative_runs == 0 {
+            0.0
+        } else {
+            self.fallback_runs as f64 / self.speculative_runs as f64
+        }
+    }
 }
 
 /// Aggregate accounting for one batch run.
@@ -168,6 +253,11 @@ pub struct BatchStats {
     pub p99_latency: Duration,
     /// Worst per-query latency.
     pub max_latency: Duration,
+    /// Per-[`ExecMode`] latency breakdown, indexed by [`ExecMode::index`]
+    /// (`None` for modes absent from the batch).
+    pub per_mode: [Option<ModeLatency>; 3],
+    /// Speculation-lifecycle totals (mis-speculation/fallback counters).
+    pub speculation: SpeculationTotals,
     /// Plan-cache counters accumulated on the engine (lifetime totals, not
     /// per-batch deltas, when the service is reused).
     pub cache: CacheSnapshot,
@@ -264,6 +354,7 @@ impl QueryService {
             misses: m.misses(),
             insertions: m.insertions(),
             evictions: m.evictions(),
+            stale: m.stale(),
             hit_rate: m.hit_rate(),
         }
     }
@@ -324,7 +415,9 @@ impl QueryService {
                 Err(msg) => panic!("query job {i} panicked: {msg}"),
             }
         }
-        let stats = self.stats_for(&latencies, wall);
+        let mut stats = self.stats_for(&latencies, wall);
+        stats.per_mode = mode_breakdown(jobs, &latencies);
+        stats.speculation = speculation_totals(jobs, &outcomes);
         BatchReport { outcomes, stats }
     }
 
@@ -368,7 +461,8 @@ pub fn percentile(sorted: &[Duration], q: f64) -> Duration {
 
 /// Aggregates per-query latencies into a [`BatchStats`] — factored out of
 /// the service so the percentile math is unit-testable on hand-built
-/// samples.
+/// samples. The per-mode breakdown and speculation totals start empty; the
+/// batch driver fills them via [`mode_breakdown`] / [`speculation_totals`].
 pub fn batch_stats(
     latencies: &[Duration],
     wall: Duration,
@@ -397,8 +491,60 @@ pub fn batch_stats(
         p95_latency: percentile(&sorted, 0.95),
         p99_latency: percentile(&sorted, 0.99),
         max_latency: sorted.last().copied().unwrap_or(Duration::ZERO),
+        per_mode: [None; 3],
+        speculation: SpeculationTotals::default(),
         cache,
     }
+}
+
+/// Splits per-query latencies by [`ExecMode`] — the per-mode latency
+/// breakdown surfaced in [`BatchStats::per_mode`]. `jobs[i]` must correspond
+/// to `latencies[i]`.
+pub fn mode_breakdown(jobs: &[QueryJob], latencies: &[Duration]) -> [Option<ModeLatency>; 3] {
+    debug_assert_eq!(jobs.len(), latencies.len());
+    let mut buckets: [Vec<Duration>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (job, &lat) in jobs.iter().zip(latencies) {
+        buckets[job.mode.index()].push(lat);
+    }
+    let mut out = [None; 3];
+    for (mode, mut bucket) in ExecMode::ALL.into_iter().zip(buckets) {
+        if bucket.is_empty() {
+            continue;
+        }
+        let queries = bucket.len();
+        let total: Duration = bucket.iter().sum();
+        bucket.sort_unstable();
+        out[mode.index()] = Some(ModeLatency {
+            mode,
+            queries,
+            mean_latency: total / queries as u32,
+            p50_latency: percentile(&bucket, 0.50),
+            p95_latency: percentile(&bucket, 0.95),
+            max_latency: *bucket.last().expect("non-empty bucket"),
+        });
+    }
+    out
+}
+
+/// Aggregates the speculation lifecycle counters of a batch's outcomes.
+/// Only Spec-QP jobs count as speculative runs (TriniT/naive never
+/// speculate). `jobs[i]` must correspond to `outcomes[i]`.
+pub fn speculation_totals(jobs: &[QueryJob], outcomes: &[QueryOutcome]) -> SpeculationTotals {
+    debug_assert_eq!(jobs.len(), outcomes.len());
+    let mut totals = SpeculationTotals::default();
+    for (job, outcome) in jobs.iter().zip(outcomes) {
+        if job.mode != ExecMode::SpecQp {
+            continue;
+        }
+        let r = &outcome.report;
+        totals.speculative_runs += 1;
+        totals.mis_speculations += u64::from(r.mis_speculated);
+        totals.fallback_runs += u64::from(r.fallback_stages > 0);
+        totals.fallback_stages += r.fallback_stages;
+        totals.wasted_answers += r.wasted_answers;
+        totals.verify += r.verify;
+    }
+    totals
 }
 
 #[cfg(test)]
@@ -634,6 +780,93 @@ mod tests {
                 assert_eq!(a.answers, b.answers, "size {size}");
             }
         }
+    }
+
+    #[test]
+    fn mode_breakdown_splits_latencies_by_mode() {
+        let ms = Duration::from_millis;
+        let (g, _) = setup();
+        let q = parse_query("SELECT ?s WHERE { ?s <type> <big> }", g.dictionary()).unwrap();
+        let jobs = vec![
+            QueryJob::specqp(q.clone(), 5),
+            QueryJob::trinit(q.clone(), 5),
+            QueryJob::specqp(q.clone(), 5),
+            QueryJob::specqp(q, 5),
+        ];
+        let latencies = vec![ms(10), ms(100), ms(20), ms(30)];
+        let per_mode = mode_breakdown(&jobs, &latencies);
+        let spec = per_mode[ExecMode::SpecQp.index()].expect("specqp present");
+        assert_eq!(spec.queries, 3);
+        assert_eq!(spec.mean_latency, ms(20));
+        assert_eq!(spec.p50_latency, ms(20));
+        assert_eq!(spec.max_latency, ms(30));
+        let trinit = per_mode[ExecMode::TriniT.index()].expect("trinit present");
+        assert_eq!(trinit.queries, 1);
+        assert_eq!(trinit.mean_latency, ms(100));
+        assert!(per_mode[ExecMode::Naive.index()].is_none(), "no naive jobs");
+        assert_eq!(ExecMode::SpecQp.label(), "specqp");
+    }
+
+    #[test]
+    fn speculation_totals_aggregate_specqp_reports_only() {
+        let (g, _) = setup();
+        let q = parse_query("SELECT ?s WHERE { ?s <type> <big> }", g.dictionary()).unwrap();
+        let jobs = vec![QueryJob::specqp(q.clone(), 5), QueryJob::trinit(q, 5)];
+        let mk = |stages: u64, wasted: u64, mis: bool| specqp::QueryOutcome {
+            answers: Vec::new(),
+            plan: specqp::QueryPlan::all_relaxed(1),
+            report: specqp::RunReport {
+                fallback_stages: stages,
+                wasted_answers: wasted,
+                mis_speculated: mis,
+                verify: Duration::from_micros(7),
+                ..Default::default()
+            },
+        };
+        // The trinit outcome's counters must be ignored even if set.
+        let totals = speculation_totals(&jobs, &[mk(2, 40, true), mk(9, 99, true)]);
+        assert_eq!(totals.speculative_runs, 1);
+        assert_eq!(totals.mis_speculations, 1);
+        assert_eq!(totals.fallback_runs, 1);
+        assert_eq!(totals.fallback_stages, 2);
+        assert_eq!(totals.wasted_answers, 40);
+        assert_eq!(totals.verify, Duration::from_micros(7));
+        assert!((totals.mis_speculation_rate() - 1.0).abs() < 1e-12);
+        assert!((totals.fallback_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(SpeculationTotals::default().mis_speculation_rate(), 0.0);
+    }
+
+    /// End-to-end: a ForceFinal-policy service reports one fallback stage
+    /// per Spec-QP job in `BatchStats::speculation`, with the per-mode
+    /// breakdown covering every submitted mode.
+    #[test]
+    fn batch_report_surfaces_fallback_counters() {
+        use specqp::{EngineConfig, SpeculationPolicy};
+        let (g, reg) = setup();
+        let q = parse_query(
+            "SELECT ?s WHERE { ?s <type> <big> . ?s <type> <small> }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let mut cfg = ServiceConfig::with_threads(2);
+        cfg.engine = EngineConfig::default().with_speculation(SpeculationPolicy::ForceFinal);
+        let service = QueryService::new(g.clone(), reg, cfg);
+        let jobs = vec![
+            QueryJob::specqp(q.clone(), 10),
+            QueryJob::specqp(q.clone(), 10),
+            QueryJob::trinit(q, 10),
+        ];
+        let report = service.run_batch(&jobs);
+        let s = report.stats.speculation;
+        assert_eq!(s.speculative_runs, 2);
+        assert_eq!(s.fallback_stages, 2, "one forced stage per specqp job");
+        assert_eq!(s.fallback_runs, 2);
+        assert!((s.fallback_rate() - 1.0).abs() < 1e-12);
+        assert!(report.stats.per_mode[ExecMode::SpecQp.index()].is_some());
+        assert!(report.stats.per_mode[ExecMode::TriniT.index()].is_some());
+        assert!(report.stats.per_mode[ExecMode::Naive.index()].is_none());
+        // Forced-final Spec-QP answers equal the TriniT job's answers.
+        assert_eq!(report.outcomes[0].answers, report.outcomes[2].answers);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The statistics catalog: cached per-pattern [`PatternStats`].
+//! The statistics catalog: cached per-pattern [`PatternStats`] plus the
+//! speculation-outcome feedback ledger.
 //!
 //! The paper precomputes its four per-pattern values offline ("precomputed
 //! statistics about the distribution of scores", §1). The catalog plays that
@@ -6,29 +7,190 @@
 //! pattern not yet covered is computed on first use and cached. Entries are
 //! keyed by [`StatsKey`], which erases variable names, so `?x type singer`
 //! and `?y type singer` share one entry.
+//!
+//! # Speculation feedback
+//!
+//! The speculation lifecycle (core crate) reports, per pattern shape, how
+//! pruning that pattern's relaxations worked out at runtime:
+//! [`StatsCatalog::record_speculation`] with `mis_speculated = true` when a
+//! pruned pattern had to be escalated by a fallback stage, `false` when a
+//! pruned pattern survived verification. The ledger turns those verdicts
+//! into a planning bias — [`StatsCatalog::repeat_offender`] — that PLANGEN
+//! consults to relax patterns whose pruning keeps going wrong, regardless of
+//! what the (evidently miscalibrated) histogram estimate says.
+//!
+//! Every verdict that *flips* a pattern's offender bias bumps the catalog
+//! [`generation`](StatsCatalog::generation). The plan cache stamps each
+//! cached plan with the generation it was planned under and treats plans
+//! from older generations as stale, so a refit ledger can never serve a
+//! plan that pre-dates what the catalog has since learned.
 
 use crate::histogram::PatternStats;
 use kgstore::{KnowledgeGraph, PatternKey};
 use sparql::{StatsKey, TriplePattern};
 use specqp_common::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
+/// Per-pattern-shape speculation outcomes: how often pruning this pattern's
+/// relaxations was flagged as a mis-speculation vs verified clean.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpeculationOutcome {
+    /// Runs where the pruned pattern was escalated by a fallback stage (or
+    /// flagged suspect in detect-only mode).
+    pub mis_speculations: u64,
+    /// Runs where the pattern was pruned and the result verified clean.
+    pub clean_prunes: u64,
+}
+
+impl SpeculationOutcome {
+    /// `true` when the recorded evidence says pruning this pattern is a
+    /// repeat offense: strictly more mis-speculations than clean prunes.
+    pub fn repeat_offender(&self) -> bool {
+        self.mis_speculations > self.clean_prunes
+    }
+
+    /// `true` when the pattern has been probed (some verdict is on file) and
+    /// the evidence says its pruning is fine: at least as many clean
+    /// verdicts as offenses. The lifecycle suppresses re-flagging settled
+    /// patterns — without this, a shape whose true result is genuinely
+    /// smaller than `k` would re-trigger the full escalation ladder on
+    /// every run (or, in detect mode, oscillate the offender bias and bump
+    /// the catalog generation each run, continuously invalidating the plan
+    /// cache).
+    pub fn settled_clean(&self) -> bool {
+        self.mis_speculations + self.clean_prunes > 0 && self.clean_prunes >= self.mis_speculations
+    }
+}
+
 /// Cached map from pattern identity to statistics (`None` = pattern has no
-/// matches).
+/// matches), plus the speculation-feedback ledger.
 ///
-/// The cache is guarded by an `RwLock` so a catalog can be shared across
-/// query-service worker threads; concurrent misses on the same key both
+/// Both maps are guarded by `RwLock`s so a catalog can be shared across
+/// query-service worker threads; concurrent stat misses on the same key both
 /// compute and the second insert is a harmless overwrite of an identical
 /// value (computation is deterministic).
 #[derive(Default, Debug)]
 pub struct StatsCatalog {
     cache: RwLock<FxHashMap<StatsKey, Option<PatternStats>>>,
+    ledger: RwLock<FxHashMap<StatsKey, SpeculationOutcome>>,
+    generation: AtomicU64,
 }
 
 impl StatsCatalog {
     /// Creates an empty catalog.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The feedback generation: starts at 0 and increases monotonically,
+    /// once per recorded verdict that flips some pattern's
+    /// [`repeat_offender`](SpeculationOutcome::repeat_offender) bias (i.e.
+    /// once per change that can alter PLANGEN's output). Plans cached under
+    /// an older generation must be re-planned.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Records one speculation verdict for the pattern shape `key`:
+    /// `mis_speculated = true` when pruning the pattern's relaxations was a
+    /// mistake the fallback had to repair, `false` when the pruned run
+    /// verified clean. Returns `true` when the verdict flipped the pattern's
+    /// offender bias (and therefore bumped the catalog generation).
+    pub fn record_speculation(&self, key: StatsKey, mis_speculated: bool) -> bool {
+        self.record_speculations(std::iter::once((key, mis_speculated))) > 0
+    }
+
+    /// Records a whole run's verdicts under at most **one** ledger write-lock
+    /// acquisition — the engine's lifecycle reports every pruned pattern of a
+    /// query at once, so service workers contend on the lock once per query
+    /// instead of once per pattern. Returns the number of verdicts that
+    /// flipped a pattern's offender bias (each flip bumps the catalog
+    /// generation).
+    ///
+    /// Hot-path optimization: clean verdicts for patterns the ledger has
+    /// never seen are **no-ops** — the ledger tracks outcomes only for
+    /// patterns that have been part of at least one mis-speculation, so the
+    /// overwhelmingly common all-clean run touches only the shared read
+    /// lock and never serializes service workers on the write lock. (The
+    /// cost is that a pattern's *first* offense flips its bias immediately
+    /// instead of being damped by earlier unrecorded cleans; the engine's
+    /// exoneration audit flips it back if the offense proves spurious.)
+    pub fn record_speculations(&self, verdicts: impl IntoIterator<Item = (StatsKey, bool)>) -> u64 {
+        let verdicts: Vec<(StatsKey, bool)> = verdicts.into_iter().collect();
+        if verdicts.is_empty() {
+            return 0;
+        }
+        let needs_write = verdicts.iter().any(|(_, mis)| *mis) || {
+            let ledger = self.ledger.read().expect("speculation ledger poisoned");
+            verdicts.iter().any(|(key, _)| ledger.contains_key(key))
+        };
+        if !needs_write {
+            return 0;
+        }
+        self.write_verdicts(verdicts, false)
+    }
+
+    /// Records **probe** outcomes — verdicts backed by an actual paid-for
+    /// re-execution (a fallback escalation) or provenance audit. Unlike
+    /// [`record_speculations`](StatsCatalog::record_speculations), clean
+    /// verdicts are always recorded, even for never-seen patterns: a probe's
+    /// clean result is the evidence that marks a pattern
+    /// [`settled_clean`](SpeculationOutcome::settled_clean), which is what
+    /// stops the lifecycle from re-escalating a proven-futile shape forever.
+    pub fn record_probes(&self, verdicts: impl IntoIterator<Item = (StatsKey, bool)>) -> u64 {
+        self.write_verdicts(verdicts, true)
+    }
+
+    fn write_verdicts(
+        &self,
+        verdicts: impl IntoIterator<Item = (StatsKey, bool)>,
+        force_cleans: bool,
+    ) -> u64 {
+        let verdicts: Vec<(StatsKey, bool)> = verdicts.into_iter().collect();
+        if verdicts.is_empty() {
+            return 0;
+        }
+        let mut ledger = self.ledger.write().expect("speculation ledger poisoned");
+        let mut flips = 0u64;
+        for (key, mis_speculated) in verdicts {
+            if !mis_speculated && !force_cleans && !ledger.contains_key(&key) {
+                continue;
+            }
+            let entry = ledger.entry(key).or_default();
+            let was_offender = entry.repeat_offender();
+            if mis_speculated {
+                entry.mis_speculations += 1;
+            } else {
+                entry.clean_prunes += 1;
+            }
+            if entry.repeat_offender() != was_offender {
+                // Bump while still holding the ledger lock so a concurrent
+                // planner never observes the new bias under the old
+                // generation.
+                self.generation.fetch_add(1, Ordering::AcqRel);
+                flips += 1;
+            }
+        }
+        flips
+    }
+
+    /// The recorded outcomes for a pattern shape (all-zero when the ledger
+    /// has never seen it).
+    pub fn speculation_outcome(&self, key: &StatsKey) -> SpeculationOutcome {
+        self.ledger
+            .read()
+            .expect("speculation ledger poisoned")
+            .get(key)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// PLANGEN's bias query: `true` when the ledger says pruning this
+    /// pattern's relaxations keeps going wrong, so the planner should keep
+    /// them regardless of the histogram estimate.
+    pub fn repeat_offender(&self, key: &StatsKey) -> bool {
+        self.speculation_outcome(key).repeat_offender()
     }
 
     /// Number of cached entries.
@@ -174,6 +336,88 @@ mod tests {
             .stats(&g, &TriplePattern::new(Var(0), sf, Var(1)))
             .unwrap();
         assert_eq!(st2.m, 2);
+    }
+
+    #[test]
+    fn ledger_counts_and_offender_bias() {
+        let c = StatsCatalog::new();
+        let key = TriplePattern::new(Var(0), specqp_common::TermId(1), specqp_common::TermId(2))
+            .stats_key();
+        assert_eq!(c.speculation_outcome(&key), SpeculationOutcome::default());
+        assert!(!c.repeat_offender(&key));
+        assert_eq!(c.generation(), 0);
+
+        // First mis-speculation flips 0>0 → 1>0 and bumps the generation.
+        assert!(c.record_speculation(key, true));
+        assert!(c.repeat_offender(&key));
+        assert_eq!(c.generation(), 1);
+
+        // A second mis-speculation changes counts but not the bias: no bump.
+        assert!(!c.record_speculation(key, true));
+        assert_eq!(c.generation(), 1);
+        assert_eq!(
+            c.speculation_outcome(&key),
+            SpeculationOutcome {
+                mis_speculations: 2,
+                clean_prunes: 0
+            }
+        );
+
+        // Clean verdicts accumulate until they outweigh the misses; the
+        // flip back (2 > 2 is false) bumps again.
+        assert!(!c.record_speculation(key, false));
+        assert!(c.repeat_offender(&key), "2 mis > 1 clean");
+        assert!(c.record_speculation(key, false));
+        assert!(
+            !c.repeat_offender(&key),
+            "2 mis vs 2 clean is not an offender"
+        );
+        assert_eq!(c.generation(), 2);
+    }
+
+    #[test]
+    fn probe_records_cleans_for_fresh_keys_and_settles_them() {
+        let c = StatsCatalog::new();
+        let key = TriplePattern::new(Var(0), specqp_common::TermId(8), specqp_common::TermId(9))
+            .stats_key();
+        // A passive clean on a never-seen key is a no-op…
+        assert_eq!(c.record_speculations([(key, false)]), 0);
+        assert_eq!(c.speculation_outcome(&key), SpeculationOutcome::default());
+        assert!(
+            !c.speculation_outcome(&key).settled_clean(),
+            "no evidence yet"
+        );
+
+        // …but a probe's clean result always lands and settles the pattern.
+        assert_eq!(c.record_probes([(key, false)]), 0, "no bias flip");
+        let outcome = c.speculation_outcome(&key);
+        assert_eq!(outcome.clean_prunes, 1);
+        assert!(outcome.settled_clean());
+        assert_eq!(c.generation(), 0, "clean probes never bump the generation");
+
+        // Once on file, passive cleans accumulate too.
+        assert_eq!(c.record_speculations([(key, false)]), 0);
+        assert_eq!(c.speculation_outcome(&key).clean_prunes, 2);
+
+        // An offense unsettles only once it outweighs the cleans.
+        c.record_probes([(key, true), (key, true)]);
+        assert!(
+            c.speculation_outcome(&key).settled_clean(),
+            "2 mis vs 2 clean"
+        );
+        assert!(c.record_speculation(key, true), "3 > 2 flips the bias");
+        assert!(!c.speculation_outcome(&key).settled_clean());
+    }
+
+    #[test]
+    fn ledger_keys_erase_variable_names() {
+        let c = StatsCatalog::new();
+        let ty = specqp_common::TermId(3);
+        let o = specqp_common::TermId(4);
+        let a = TriplePattern::new(Var(0), ty, o).stats_key();
+        let b = TriplePattern::new(Var(9), ty, o).stats_key();
+        c.record_speculation(a, true);
+        assert!(c.repeat_offender(&b), "renamed variable shares the entry");
     }
 
     #[test]

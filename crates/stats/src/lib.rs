@@ -29,6 +29,13 @@
 //! is what the paper uses ("we have taken exact join selectivity values");
 //! [`IndependenceEstimator`] provides the classic System-R-style
 //! approximation for ablations.
+//!
+//! The catalog additionally keeps the **speculation feedback ledger**
+//! ([`SpeculationOutcome`]): per-pattern-shape mis-speculation verdicts
+//! reported back by the execution layer, which bias subsequent PLANGEN runs
+//! away from repeat offenders and bump the catalog
+//! [`generation`](StatsCatalog::generation) so stale cached plans are
+//! re-planned.
 
 pub mod cardinality;
 pub mod catalog;
@@ -38,7 +45,7 @@ pub mod order_stats;
 pub mod piecewise;
 
 pub use cardinality::{CardinalityEstimator, ExactCardinality, IndependenceEstimator};
-pub use catalog::StatsCatalog;
+pub use catalog::{SpeculationOutcome, StatsCatalog};
 pub use estimator::{refit_two_bucket, QueryEstimate, RefitMode, ScoreEstimator};
 pub use histogram::{PatternStats, TwoBucketHistogram, HEAD_FRACTION};
 pub use order_stats::expected_score_at_rank;

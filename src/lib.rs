@@ -48,6 +48,7 @@ pub mod prelude {
     pub use sparql::{parse_query, Query, QueryBuilder, TriplePattern, Var};
     pub use specqp::{
         Engine, EngineConfig, PlanCache, QueryOutcome, QueryPlan, QueryShape, RunReport,
+        SpeculationPolicy,
     };
     pub use specqp_common::{Dictionary, Score, TermId};
     pub use specqp_service::{ExecMode, QueryJob, QueryService, ServiceConfig};

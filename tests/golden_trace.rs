@@ -57,10 +57,16 @@ fn trace_outcome(out: &mut String, qi: usize, o: &QueryOutcome) {
 
 fn trace_for(mode: &str, execution: ExecutionMode) -> String {
     let ds = dataset();
+    // Speculation pinned Off: the goldens pin the *baseline* planner and
+    // executors. The lifecycle's fallback/feedback behaviour evolves plans
+    // across runs by design and has its own differential suite
+    // (tests/diff_speculation.rs).
     let engine = Engine::with_config(
         &ds.graph,
         &ds.registry,
-        EngineConfig::default().with_execution(execution),
+        EngineConfig::default()
+            .with_execution(execution)
+            .with_speculation(specqp::SpeculationPolicy::Off),
     );
     let mut out = String::new();
     let _ = writeln!(

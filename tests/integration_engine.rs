@@ -155,7 +155,14 @@ fn required_relaxations_consistent_with_plans() {
 #[test]
 fn engine_runs_are_deterministic() {
     let ds = XkgGenerator::new(XkgConfig::small(28)).generate();
-    let engine = Engine::new(&ds.graph, &ds.registry);
+    // Speculation pinned Off: repeated-run identity is a property of the
+    // baseline path. Under a feedback policy, run 1's verdicts may
+    // legitimately re-plan run 2 (that is the learning loop working).
+    let engine = specqp::Engine::with_config(
+        &ds.graph,
+        &ds.registry,
+        specqp::EngineConfig::default().with_speculation(specqp::SpeculationPolicy::Off),
+    );
     let query = &ds.workload.queries[1];
     let a = engine.run_specqp(query, 15);
     let b = engine.run_specqp(query, 15);

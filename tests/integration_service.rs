@@ -30,17 +30,26 @@ fn assert_identical_outcomes(par: &[QueryOutcome], seq: &[QueryOutcome], ctx: &s
 
 /// Builds a service and an identical-dataset *fresh* sequential reference
 /// (separate service instance so no cache state leaks between the two runs).
+///
+/// Speculation is pinned `Off`: these tests gate *executor* concurrency
+/// (parallel ≡ sequential), and the speculation feedback ledger is online
+/// learning whose plan evolution legitimately depends on the order verdicts
+/// arrive — interleaving-dependent by design. Its service-level counters are
+/// covered by `batch_report_surfaces_fallback_counters` in
+/// `crates/service/src/lib.rs`, and its correctness by
+/// `tests/diff_speculation.rs`.
 fn xkg_services(seed: u64, threads: usize) -> (QueryService, QueryService, Vec<sparql::Query>) {
     let ds = XkgGenerator::new(XkgConfig::small(seed)).generate();
     let queries = ds.workload.queries.clone();
     let graph = Arc::new(ds.graph);
     let registry = Arc::new(ds.registry);
-    let service = QueryService::new(
-        Arc::clone(&graph),
-        Arc::clone(&registry),
-        ServiceConfig::with_threads(threads),
-    );
-    let reference = QueryService::new(graph, registry, ServiceConfig::with_threads(1));
+    let pinned = |threads: usize| {
+        let mut cfg = ServiceConfig::with_threads(threads);
+        cfg.engine = cfg.engine.with_speculation(specqp::SpeculationPolicy::Off);
+        cfg
+    };
+    let service = QueryService::new(Arc::clone(&graph), Arc::clone(&registry), pinned(threads));
+    let reference = QueryService::new(graph, registry, pinned(1));
     (service, reference, queries)
 }
 
@@ -145,11 +154,11 @@ fn cache_contention_same_key_is_consistent() {
         for _ in 0..THREADS {
             scope.spawn(|| {
                 for _ in 0..ROUNDS {
-                    match cache.lookup(&shape) {
+                    match cache.lookup(&shape, 0) {
                         Some(got) => assert_eq!(got, plan, "cached plan corrupted"),
                         None => {
                             // Losing the insert race is fine; double-insert is not.
-                            let _ = cache.insert(shape.clone(), plan.clone());
+                            let _ = cache.insert(shape.clone(), plan.clone(), 0);
                         }
                     }
                 }
@@ -190,8 +199,8 @@ fn cache_contention_many_keys() {
         for _ in 0..6 {
             scope.spawn(|| {
                 for (shape, n) in shapes.iter().zip(&n_pats) {
-                    if cache.lookup(shape).is_none() {
-                        let _ = cache.insert(shape.clone(), QueryPlan::all_relaxed(*n));
+                    if cache.lookup(shape, 0).is_none() {
+                        let _ = cache.insert(shape.clone(), QueryPlan::all_relaxed(*n), 0);
                     }
                 }
             });

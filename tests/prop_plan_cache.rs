@@ -7,7 +7,7 @@ use kgstore::{KnowledgeGraph, KnowledgeGraphBuilder};
 use proptest::prelude::*;
 use relax::{Position, RelaxationRegistry, TermRule};
 use sparql::{Query, QueryBuilder};
-use specqp::{Engine, QueryShape};
+use specqp::{Engine, EngineConfig, QueryShape, SpeculationPolicy};
 use specqp_common::TermId;
 
 /// A deterministic micro-KG with relaxation rules between random classes.
@@ -75,6 +75,58 @@ fn star_query(world: &MicroWorld, class_picks: &[u8], var_name: &str) -> Option<
     }
     qb.project(x);
     qb.build().ok()
+}
+
+/// Regression (speculation feedback staleness): after a stats feedback
+/// refit bumps the catalog generation, a previously cached plan must be
+/// **re-planned**, not served stale — and the fresh plan must honour the
+/// refitted ledger.
+#[test]
+fn stats_refit_forces_replan_of_cached_shape() {
+    // Class c0 is well-populated (k=5 fills without relaxing) and carries a
+    // c0→c1 relaxation the ledger can force back in.
+    let world = micro_world(
+        (0..40).map(|e| (e, 0, 100 + u16::from(e))).collect(),
+        vec![(0, 1, 90)],
+        4,
+    );
+    let q = star_query(&world, &[0], "x").unwrap();
+    let engine = Engine::with_config(
+        &world.graph,
+        &world.registry,
+        EngineConfig::default().with_speculation(SpeculationPolicy::Off),
+    );
+    engine.warm(&q, 5);
+    let m = engine.plan_cache_metrics().clone();
+    assert_eq!(m.misses(), 1, "warm planned and cached the shape");
+    let (_, _) = engine.plan(&q, 5);
+    assert_eq!(m.hits(), 1, "cached plan served before the refit");
+    assert_eq!(m.stale(), 0);
+
+    // The refit: runtime feedback records the pattern's pruning as a repeat
+    // offense, which flips its bias and bumps the catalog generation.
+    let generation_before = engine.catalog().generation();
+    assert!(engine
+        .catalog()
+        .record_speculation(q.patterns()[0].stats_key(), true));
+    assert_eq!(engine.catalog().generation(), generation_before + 1);
+
+    // The previously cached plan is now stale: the next plan call must
+    // re-run PLANGEN (miss + stale), and the fresh plan must relax the
+    // recorded offender.
+    let (replanned, _) = engine.plan(&q, 5);
+    assert_eq!(m.hits(), 1, "stale plan must not be served");
+    assert_eq!(m.misses(), 2, "the shape was re-planned");
+    assert_eq!(m.stale(), 1, "the stale entry was detected and dropped");
+    assert!(
+        replanned.is_relaxed(0),
+        "the re-plan honours the refitted ledger: {replanned:?}"
+    );
+
+    // The refreshed entry serves normally at the new generation.
+    let (served, _) = engine.plan(&q, 5);
+    assert_eq!(m.hits(), 2);
+    assert_eq!(served, replanned);
 }
 
 proptest! {
