@@ -9,6 +9,7 @@
 //! bench_gate snapshot <current.json> [min_speedup]
 //! bench_gate block <current.json> [min_speedup]
 //! bench_gate quality <current.json> [min_precision] [max_overhead]
+//! bench_gate overload <baseline.json> <current.json> [tolerance]
 //! ```
 //!
 //! * `regression` compares `planning_us` / `execution_us` (Spec-QP executor)
@@ -31,6 +32,13 @@
 //!   at a total-runtime overhead of at most `max_overhead` (default 1.25×)
 //!   versus speculation off — quality recovered cheaply, not bought with a
 //!   TriniT-priced rerun of everything.
+//! * `overload` asserts the `server` object (emitted under `probe --server`,
+//!   which offers the workload open-loop at 2× the measured saturation rate)
+//!   shows admission control doing its job: some requests accepted, some
+//!   shed with `RetryAfter`, zero protocol/internal errors, and the p99
+//!   latency of *accepted* requests held to the committed baseline (same
+//!   tolerance discipline as `regression`) — overload must degrade into
+//!   explicit rejection, never into unbounded queueing.
 //!
 //! The workspace is dependency-free, so instead of a JSON library this uses
 //! a small field scanner that understands exactly the shape `probe` emits.
@@ -331,6 +339,58 @@ fn quality_gate(path: &str, min_precision: f64, max_overhead: f64) -> i32 {
     }
 }
 
+fn overload_gate(baseline_path: &str, current_path: &str, tol: f64) -> i32 {
+    let baseline = read(baseline_path);
+    let current = read(current_path);
+    let offered = require_num(&current, "server", "offered", current_path);
+    let accepted = require_num(&current, "server", "accepted", current_path);
+    let shed = require_num(&current, "server", "shed_retry_after", current_path);
+    let other = require_num(&current, "server", "other_errors", current_path);
+    let p99 = require_num(&current, "server", "p99_accepted_us", current_path);
+    println!(
+        "overload: offered {offered:.0} at 2x saturation -> accepted {accepted:.0}, \
+         shed(RetryAfter) {shed:.0}, other errors {other:.0}, accepted p99 {p99:.0}us"
+    );
+    let mut failures = Vec::new();
+    if accepted < 1.0 {
+        failures.push("no requests accepted under overload".to_string());
+    }
+    if shed < 1.0 {
+        failures.push(
+            "2x saturation shed nothing — admission control is queueing unboundedly".to_string(),
+        );
+    }
+    if other > 0.0 {
+        failures.push(format!(
+            "{other:.0} protocol/internal errors under overload"
+        ));
+    }
+    // The latency bound only gates when the baseline carries a server object
+    // (older baselines predate the wire front-end).
+    match object_slice(&baseline, "server").and_then(|s| num_field(s, "p99_accepted_us")) {
+        Some(base) => {
+            let limit = base * tol + LATENCY_SLACK_US;
+            let ok = p99 <= limit;
+            println!(
+                "server.p99_accepted_us: baseline {base:.0}us, current {p99:.0}us, \
+                 limit {limit:.0}us -> {}",
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            if !ok {
+                failures.push(format!("p99_accepted_us {p99:.0}us > {limit:.0}us"));
+            }
+        }
+        None => println!("server.p99_accepted_us: absent in baseline, latency bound skipped"),
+    }
+    if failures.is_empty() {
+        println!("bench_gate overload: ok (tolerance {tol}x)");
+        0
+    } else {
+        eprintln!("bench_gate overload FAILED: {}", failures.join("; "));
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || -> ! {
@@ -339,7 +399,8 @@ fn main() {
              \x20      bench_gate determinism <a.json> <b.json>\n\
              \x20      bench_gate snapshot <current.json> [min_speedup]\n\
              \x20      bench_gate block <current.json> [min_speedup]\n\
-             \x20      bench_gate quality <current.json> [min_precision] [max_overhead]"
+             \x20      bench_gate quality <current.json> [min_precision] [max_overhead]\n\
+             \x20      bench_gate overload <baseline.json> <current.json> [tolerance]"
         );
         exit(2);
     };
@@ -377,6 +438,13 @@ fn main() {
                 .unwrap_or(1.25);
             quality_gate(&args[1], min_precision, max_overhead)
         }
+        Some("overload") if args.len() >= 3 => {
+            let tol = args
+                .get(3)
+                .map(|s| s.parse::<f64>().unwrap_or_else(|_| usage()))
+                .unwrap_or(3.0);
+            overload_gate(&args[1], &args[2], tol)
+        }
         _ => usage(),
     };
     exit(code);
@@ -400,7 +468,8 @@ mod tests {
   "snapshot": {"triples":10,"bytes":123,"load_us":100,"tsv_load_us":900,"speedup":9.000,"from_snapshot":false},
   "block": {"block_size":256,"queries":18,"k":10,"row_execution_us":9000,"block_execution_us":4000,"speedup":2.250,"answers_match":true},
   "speculation": {"policy":"fallback:3","queries":18,"k":10,"mis_speculation_rate":0.1111,"fallback_rate":0.0556,"fallback_stages":2,"wasted_answers":120,"precision_fallback":0.9815,"precision_off":0.9259,"off_total_us":5000,"fallback_total_us":5600,"overhead":1.120},
-  "service": {"threads":4,"queries_per_sec":730.059,"cache":{"hits":37}}
+  "service": {"threads":4,"queries_per_sec":730.059,"cache":{"hits":37}},
+  "server": {"threads":4,"offered":400,"rate_per_sec":8000.0,"saturation_per_sec":4000.0,"accepted":231,"shed_retry_after":169,"shed_deadline":0,"other_errors":0,"p50_accepted_us":812,"p99_accepted_us":3420,"mean_accepted_us":990,"max_accepted_us":5100,"wall_us":61000,"connections":1,"quota_rejected":0,"protocol_errors":0}
 }"#;
 
     #[test]
@@ -445,6 +514,22 @@ mod tests {
         // The sample passes the default gate thresholds.
         assert!(num_field(spec, "precision_fallback").unwrap() >= 0.95);
         assert!(num_field(spec, "overhead").unwrap() <= 1.25);
+    }
+
+    #[test]
+    fn server_object_fields_readable_and_sample_passes_gate() {
+        let server = object_slice(SAMPLE, "server").unwrap();
+        assert_eq!(num_field(server, "accepted"), Some(231.0));
+        assert_eq!(num_field(server, "shed_retry_after"), Some(169.0));
+        assert_eq!(num_field(server, "other_errors"), Some(0.0));
+        assert_eq!(num_field(server, "p99_accepted_us"), Some(3420.0));
+        // The sample passes the gate's structural requirements against
+        // itself as baseline: accepted ≥ 1, shed ≥ 1, zero errors, and
+        // p99 ≤ p99 × tol + slack trivially.
+        assert!(num_field(server, "accepted").unwrap() >= 1.0);
+        assert!(num_field(server, "shed_retry_after").unwrap() >= 1.0);
+        let p99 = num_field(server, "p99_accepted_us").unwrap();
+        assert!(p99 <= p99 * 3.0 + LATENCY_SLACK_US);
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //! and plan-cache hit rates — landing in the JSON report as a `service`
 //! object so BENCH artifacts track serving throughput over time.
 //!
+//! With `--server` the probe additionally binds a loopback wire server over
+//! the same service and drives the workload *open-loop* (Poisson arrivals)
+//! at 2× the measured saturation rate — the regime where admission control
+//! must shed with `RetryAfter` instead of queueing unboundedly. Accepted /
+//! shed counts and accepted-latency percentiles land in the JSON report as
+//! a `server` object; `bench_gate overload` holds them to the committed
+//! baseline.
+//!
 //! With `--json`, the report also carries a `block` object comparing the
 //! vectorized block executor against the row-at-a-time reference over the
 //! whole workload (`--block-size N` overrides the default block size; the
@@ -72,6 +80,13 @@ fn main() {
     let quality = raw
         .iter()
         .position(|a| a == "--quality")
+        .map(|i| {
+            raw.remove(i);
+        })
+        .is_some();
+    let server_probe = raw
+        .iter()
+        .position(|a| a == "--server")
         .map(|i| {
             raw.remove(i);
         })
@@ -428,17 +443,31 @@ fn main() {
         );
     }
 
-    // Optional serving-throughput probe: the whole workload, cycled ×3 so
-    // repeated shapes hit the plan cache, through an N-thread service.
-    // This consumes the dataset's graph/registry (moved into Arcs), so it
-    // runs after every borrowed diagnostic above.
+    // Optional serving probes: the closed-loop batch probe (`--service N`)
+    // and the open-loop wire probe (`--server`) share one service so the
+    // plan cache stays warm across both. This consumes the dataset's
+    // graph/registry (moved into Arcs), so it runs after every borrowed
+    // diagnostic above.
     let summary = ds.summary();
     let mut service_json = String::new();
-    if let Some(threads) = service_threads {
+    let mut server_json = String::new();
+    if service_threads.is_some() || server_probe {
+        let threads = service_threads.unwrap_or(2);
+        let queries = ds.workload.queries.clone();
+        // Rendered query texts for the wire driver (display → reparse is
+        // stable; pinned by the parser's roundtrip test).
+        let query_texts: Vec<String> = queries
+            .iter()
+            .map(|q| q.display(ds.graph.dictionary()).to_string())
+            .collect();
+        let service = Arc::new(QueryService::new(
+            Arc::new(ds.graph),
+            Arc::new(ds.registry),
+            ServiceConfig::with_threads(threads),
+        ));
         // Two Spec-QP passes plus one TriniT pass over the workload: the
         // repeated Spec-QP shapes exercise the plan cache, and the mixed
         // modes exercise the per-mode latency breakdown in BatchStats.
-        let queries = ds.workload.queries.clone();
         let jobs: Vec<QueryJob> = queries
             .iter()
             .cycle()
@@ -446,50 +475,46 @@ fn main() {
             .map(|q| QueryJob::specqp(q.clone(), k))
             .chain(queries.iter().map(|q| QueryJob::trinit(q.clone(), k)))
             .collect();
-        let service = QueryService::new(
-            Arc::new(ds.graph),
-            Arc::new(ds.registry),
-            ServiceConfig::with_threads(threads),
-        );
         let report = service.run_batch(&jobs);
         let s = &report.stats;
-        println!(
-            "service: {} queries / {} threads -> {:.1} q/s (mean {:?}, p95 {:?}); \
+        if service_threads.is_some() {
+            println!(
+                "service: {} queries / {} threads -> {:.1} q/s (mean {:?}, p95 {:?}); \
              plan cache: {} hits / {} lookups ({:.0}% hit rate, {} evictions, {} stale); \
              speculation: {} mis / {} fallback runs, {} stages",
-            s.queries,
-            s.threads,
-            s.queries_per_sec,
-            s.mean_latency,
-            s.p95_latency,
-            s.cache.hits,
-            s.cache.lookups,
-            s.cache.hit_rate * 100.0,
-            s.cache.evictions,
-            s.cache.stale,
-            s.speculation.mis_speculations,
-            s.speculation.fallback_runs,
-            s.speculation.fallback_stages,
-        );
-        let modes_json = ExecMode::ALL
-            .iter()
-            .filter_map(|m| s.per_mode[m.index()].as_ref())
-            .map(|m| {
-                format!(
-                    "\"{}\":{{\"queries\":{},\"mean_latency_us\":{},\"p50_latency_us\":{},\
+                s.queries,
+                s.threads,
+                s.queries_per_sec,
+                s.mean_latency,
+                s.p95_latency,
+                s.cache.hits,
+                s.cache.lookups,
+                s.cache.hit_rate * 100.0,
+                s.cache.evictions,
+                s.cache.stale,
+                s.speculation.mis_speculations,
+                s.speculation.fallback_runs,
+                s.speculation.fallback_stages,
+            );
+            let modes_json = ExecMode::ALL
+                .iter()
+                .filter_map(|m| s.per_mode[m.index()].as_ref())
+                .map(|m| {
+                    format!(
+                        "\"{}\":{{\"queries\":{},\"mean_latency_us\":{},\"p50_latency_us\":{},\
                      \"p95_latency_us\":{},\"max_latency_us\":{}}}",
-                    m.mode.label(),
-                    m.queries,
-                    m.mean_latency.as_micros(),
-                    m.p50_latency.as_micros(),
-                    m.p95_latency.as_micros(),
-                    m.max_latency.as_micros(),
-                )
-            })
-            .collect::<Vec<_>>()
-            .join(",");
-        service_json = format!(
-            ",\n  \"service\": {{\"threads\":{},\"queries\":{},\"queries_per_sec\":{:.3},\
+                        m.mode.label(),
+                        m.queries,
+                        m.mean_latency.as_micros(),
+                        m.p50_latency.as_micros(),
+                        m.p95_latency.as_micros(),
+                        m.max_latency.as_micros(),
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            service_json = format!(
+                ",\n  \"service\": {{\"threads\":{},\"queries\":{},\"queries_per_sec\":{:.3},\
              \"wall_us\":{},\"mean_latency_us\":{},\"p50_latency_us\":{},\
              \"p95_latency_us\":{},\"p99_latency_us\":{},\"max_latency_us\":{},\
              \"modes\":{{{modes_json}}},\
@@ -499,29 +524,93 @@ fn main() {
              \"cache\":{{\"lookups\":{},\
              \"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\"stale\":{},\
              \"hit_rate\":{:.4}}}}}",
-            s.threads,
-            s.queries,
-            s.queries_per_sec,
-            s.wall.as_micros(),
-            s.mean_latency.as_micros(),
-            s.p50_latency.as_micros(),
-            s.p95_latency.as_micros(),
-            s.p99_latency.as_micros(),
-            s.max_latency.as_micros(),
-            s.speculation.speculative_runs,
-            s.speculation.mis_speculations,
-            s.speculation.fallback_runs,
-            s.speculation.fallback_stages,
-            s.speculation.wasted_answers,
-            s.speculation.verify.as_micros(),
-            s.cache.lookups,
-            s.cache.hits,
-            s.cache.misses,
-            s.cache.insertions,
-            s.cache.evictions,
-            s.cache.stale,
-            s.cache.hit_rate,
-        );
+                s.threads,
+                s.queries,
+                s.queries_per_sec,
+                s.wall.as_micros(),
+                s.mean_latency.as_micros(),
+                s.p50_latency.as_micros(),
+                s.p95_latency.as_micros(),
+                s.p99_latency.as_micros(),
+                s.max_latency.as_micros(),
+                s.speculation.speculative_runs,
+                s.speculation.mis_speculations,
+                s.speculation.fallback_runs,
+                s.speculation.fallback_stages,
+                s.speculation.wasted_answers,
+                s.speculation.verify.as_micros(),
+                s.cache.lookups,
+                s.cache.hits,
+                s.cache.misses,
+                s.cache.insertions,
+                s.cache.evictions,
+                s.cache.stale,
+                s.cache.hit_rate,
+            );
+        }
+
+        // Open-loop wire probe (`--server`): bind a loopback server over the
+        // same (now warm) service and offer the workload at 2× the measured
+        // saturation rate — the regime where admission control must shed
+        // with RetryAfter instead of queueing unboundedly. The closed-loop
+        // batch above doubles as the saturation measurement: `threads`
+        // workers each busy `mean_latency` per query saturate near
+        // threads / mean_latency.
+        if server_probe {
+            use bench::openloop::{drive, OpenLoopConfig};
+            use specqp_server::{Server, ServerConfig};
+            let mean_us = s.mean_latency.as_micros().max(1) as f64;
+            let saturation_per_sec = threads as f64 * 1_000_000.0 / mean_us;
+            let rate_per_sec = 2.0 * saturation_per_sec;
+            let server = Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default())
+                .unwrap_or_else(|e| {
+                    eprintln!("failed to bind loopback server: {e}");
+                    std::process::exit(1);
+                });
+            let mut config = OpenLoopConfig::new(rate_per_sec, 400);
+            config.k = k as u32;
+            let wire = drive(server.local_addr(), &query_texts, &config).unwrap_or_else(|e| {
+                eprintln!("open-loop drive failed: {e}");
+                std::process::exit(1);
+            });
+            let counters = server.stats();
+            server.shutdown();
+            println!(
+                "server: offered {} at {rate_per_sec:.0}/s (2x saturation {saturation_per_sec:.0}/s) \
+                 -> {} accepted, {} retry-after, {} deadline, {} other; \
+                 accepted p50 {:?} p99 {:?} max {:?}",
+                wire.offered,
+                wire.accepted,
+                wire.shed_retry_after,
+                wire.shed_deadline,
+                wire.other_errors,
+                wire.p50_accepted,
+                wire.p99_accepted,
+                wire.max_accepted,
+            );
+            server_json = format!(
+                ",\n  \"server\": {{\"threads\":{threads},\"offered\":{},\
+                 \"rate_per_sec\":{rate_per_sec:.1},\
+                 \"saturation_per_sec\":{saturation_per_sec:.1},\
+                 \"accepted\":{},\"shed_retry_after\":{},\"shed_deadline\":{},\
+                 \"other_errors\":{},\"p50_accepted_us\":{},\"p99_accepted_us\":{},\
+                 \"mean_accepted_us\":{},\"max_accepted_us\":{},\"wall_us\":{},\
+                 \"connections\":{},\"quota_rejected\":{},\"protocol_errors\":{}}}",
+                wire.offered,
+                wire.accepted,
+                wire.shed_retry_after,
+                wire.shed_deadline,
+                wire.other_errors,
+                wire.p50_accepted.as_micros(),
+                wire.p99_accepted.as_micros(),
+                wire.mean_accepted.as_micros(),
+                wire.max_accepted.as_micros(),
+                wire.wall.as_micros(),
+                counters.connections,
+                counters.quota_rejected,
+                counters.protocol_errors,
+            );
+        }
     }
 
     if let Some(path) = json_path {
@@ -560,7 +649,7 @@ fn main() {
              \"k\": {k},\n  \"plan_singletons\": {:?},\n  \"required\": {:?},\n  \
              \"prediction_exact\": {exact},\n  \"prediction_covers\": {covers},\n  \
              \"specqp\": {},\n  \"trinit\": \
-             {}{snapshot_json}{block_json}{speculation_json}{service_json}\n}}\n",
+             {}{snapshot_json}{block_json}{speculation_json}{service_json}{server_json}\n}}\n",
             json_escape(&ds.name),
             json_escape(&summary),
             spec.plan.singletons(),

@@ -1,0 +1,281 @@
+//! Open-loop workload driver for the wire front-end.
+//!
+//! Closed-loop harnesses (like [`crate::harness`]) wait for each response
+//! before issuing the next query, so offered load can never exceed service
+//! capacity and overload behavior goes untested. This driver is the
+//! opposite: requests are issued on a fixed *Poisson arrival schedule*
+//! (exponential inter-arrival gaps from a seeded generator) regardless of
+//! how the server is coping, which is exactly the regime where admission
+//! control, shedding and `RetryAfter` semantics matter.
+//!
+//! The driver is split-threaded over one connection: the sender paces the
+//! schedule, the receiver drains responses and classifies them
+//! (accepted / shed-with-`RetryAfter` / deadline-expired), measuring
+//! client-observed latency per accepted request. `probe --server` uses it
+//! at 2× the measured saturation rate and `bench_gate overload` holds the
+//! resulting accepted-p99 and shed counts to the committed baseline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use specqp_server::{ErrorCode, SpecQpClient, WireResponse};
+use specqp_service::{percentile, ExecMode};
+use std::collections::HashMap;
+use std::net::ToSocketAddrs;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Open-loop run parameters.
+#[derive(Clone, Debug)]
+pub struct OpenLoopConfig {
+    /// Target offered load (Poisson arrival rate), requests per second.
+    pub rate_per_sec: f64,
+    /// Total requests to offer.
+    pub requests: usize,
+    /// Seed for the arrival schedule (same seed → same schedule).
+    pub seed: u64,
+    /// Top-k budget on every request.
+    pub k: u32,
+    /// Per-request deadline budget in ms (0 = none).
+    pub deadline_ms: u32,
+    /// Client id presented for quota accounting.
+    pub client_id: u64,
+}
+
+impl OpenLoopConfig {
+    /// `requests` arrivals at `rate_per_sec`, defaults elsewhere.
+    pub fn new(rate_per_sec: f64, requests: usize) -> Self {
+        OpenLoopConfig {
+            rate_per_sec,
+            requests,
+            seed: 0x0bea_100b,
+            k: 10,
+            deadline_ms: 0,
+            client_id: 1,
+        }
+    }
+}
+
+/// What came back from one open-loop run.
+#[derive(Clone, Debug)]
+pub struct OpenLoopReport {
+    /// Requests offered (sent on schedule).
+    pub offered: usize,
+    /// Requests that executed and returned answers.
+    pub accepted: usize,
+    /// Requests shed by admission control (`RetryAfter`: full queue or
+    /// quota).
+    pub shed_retry_after: usize,
+    /// Requests shed for deadline expiry while queued.
+    pub shed_deadline: usize,
+    /// Any other error responses (protocol/internal — should be zero).
+    pub other_errors: usize,
+    /// Client-observed latency percentiles over *accepted* requests only.
+    pub p50_accepted: Duration,
+    /// 99th percentile of accepted-request latency.
+    pub p99_accepted: Duration,
+    /// Mean accepted-request latency.
+    pub mean_accepted: Duration,
+    /// Worst accepted-request latency.
+    pub max_accepted: Duration,
+    /// Wall-clock time of the whole run (schedule + drain).
+    pub wall: Duration,
+}
+
+impl OpenLoopReport {
+    /// Total shed requests (admission + deadline).
+    pub fn shed_total(&self) -> usize {
+        self.shed_retry_after + self.shed_deadline
+    }
+}
+
+/// Precomputes the Poisson arrival offsets: the cumulative sum of
+/// exponential gaps with mean `1/rate`. Deterministic per seed.
+pub fn poisson_schedule(rate_per_sec: f64, requests: usize, seed: u64) -> Vec<Duration> {
+    assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut at = 0.0f64;
+    (0..requests)
+        .map(|_| {
+            // Inverse-CDF sample; u ∈ [0, 1) so 1 − u ∈ (0, 1] never ln(0).
+            let u: f64 = rng.gen();
+            at += -(1.0 - u).ln() / rate_per_sec;
+            Duration::from_secs_f64(at)
+        })
+        .collect()
+}
+
+/// Drives `config.requests` queries (round-robin over `queries`) at the
+/// configured Poisson rate against a wire server and classifies every
+/// response. Blocks until all responses arrive.
+pub fn drive(
+    addr: impl ToSocketAddrs,
+    queries: &[String],
+    config: &OpenLoopConfig,
+) -> std::io::Result<OpenLoopReport> {
+    assert!(
+        !queries.is_empty(),
+        "open-loop driver needs at least one query"
+    );
+    let mut sender = SpecQpClient::connect(addr)?;
+    let mut receiver = sender.try_clone()?;
+    // Belt-and-braces: a wedged server must fail the gate, not hang CI.
+    receiver.set_read_timeout(Some(Duration::from_secs(60)))?;
+
+    let sent_at: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let expected = config.requests;
+    let rx_times = Arc::clone(&sent_at);
+    let rx_thread = std::thread::spawn(move || {
+        let mut accepted_lat: Vec<Duration> = Vec::new();
+        let (mut accepted, mut retry, mut deadline, mut other) = (0usize, 0usize, 0usize, 0usize);
+        for _ in 0..expected {
+            let reply = match receiver.recv() {
+                Ok(r) => r,
+                Err(_) => {
+                    other += 1;
+                    continue;
+                }
+            };
+            let now = Instant::now();
+            let sent = rx_times
+                .lock()
+                .expect("send-time map poisoned")
+                .remove(&reply.request_id());
+            match reply {
+                WireResponse::Answers { .. } => {
+                    accepted += 1;
+                    if let Some(t0) = sent {
+                        accepted_lat.push(now.duration_since(t0));
+                    }
+                }
+                WireResponse::Error { code, .. } => match code {
+                    ErrorCode::RetryAfter => retry += 1,
+                    ErrorCode::DeadlineExceeded => deadline += 1,
+                    _ => other += 1,
+                },
+            }
+        }
+        (accepted_lat, accepted, retry, deadline, other)
+    });
+
+    let t0 = Instant::now();
+    let schedule = poisson_schedule(config.rate_per_sec, config.requests, config.seed);
+    for (i, due) in schedule.iter().enumerate() {
+        if let Some(wait) = due.checked_sub(t0.elapsed()) {
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+        }
+        let query = &queries[i % queries.len()];
+        let id = {
+            // Record before sending so the response can never race the map.
+            let now = Instant::now();
+            let id = sender.send(
+                query,
+                ExecMode::SpecQp,
+                config.k,
+                config.deadline_ms,
+                config.client_id,
+            );
+            match id {
+                Ok(id) => {
+                    sent_at
+                        .lock()
+                        .expect("send-time map poisoned")
+                        .insert(id, now);
+                    id
+                }
+                Err(e) => {
+                    return Err(std::io::Error::other(format!(
+                        "send failed at request {i}: {e}"
+                    )));
+                }
+            }
+        };
+        let _ = id;
+    }
+
+    let (mut accepted_lat, accepted, retry, deadline, other) =
+        rx_thread.join().expect("receiver thread panicked");
+    let wall = t0.elapsed();
+    accepted_lat.sort_unstable();
+    let mean = if accepted_lat.is_empty() {
+        Duration::ZERO
+    } else {
+        accepted_lat.iter().sum::<Duration>() / accepted_lat.len() as u32
+    };
+    Ok(OpenLoopReport {
+        offered: config.requests,
+        accepted,
+        shed_retry_after: retry,
+        shed_deadline: deadline,
+        other_errors: other,
+        p50_accepted: percentile(&accepted_lat, 0.50),
+        p99_accepted: percentile(&accepted_lat, 0.99),
+        mean_accepted: mean,
+        max_accepted: accepted_lat.last().copied().unwrap_or(Duration::ZERO),
+        wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgstore::KnowledgeGraphBuilder;
+    use relax::RelaxationRegistry;
+    use specqp_server::{Server, ServerConfig};
+    use specqp_service::{QueryService, ServiceConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn poisson_schedule_is_seed_deterministic_with_mean_gap() {
+        let a = poisson_schedule(100.0, 500, 42);
+        let b = poisson_schedule(100.0, 500, 42);
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = poisson_schedule(100.0, 500, 43);
+        assert_ne!(a, c, "different seed, different schedule");
+        // Monotone arrivals; mean gap within 3σ of 1/rate (σ = 1/(rate√n)).
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        let mean_gap = a.last().unwrap().as_secs_f64() / 500.0;
+        assert!(
+            (mean_gap - 0.01).abs() < 3.0 * 0.01 / (500.0f64).sqrt(),
+            "mean gap {mean_gap} too far from 10ms"
+        );
+    }
+
+    /// End-to-end: an open-loop burst against a deliberately tiny service
+    /// classifies every offered request, sheds some with RetryAfter, and
+    /// still gets accepted work through.
+    #[test]
+    fn overloaded_run_sheds_and_accounts_for_every_request() {
+        let mut b = KnowledgeGraphBuilder::new();
+        for i in 0..50 {
+            b.add(&format!("e{i}"), "type", "thing", 50.0 / (i + 1) as f64);
+        }
+        let service = Arc::new(QueryService::new(
+            Arc::new(b.build()),
+            Arc::new(RelaxationRegistry::new()),
+            ServiceConfig::with_threads(1).with_queue_depth(2),
+        ));
+        let server =
+            Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let queries = vec!["SELECT ?s WHERE { ?s <type> <thing> }".to_string()];
+        // An effectively-infinite rate: all 120 arrivals due immediately.
+        let config = OpenLoopConfig::new(1e9, 120);
+        let report = drive(server.local_addr(), &queries, &config).unwrap();
+        assert_eq!(report.offered, 120);
+        assert_eq!(
+            report.accepted + report.shed_total() + report.other_errors,
+            120,
+            "every request classified exactly once"
+        );
+        assert!(report.accepted >= 1, "some work gets through");
+        assert!(
+            report.shed_retry_after >= 1,
+            "a 2-deep queue under a 120-burst sheds"
+        );
+        assert_eq!(report.other_errors, 0, "no protocol/internal errors");
+        assert!(report.p50_accepted <= report.p99_accepted);
+        assert!(report.p99_accepted <= report.max_accepted);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,387 @@
+//! The TCP front-end: acceptor, per-connection reader/writer threads, and
+//! the admission pipeline (frame → decode → quota → parse → `try_submit`).
+//!
+//! Every connection gets two threads. The *reader* decodes frames and runs
+//! admission control; accepted requests go through
+//! [`QueryService::try_submit`] (never the blocking `submit` — a full
+//! execution queue must become an explicit `RetryAfter` wire error, not a
+//! stalled connection). The *writer* drains a per-connection channel in
+//! submission order, waiting on each [`Ticket`] and encoding the response,
+//! so responses arrive in request order per connection while the execution
+//! pool reorders freely across connections.
+//!
+//! Rejections happen at the cheapest possible layer: frame errors before
+//! decode, quota before query parsing, queue admission before execution,
+//! and deadline shedding inside the service before the executor runs.
+
+use crate::protocol::{
+    decode_request, encode_answers, encode_error, encode_request, read_frame, write_frame,
+    ErrorCode, WireAnswer, WireError, WireRequest,
+};
+use crate::quota::{QuotaConfig, QuotaRegistry};
+use specqp_service::{ExecMode, QueryService, Request, ServiceError, ServiceStats, Ticket};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tunables.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerConfig {
+    /// Per-client token-bucket quota; `None` admits every client (the
+    /// execution queue is then the only backpressure).
+    pub quota: Option<QuotaConfig>,
+}
+
+impl ServerConfig {
+    /// Config enforcing `quota` per client id.
+    pub fn with_quota(quota: QuotaConfig) -> Self {
+        ServerConfig { quota: Some(quota) }
+    }
+}
+
+/// Monotone counters for the server-side rejection layers (the service
+/// counts its own queue/deadline sheds — see
+/// [`QueryService::lifetime_stats`]).
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    quota_rejected: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// Snapshot of the server's rejection counters plus the underlying
+/// service's lifetime stats — everything the probe needs to report
+/// accepted/shed behavior under load.
+#[derive(Clone, Debug)]
+pub struct ServerStats {
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Requests refused by per-client quota (`RetryAfter` sent).
+    pub quota_rejected: u64,
+    /// Frames that failed to decode or validate (`Protocol` sent).
+    pub protocol_errors: u64,
+    /// The shared service's cumulative counters (submitted, completed,
+    /// queue-full rejections, deadline sheds, per-mode latency).
+    pub service: ServiceStats,
+}
+
+#[derive(Debug)]
+struct Shared {
+    service: Arc<QueryService>,
+    quotas: QuotaRegistry,
+    counters: Counters,
+    stopping: AtomicBool,
+    /// Write halves of live connections, kept so shutdown can unblock their
+    /// reader threads.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A running Spec-QP wire server bound to a local TCP address.
+///
+/// The server borrows the service through an `Arc` and never shuts it down:
+/// the caller owns the service lifecycle (several servers — or a server and
+/// in-process batch drivers — can share one warm engine).
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop.
+    pub fn bind(
+        service: Arc<QueryService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            quotas: QuotaRegistry::new(config.quota),
+            counters: Counters::default(),
+            stopping: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("specqp-acceptor".into())
+                .spawn(move || accept_loop(listener, shared))
+                .expect("spawn acceptor")
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Mutex::new(Some(acceptor)),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports for clients/tests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current rejection counters plus the service's lifetime stats.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.shared.counters.connections.load(Ordering::Relaxed),
+            quota_rejected: self.shared.counters.quota_rejected.load(Ordering::Relaxed),
+            protocol_errors: self.shared.counters.protocol_errors.load(Ordering::Relaxed),
+            service: self.shared.service.lifetime_stats(),
+        }
+    }
+
+    /// Stops accepting, unblocks every connection and joins the acceptor.
+    /// Idempotent; also runs on drop. In-flight requests already admitted
+    /// to the service still execute (their connections close, so responses
+    /// are discarded — the service-side drain contract is tested at the
+    /// service layer).
+    pub fn shutdown(&self) {
+        if self.shared.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.acceptor.lock().expect("acceptor poisoned").take() {
+            let _ = handle.join();
+        }
+        for conn in self
+            .shared
+            .conns
+            .lock()
+            .expect("conn list poisoned")
+            .drain(..)
+        {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conn list poisoned").push(clone);
+        }
+        let shared = Arc::clone(&shared);
+        let _ = std::thread::Builder::new()
+            .name("specqp-conn".into())
+            .spawn(move || handle_connection(stream, shared));
+    }
+}
+
+/// What the reader hands the writer, in submission order.
+enum Outgoing {
+    /// A pre-encoded frame (rejections) — written immediately.
+    Ready(Vec<u8>),
+    /// An admitted request: the writer waits on the ticket, then encodes.
+    Pending(u64, Ticket),
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<Outgoing>();
+    let writer = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("specqp-conn-writer".into())
+            .spawn(move || writer_loop(write_half, rx, shared))
+            .expect("spawn connection writer")
+    };
+    reader_loop(stream, &shared, &tx);
+    // Reader done (EOF, error or shutdown): close the channel so the writer
+    // finishes the backlog and exits.
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn reader_loop(stream: TcpStream, shared: &Shared, tx: &mpsc::Sender<Outgoing>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(WireError::Eof) | Err(WireError::Io(_)) => return,
+            Err(e @ WireError::TooLarge(_)) | Err(e @ WireError::Malformed(_)) => {
+                // The stream is still framed (oversized payloads are
+                // drained); report and keep serving the connection.
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let frame = encode_error(0, ErrorCode::Protocol, 0, &e.to_string());
+                if tx.send(Outgoing::Ready(frame)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let out = admit(shared, &payload);
+        if tx.send(out).is_err() {
+            return;
+        }
+    }
+}
+
+/// The admission pipeline for one decoded frame: each rejection layer is
+/// strictly cheaper than the next stage it guards.
+fn admit(shared: &Shared, payload: &[u8]) -> Outgoing {
+    let reject = |id: u64, code: ErrorCode, retry_ms: u32, msg: &str| {
+        Outgoing::Ready(encode_error(id, code, retry_ms, msg))
+    };
+    let wire = match decode_request(payload) {
+        Ok(w) => w,
+        Err(e) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return reject(0, ErrorCode::Protocol, 0, &e.to_string());
+        }
+    };
+    let id = wire.request_id;
+    let Some(mode) = ExecMode::from_index(wire.mode as usize) else {
+        shared
+            .counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        return reject(
+            id,
+            ErrorCode::Protocol,
+            0,
+            &format!("unknown mode byte {}", wire.mode),
+        );
+    };
+    if wire.k == 0 {
+        shared
+            .counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        return reject(id, ErrorCode::Protocol, 0, "k must be >= 1");
+    }
+    // Quota before parsing: a throttled client must not spend parse cycles.
+    if let Err(wait) = shared.quotas.try_acquire(wire.client_id) {
+        shared
+            .counters
+            .quota_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        let ms = wait.as_millis().clamp(1, u64::from(u32::MAX) as u128) as u32;
+        return reject(id, ErrorCode::RetryAfter, ms, "client quota exhausted");
+    }
+    let dict = shared.service.engine().graph().dictionary();
+    let query = match sparql::parse_query(&wire.query, dict) {
+        Ok(q) => q,
+        Err(e) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return reject(
+                id,
+                ErrorCode::Protocol,
+                0,
+                &format!("query parse error: {e}"),
+            );
+        }
+    };
+    let mut request = Request::new(query, wire.k as usize)
+        .with_mode(mode)
+        .with_client(wire.client_id);
+    if wire.deadline_ms > 0 {
+        request = request.with_deadline_in(Duration::from_millis(u64::from(wire.deadline_ms)));
+    }
+    match shared.service.try_submit(request) {
+        Ok(ticket) => Outgoing::Pending(id, ticket),
+        Err(ServiceError::QueueFull { retry_after }) => {
+            let ms = retry_after
+                .as_millis()
+                .clamp(1, u64::from(u32::MAX) as u128) as u32;
+            reject(id, ErrorCode::RetryAfter, ms, "execution queue full")
+        }
+        Err(ServiceError::ShuttingDown) => {
+            reject(id, ErrorCode::ShuttingDown, 0, "service is shutting down")
+        }
+        Err(e) => reject(id, ErrorCode::Internal, 0, &e.to_string()),
+    }
+}
+
+fn writer_loop(stream: TcpStream, rx: mpsc::Receiver<Outgoing>, shared: Arc<Shared>) {
+    let mut writer = BufWriter::new(stream);
+    for out in rx {
+        let frame = match out {
+            Outgoing::Ready(frame) => frame,
+            Outgoing::Pending(id, ticket) => {
+                let response = ticket.wait();
+                encode_response_frame(id, response, &shared)
+            }
+        };
+        if write_frame(&mut writer, &frame).is_err() {
+            return;
+        }
+    }
+    let _ = writer.flush();
+}
+
+/// Encodes an executed (or shed) service response as a wire frame.
+fn encode_response_frame(id: u64, response: specqp_service::Response, shared: &Shared) -> Vec<u8> {
+    match response.outcome {
+        Ok(outcome) => {
+            let dict = shared.service.engine().graph().dictionary();
+            let answers: Vec<WireAnswer> = outcome
+                .answers
+                .iter()
+                .map(|a| WireAnswer {
+                    score: a.score.value(),
+                    bindings: a
+                        .binding
+                        .iter()
+                        .map(|(var, term)| (var.0, dict.name_or_unknown(term).to_string()))
+                        .collect(),
+                })
+                .collect();
+            let frame = encode_answers(id, &answers);
+            if frame.len() > crate::protocol::MAX_FRAME {
+                encode_error(id, ErrorCode::Internal, 0, "response exceeds frame ceiling")
+            } else {
+                frame
+            }
+        }
+        Err(ServiceError::DeadlineExceeded) => encode_error(
+            id,
+            ErrorCode::DeadlineExceeded,
+            0,
+            "deadline expired while queued",
+        ),
+        Err(ServiceError::ShuttingDown) => {
+            encode_error(id, ErrorCode::ShuttingDown, 0, "service is shutting down")
+        }
+        Err(e) => encode_error(id, ErrorCode::Internal, 0, &e.to_string()),
+    }
+}
+
+/// Convenience for tests and the bench driver: encodes a [`WireRequest`]
+/// as a ready-to-send frame payload.
+pub fn request_frame(req: &WireRequest) -> Vec<u8> {
+    encode_request(req)
+}

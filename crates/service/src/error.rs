@@ -1,0 +1,113 @@
+//! The unified error vocabulary of the submit path.
+//!
+//! Before the per-request API existed, the service signalled failure with a
+//! mix of `bool` returns, `Err(item)` hand-backs and outright panics. Every
+//! way a request can now fail to produce answers is one [`ServiceError`]
+//! variant, so the wire front-end can map each to a protocol error code and
+//! callers can match on the exact cause instead of parsing messages.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why the service refused, shed or failed a request.
+///
+/// `QueueFull` and `DeadlineExceeded` are *load conditions*, not bugs: a
+/// correctly-sized client backs off (`retry_after`) or re-issues with a
+/// looser deadline. `ShuttingDown` is terminal for the service instance.
+/// `Protocol` marks requests that were malformed before they ever reached
+/// the execution queue. `Panicked` wraps a worker panic so one poisoned
+/// query cannot take down the serving process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Admission control refused the request: the bounded execution queue
+    /// was full. `retry_after` is the service's estimate of when a retry is
+    /// likely to be admitted (derived from queue depth and the observed
+    /// mean service time) — the explicit alternative to unbounded queueing.
+    QueueFull {
+        /// Suggested client back-off before retrying.
+        retry_after: Duration,
+    },
+    /// The request's deadline expired while it waited in the queue; it was
+    /// shed *before execution* (counted, never run).
+    DeadlineExceeded,
+    /// The service is draining and accepts no new work. Requests admitted
+    /// before shutdown still complete (see the queue's drain-on-close
+    /// contract).
+    ShuttingDown,
+    /// The request was malformed: an unparseable query, a bad wire frame,
+    /// an unknown mode byte, a zero `k`. The payload is a human-readable
+    /// description.
+    Protocol(String),
+    /// Execution of the query panicked; the worker caught it and the pool
+    /// keeps serving. The payload is the rendered panic message.
+    Panicked(String),
+}
+
+impl ServiceError {
+    /// The back-off hint carried by [`ServiceError::QueueFull`], if any.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            ServiceError::QueueFull { retry_after } => Some(*retry_after),
+            _ => None,
+        }
+    }
+
+    /// `true` for load conditions a client should simply retry later
+    /// (`QueueFull`), as opposed to errors that need a changed request.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServiceError::QueueFull { .. })
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { retry_after } => {
+                write!(f, "queue full; retry after {retry_after:?}")
+            }
+            ServiceError::DeadlineExceeded => write!(f, "deadline expired while queued"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServiceError::Panicked(msg) => write!(f, "query execution panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_only_on_queue_full() {
+        let e = ServiceError::QueueFull {
+            retry_after: Duration::from_millis(7),
+        };
+        assert_eq!(e.retry_after(), Some(Duration::from_millis(7)));
+        assert!(e.is_retryable());
+        for e in [
+            ServiceError::DeadlineExceeded,
+            ServiceError::ShuttingDown,
+            ServiceError::Protocol("bad frame".into()),
+            ServiceError::Panicked("boom".into()),
+        ] {
+            assert_eq!(e.retry_after(), None);
+            assert!(!e.is_retryable());
+        }
+    }
+
+    #[test]
+    fn display_names_the_cause() {
+        let e = ServiceError::QueueFull {
+            retry_after: Duration::from_millis(3),
+        };
+        assert!(e.to_string().contains("retry after"));
+        assert!(ServiceError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(ServiceError::Protocol("x".into())
+            .to_string()
+            .contains("protocol"));
+    }
+}

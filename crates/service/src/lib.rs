@@ -4,10 +4,20 @@
 //! optimization effort across a *workload*. This crate supplies the serving
 //! layer that premise assumes: one [`Engine`] co-owning its graph and
 //! relaxation registry through `Arc`s, shared read-only by a fixed-size pool
-//! of worker threads that drain a bounded MPMC job queue. Per-query results
-//! come back in submission order as [`specqp::QueryOutcome`]s, together with
-//! aggregate throughput/latency statistics and a snapshot of the engine's
-//! plan-cache counters — repeated query shapes skip PLANGEN entirely.
+//! of worker threads that drain a bounded MPMC request queue.
+//!
+//! The entry point is per-request: build a [`Request`] (query, mode, top-k
+//! budget, optional deadline, client id), hand it to
+//! [`QueryService::submit`] (blocking backpressure) or
+//! [`QueryService::try_submit`] (non-blocking admission control — a full
+//! queue is an explicit [`ServiceError::QueueFull`] with a retry-after hint,
+//! never an unbounded wait), and redeem the returned [`Ticket`] for a
+//! [`Response`]. Requests whose deadline expires while queued are shed
+//! before execution and complete with [`ServiceError::DeadlineExceeded`].
+//! [`QueryService::run_batch`] remains as a thin batch wrapper over the same
+//! path, returning outcomes in submission order with aggregate
+//! throughput/latency statistics; [`QueryService::lifetime_stats`] reports
+//! cumulative counters across all batches and connections.
 //!
 //! # Quickstart
 //!
@@ -37,9 +47,13 @@
 //! assert!(report.stats.cache.hits >= 6);
 //! ```
 
+pub mod error;
 pub mod queue;
+pub mod stats;
 
-pub use queue::BoundedQueue;
+pub use error::ServiceError;
+pub use queue::{BoundedQueue, TryPushError};
+pub use stats::{LifetimeCounters, ModeTotals, ServiceStats};
 
 use kgstore::KnowledgeGraph;
 use relax::RelaxationRegistry;
@@ -47,7 +61,7 @@ use sparql::Query;
 use specqp::{Engine, EngineConfig, QueryOutcome};
 use specqp_common::Result;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Which executor a job runs through.
@@ -83,6 +97,12 @@ impl ExecMode {
             ExecMode::TriniT => "trinit",
             ExecMode::Naive => "naive",
         }
+    }
+
+    /// Inverse of [`ExecMode::index`] — the wire protocol sends modes as
+    /// this byte.
+    pub fn from_index(i: usize) -> Option<ExecMode> {
+        ExecMode::ALL.get(i).copied()
     }
 }
 
@@ -126,6 +146,220 @@ impl QueryJob {
     }
 }
 
+/// One request through the per-request service API: everything the service
+/// needs to admit, schedule, shed or execute a query.
+///
+/// Built with [`Request::new`] and refined with the `with_*` builders:
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use kgstore::KnowledgeGraphBuilder;
+/// use relax::RelaxationRegistry;
+/// use sparql::parse_query;
+/// use specqp_service::{ExecMode, QueryService, Request, ServiceConfig};
+///
+/// let mut b = KnowledgeGraphBuilder::new();
+/// b.add("shakira", "rdf:type", "singer", 100.0);
+/// b.add("adele", "rdf:type", "singer", 90.0);
+/// let graph = Arc::new(b.build());
+/// let q = parse_query("SELECT ?s WHERE { ?s <rdf:type> <singer> }", graph.dictionary()).unwrap();
+///
+/// let service = QueryService::new(
+///     graph,
+///     Arc::new(RelaxationRegistry::new()),
+///     ServiceConfig::with_threads(2),
+/// );
+/// let request = Request::new(q, 5)
+///     .with_mode(ExecMode::SpecQp)
+///     .with_client(42)
+///     .with_deadline_in(Duration::from_secs(5));
+/// let ticket = service.submit(request).unwrap();
+/// let response = ticket.wait();
+/// assert_eq!(response.outcome.unwrap().answers.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The query to answer.
+    pub query: Query,
+    /// Executor selection (defaults to [`ExecMode::SpecQp`]).
+    pub mode: ExecMode,
+    /// Top-k budget.
+    pub k: usize,
+    /// Shed-by time: if the request is still queued at this instant it is
+    /// dropped unexecuted with [`ServiceError::DeadlineExceeded`]. `None`
+    /// means the request waits as long as backpressure demands.
+    pub deadline: Option<Instant>,
+    /// Originating client, for per-client quota accounting in front-ends
+    /// (the service itself treats it as an opaque label; `0` = anonymous).
+    pub client_id: u64,
+}
+
+impl Request {
+    /// A Spec-QP request with no deadline, from the anonymous client.
+    pub fn new(query: Query, k: usize) -> Self {
+        Request {
+            query,
+            mode: ExecMode::SpecQp,
+            k,
+            deadline: None,
+            client_id: 0,
+        }
+    }
+
+    /// Selects the executor.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets an absolute shed-by deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline `budget` from now.
+    pub fn with_deadline_in(self, budget: Duration) -> Self {
+        self.with_deadline(Instant::now() + budget)
+    }
+
+    /// Labels the originating client.
+    pub fn with_client(mut self, client_id: u64) -> Self {
+        self.client_id = client_id;
+        self
+    }
+
+    /// The batch-API equivalent of this request (mode + k + query).
+    pub fn from_job(job: &QueryJob) -> Self {
+        Request::new(job.query.clone(), job.k).with_mode(job.mode)
+    }
+}
+
+impl From<QueryJob> for Request {
+    fn from(job: QueryJob) -> Self {
+        Request::new(job.query, job.k).with_mode(job.mode)
+    }
+}
+
+/// The service's answer envelope for one [`Request`].
+#[derive(Debug)]
+pub struct Response {
+    /// The executed outcome, or the typed reason the request produced none.
+    pub outcome: std::result::Result<QueryOutcome, ServiceError>,
+    /// Time the request spent queued before a worker picked it up.
+    pub queued: Duration,
+    /// Execution time on the worker (zero for shed requests).
+    pub execution: Duration,
+}
+
+impl Response {
+    /// Queue wait plus execution — the in-service latency a client observes
+    /// on top of network transfer.
+    pub fn total(&self) -> Duration {
+        self.queued + self.execution
+    }
+
+    /// `true` if the request was shed unexecuted for deadline expiry.
+    pub fn is_shed(&self) -> bool {
+        matches!(self.outcome, Err(ServiceError::DeadlineExceeded))
+    }
+}
+
+/// One-shot completion slot a worker fills and a client waits on.
+#[derive(Debug)]
+struct TicketState {
+    slot: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl TicketState {
+    fn complete(&self, response: Response) {
+        let mut slot = self.slot.lock().expect("ticket poisoned");
+        debug_assert!(slot.is_none(), "ticket completed twice");
+        *slot = Some(response);
+        self.ready.notify_all();
+    }
+}
+
+/// A claim on one submitted request's [`Response`].
+///
+/// Redeem with [`Ticket::wait`] (blocking) or poll with
+/// [`Ticket::wait_timeout`]. Dropping a ticket abandons the request: it
+/// still executes (admission was already granted) but the response is
+/// discarded.
+#[derive(Debug)]
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    fn new() -> (Ticket, Arc<TicketState>) {
+        let state = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        (
+            Ticket {
+                state: Arc::clone(&state),
+            },
+            state,
+        )
+    }
+
+    /// `true` once the response is available (then [`Ticket::wait`] returns
+    /// without blocking).
+    pub fn is_ready(&self) -> bool {
+        self.state.slot.lock().expect("ticket poisoned").is_some()
+    }
+
+    /// Blocks until the worker completes the request and returns the
+    /// response.
+    pub fn wait(self) -> Response {
+        let mut slot = self.state.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(response) = slot.take() {
+                return response;
+            }
+            slot = self.state.ready.wait(slot).expect("ticket poisoned");
+        }
+    }
+
+    /// Waits up to `timeout`; hands the ticket back on expiry so the caller
+    /// can keep waiting later.
+    pub fn wait_timeout(self, timeout: Duration) -> std::result::Result<Response, Ticket> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.state.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(response) = slot.take() {
+                return Ok(response);
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                drop(slot);
+                return Err(self);
+            };
+            let (next, timed_out) = self
+                .state
+                .ready
+                .wait_timeout(slot, left)
+                .expect("ticket poisoned");
+            slot = next;
+            if timed_out.timed_out() && slot.is_none() {
+                drop(slot);
+                return Err(self);
+            }
+        }
+    }
+}
+
+/// What travels through the execution queue.
+#[derive(Debug)]
+struct WorkItem {
+    request: Request,
+    ticket: Arc<TicketState>,
+    accepted: Instant,
+}
+
 /// Service tunables.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceConfig {
@@ -152,6 +386,14 @@ impl ServiceConfig {
             queue_depth: threads * 4,
             engine: EngineConfig::default(),
         }
+    }
+
+    /// Overrides the bounded queue depth (minimum 1) — smaller queues shed
+    /// earlier under overload, larger ones absorb bigger bursts at the cost
+    /// of queueing latency.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
     }
 }
 
@@ -284,37 +526,131 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// A concurrent query service: an `Arc`-shared engine plus a worker pool
-/// draining a bounded MPMC queue.
+/// State shared between the service handle and its worker threads.
+#[derive(Debug)]
+struct Core {
+    engine: Arc<Engine<'static>>,
+    queue: BoundedQueue<WorkItem>,
+    counters: LifetimeCounters,
+    threads: usize,
+}
+
+impl Core {
+    /// Executes one request on the shared engine (also the sequential
+    /// reference path).
+    fn run_one(&self, query: &Query, mode: ExecMode, k: usize) -> QueryOutcome {
+        match mode {
+            ExecMode::SpecQp => self.engine.run_specqp(query, k),
+            ExecMode::TriniT => self.engine.run_trinit(query, k),
+            ExecMode::Naive => self.engine.run_naive(query, k),
+        }
+    }
+
+    /// The worker loop: drain the queue until close-and-empty, shedding
+    /// deadline-expired requests (counted, never run) and completing every
+    /// ticket exactly once — panics included, so one poisoned query never
+    /// kills the pool.
+    fn worker_loop(&self) {
+        while let Some(item) = self.queue.pop() {
+            let queued = item.accepted.elapsed();
+            if let Some(deadline) = item.request.deadline {
+                if Instant::now() >= deadline {
+                    self.counters.record_shed_deadline();
+                    item.ticket.complete(Response {
+                        outcome: Err(ServiceError::DeadlineExceeded),
+                        queued,
+                        execution: Duration::ZERO,
+                    });
+                    continue;
+                }
+            }
+            let started = Instant::now();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.run_one(&item.request.query, item.request.mode, item.request.k)
+            }));
+            let execution = started.elapsed();
+            let outcome = match result {
+                Ok(outcome) => {
+                    self.counters.record_completed(item.request.mode, execution);
+                    Ok(outcome)
+                }
+                Err(payload) => {
+                    self.counters.record_panicked();
+                    Err(ServiceError::Panicked(panic_message(payload.as_ref())))
+                }
+            };
+            item.ticket.complete(Response {
+                outcome,
+                queued,
+                execution,
+            });
+        }
+    }
+
+    /// Back-off estimate for a rejected submission: roughly how long until a
+    /// queue slot frees, from the observed mean service time and the current
+    /// backlog, clamped to `[1ms, 5s]`.
+    fn retry_after_hint(&self) -> Duration {
+        let per_query = self
+            .counters
+            .mean_executed_latency()
+            .unwrap_or(Duration::from_millis(1));
+        let backlog = (self.queue.len() as u64).max(1);
+        let us = per_query.as_micros() as u64 * backlog / self.threads.max(1) as u64;
+        Duration::from_micros(us).clamp(Duration::from_millis(1), Duration::from_secs(5))
+    }
+}
+
+/// A concurrent query service: an `Arc`-shared engine plus a persistent
+/// worker pool draining a bounded MPMC queue.
 ///
-/// The service is itself `Send + Sync`; `run_batch` takes `&self`, so one
-/// service can serve many batches (the plan cache and statistics catalog
-/// stay warm across batches).
+/// The service is `Send + Sync`; all entry points take `&self`, so one
+/// service serves many clients/batches concurrently (the plan cache and
+/// statistics catalog stay warm throughout). Workers live for the life of
+/// the service and are drained + joined by [`QueryService::shutdown`] (also
+/// called on drop).
 #[derive(Debug)]
 pub struct QueryService {
-    engine: Arc<Engine<'static>>,
+    core: Arc<Core>,
     config: ServiceConfig,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl QueryService {
     /// Builds a service around a fresh engine co-owning `graph` and
-    /// `registry`.
+    /// `registry`, and starts its worker pool.
     pub fn new(
         graph: Arc<KnowledgeGraph>,
         registry: Arc<RelaxationRegistry>,
         config: ServiceConfig,
     ) -> Self {
         let engine = Engine::shared_with_config(graph, registry, config.engine);
-        QueryService {
-            engine: Arc::new(engine),
-            config,
-        }
+        QueryService::with_engine(Arc::new(engine), config)
     }
 
     /// Builds a service around an existing `'static` engine (custom
     /// cardinality estimator, chain rules, …).
     pub fn with_engine(engine: Arc<Engine<'static>>, config: ServiceConfig) -> Self {
-        QueryService { engine, config }
+        let core = Arc::new(Core {
+            engine,
+            queue: BoundedQueue::new(config.queue_depth),
+            counters: LifetimeCounters::new(),
+            threads: config.threads,
+        });
+        let workers = (0..config.threads)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("specqp-worker-{i}"))
+                    .spawn(move || core.worker_loop())
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        QueryService {
+            core,
+            config,
+            workers: Mutex::new(workers),
+        }
     }
 
     /// Boots a service directly from a binary KG snapshot file: the graph is
@@ -337,7 +673,7 @@ impl QueryService {
 
     /// The shared engine.
     pub fn engine(&self) -> &Arc<Engine<'static>> {
-        &self.engine
+        &self.core.engine
     }
 
     /// The service configuration.
@@ -347,7 +683,7 @@ impl QueryService {
 
     /// Current plan-cache counters.
     pub fn cache_snapshot(&self) -> CacheSnapshot {
-        let m = self.engine.plan_cache_metrics();
+        let m = self.core.engine.plan_cache_metrics();
         CacheSnapshot {
             lookups: m.lookups(),
             hits: m.hits(),
@@ -359,62 +695,120 @@ impl QueryService {
         }
     }
 
-    /// Runs every job through the worker pool and returns outcomes in
-    /// submission order.
+    /// Cumulative service-lifetime counters: submissions, sheds, rejections
+    /// and per-mode latency totals across every batch and connection served
+    /// since construction.
+    pub fn lifetime_stats(&self) -> ServiceStats {
+        self.core.counters.snapshot()
+    }
+
+    /// Submits one request, blocking while the queue is full (backpressure).
     ///
-    /// The driver thread feeds job indices into the bounded queue (applying
-    /// backpressure when workers fall behind), each worker pops, executes
-    /// against the shared engine and stores `(outcome, latency)` into its
-    /// result slot. Execution is deterministic per job, so the answer sets
-    /// are identical to a sequential loop over the same jobs.
+    /// Returns a [`Ticket`] redeemable for the [`Response`]. Fails only
+    /// with [`ServiceError::ShuttingDown`] once [`QueryService::shutdown`]
+    /// has closed admission.
+    pub fn submit(&self, request: Request) -> std::result::Result<Ticket, ServiceError> {
+        let (ticket, state) = Ticket::new();
+        let item = WorkItem {
+            request,
+            ticket: state,
+            accepted: Instant::now(),
+        };
+        match self.core.queue.push(item) {
+            Ok(()) => {
+                self.core.counters.record_submitted();
+                Ok(ticket)
+            }
+            Err(_rejected) => {
+                self.core.counters.record_rejected_shutdown();
+                Err(ServiceError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Non-blocking admission control: submits only if a queue slot is free
+    /// *right now*.
+    ///
+    /// A full queue is [`ServiceError::QueueFull`] carrying a retry-after
+    /// hint derived from the observed mean service time and the backlog —
+    /// the wire front-end forwards it as `RetryAfter(ms)` instead of letting
+    /// latency grow without bound.
+    pub fn try_submit(&self, request: Request) -> std::result::Result<Ticket, ServiceError> {
+        let (ticket, state) = Ticket::new();
+        let item = WorkItem {
+            request,
+            ticket: state,
+            accepted: Instant::now(),
+        };
+        match self.core.queue.try_push(item) {
+            Ok(()) => {
+                self.core.counters.record_submitted();
+                Ok(ticket)
+            }
+            Err(TryPushError::Full(_rejected)) => {
+                self.core.counters.record_rejected_queue_full();
+                Err(ServiceError::QueueFull {
+                    retry_after: self.core.retry_after_hint(),
+                })
+            }
+            Err(TryPushError::Closed(_rejected)) => {
+                self.core.counters.record_rejected_shutdown();
+                Err(ServiceError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Graceful shutdown: closes admission (subsequent submits fail with
+    /// [`ServiceError::ShuttingDown`]), lets the workers drain every
+    /// already-admitted request (the queue's drain-on-close contract), and
+    /// joins the pool. Idempotent; also called on drop.
+    ///
+    /// Must not be called from a worker thread (it would join itself).
+    pub fn shutdown(&self) {
+        self.core.queue.close();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Runs every job through the worker pool and returns outcomes in
+    /// submission order — a thin batch wrapper over [`QueryService::submit`].
+    ///
+    /// The driver thread feeds requests into the bounded queue (blocking
+    /// backpressure when workers fall behind), workers execute against the
+    /// shared engine, and the driver redeems the tickets in submission
+    /// order. Execution is deterministic per job, so the answer sets are
+    /// identical to a sequential loop over the same jobs.
     ///
     /// # Panics
     /// If a job's execution panics, the worker catches it and keeps
     /// draining the queue (so the driver never deadlocks pushing into a
     /// full queue with dead consumers), and `run_batch` re-panics with the
-    /// job index once the batch is drained.
+    /// job index when it redeems that job's ticket.
     pub fn run_batch(&self, jobs: &[QueryJob]) -> BatchReport {
-        type Slot = Option<Result<(QueryOutcome, Duration), String>>;
-        let queue: BoundedQueue<usize> = BoundedQueue::new(self.config.queue_depth);
-        let slots: Vec<Mutex<Slot>> = jobs.iter().map(|_| Mutex::new(None)).collect();
         let t0 = Instant::now();
-        std::thread::scope(|scope| {
-            for _ in 0..self.config.threads {
-                scope.spawn(|| {
-                    while let Some(i) = queue.pop() {
-                        let job = &jobs[i];
-                        let started = Instant::now();
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            self.run_one(job)
-                        }))
-                        .map(|outcome| (outcome, started.elapsed()))
-                        .map_err(|payload| panic_message(payload.as_ref()));
-                        *slots[i].lock().expect("result slot poisoned") = Some(result);
-                    }
-                });
-            }
-            for i in 0..jobs.len() {
-                queue.push(i).expect("queue closed while feeding");
-            }
-            queue.close();
-        });
-        let wall = t0.elapsed();
-
+        let tickets: Vec<Ticket> = jobs
+            .iter()
+            .map(|job| {
+                self.submit(Request::from_job(job))
+                    .expect("queue closed while feeding")
+            })
+            .collect();
         let mut outcomes = Vec::with_capacity(jobs.len());
         let mut latencies = Vec::with_capacity(jobs.len());
-        for (i, slot) in slots.into_iter().enumerate() {
-            let result = slot
-                .into_inner()
-                .expect("result slot poisoned")
-                .expect("worker pool exited with unprocessed job");
-            match result {
-                Ok((outcome, latency)) => {
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let response = ticket.wait();
+            match response.outcome {
+                Ok(outcome) => {
                     outcomes.push(outcome);
-                    latencies.push(latency);
+                    latencies.push(response.execution);
                 }
-                Err(msg) => panic!("query job {i} panicked: {msg}"),
+                Err(ServiceError::Panicked(msg)) => panic!("query job {i} panicked: {msg}"),
+                Err(e) => panic!("query job {i} failed: {e}"),
             }
         }
+        let wall = t0.elapsed();
         let mut stats = self.stats_for(&latencies, wall);
         stats.per_mode = mode_breakdown(jobs, &latencies);
         stats.speculation = speculation_totals(jobs, &outcomes);
@@ -422,24 +816,25 @@ impl QueryService {
     }
 
     /// Sequential reference run: the same jobs, one at a time, on this
-    /// service's *shared* engine — warm plan cache and statistics included.
-    /// Used by the determinism tests (parallel vs sequential answer sets
-    /// must match). For a cold-cache sequential baseline, build a separate
+    /// service's *shared* engine — warm plan cache and statistics included,
+    /// bypassing the queue and worker pool entirely. Used by the
+    /// determinism tests (parallel vs sequential answer sets must match).
+    /// For a cold-cache sequential baseline, build a separate
     /// [`QueryService`] over the same `Arc`s instead.
     pub fn run_sequential(&self, jobs: &[QueryJob]) -> Vec<QueryOutcome> {
-        jobs.iter().map(|job| self.run_one(job)).collect()
-    }
-
-    fn run_one(&self, job: &QueryJob) -> QueryOutcome {
-        match job.mode {
-            ExecMode::SpecQp => self.engine.run_specqp(&job.query, job.k),
-            ExecMode::TriniT => self.engine.run_trinit(&job.query, job.k),
-            ExecMode::Naive => self.engine.run_naive(&job.query, job.k),
-        }
+        jobs.iter()
+            .map(|job| self.core.run_one(&job.query, job.mode, job.k))
+            .collect()
     }
 
     fn stats_for(&self, latencies: &[Duration], wall: Duration) -> BatchStats {
         batch_stats(latencies, wall, self.config.threads, self.cache_snapshot())
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -584,6 +979,10 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<QueryService>();
         assert_send_sync::<BoundedQueue<usize>>();
+        assert_send_sync::<Ticket>();
+        assert_send_sync::<Request>();
+        assert_send_sync::<Response>();
+        assert_send_sync::<ServiceError>();
     }
 
     #[test]
@@ -629,8 +1028,9 @@ mod tests {
 
     /// Regression: a panicking job must not deadlock the driver (which
     /// previously could block forever pushing into a full queue whose only
-    /// consumers had died). The batch drains, then re-panics with the job
-    /// index.
+    /// consumers had died). The worker catches the panic, completes the
+    /// ticket with `ServiceError::Panicked`, and `run_batch` re-panics with
+    /// the job index.
     #[test]
     fn worker_panic_propagates_without_deadlock() {
         let (g, reg) = setup();
@@ -648,6 +1048,169 @@ mod tests {
             msg.contains("query job 0 panicked"),
             "panic names the job: {msg}"
         );
+        // The pool survived the panic: the service still answers.
+        let report = service.run_batch(&jobs[1..2]);
+        assert_eq!(report.outcomes.len(), 1);
+        let stats = service.lifetime_stats();
+        assert_eq!(stats.panicked, 1);
+    }
+
+    #[test]
+    fn submit_ticket_roundtrip() {
+        let (g, reg) = setup();
+        let service = QueryService::new(g.clone(), reg, ServiceConfig::with_threads(2));
+        let q = parse_query("SELECT ?s WHERE { ?s <type> <small> }", g.dictionary()).unwrap();
+        let ticket = service.submit(Request::new(q, 5).with_client(7)).unwrap();
+        let response = ticket.wait();
+        assert!(response.total() >= response.execution);
+        assert!(!response.is_shed());
+        let outcome = response.outcome.expect("query executed");
+        assert_eq!(outcome.answers.len(), 5, "3 small + relaxed backup fill");
+        let stats = service.lifetime_stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        let spec = stats.per_mode[ExecMode::SpecQp.index()].expect("specqp totals");
+        assert_eq!(spec.queries, 1);
+    }
+
+    /// Overload behavior: with workers wedged on slow jobs and the queue
+    /// full, `try_submit` returns `QueueFull` immediately instead of
+    /// blocking — the admission-control contract the TCP front-end depends
+    /// on.
+    #[test]
+    fn try_submit_on_saturated_queue_returns_queue_full_without_blocking() {
+        let (g, reg) = setup();
+        let config = ServiceConfig::with_threads(1).with_queue_depth(1);
+        let service = QueryService::new(g.clone(), reg, config);
+        let big = parse_query("SELECT ?s WHERE { ?s <type> <big> }", g.dictionary()).unwrap();
+        // Wedge the single worker: a request whose deadline is far away but
+        // whose execution blocks the pool long enough to fill the queue
+        // deterministically. A naive-mode self-join over the big list is
+        // slow relative to the admission calls below, but to make this
+        // airtight we instead wedge with many queued requests: fill the
+        // 1-slot queue while the worker chews the first.
+        let mut tickets = Vec::new();
+        // First submit occupies the worker (possibly instantly popped), the
+        // next fills the queue slot; keep try-submitting until one lands in
+        // the queue and the next is rejected.
+        let t0 = Instant::now();
+        let mut saw_queue_full = None;
+        for _ in 0..64 {
+            match service.try_submit(Request::new(big.clone(), 10)) {
+                Ok(t) => tickets.push(t),
+                Err(e) => {
+                    saw_queue_full = Some(e);
+                    break;
+                }
+            }
+        }
+        let elapsed = t0.elapsed();
+        let err = saw_queue_full.expect("a 1-deep queue must eventually reject");
+        match &err {
+            ServiceError::QueueFull { retry_after } => {
+                assert!(*retry_after >= Duration::from_millis(1));
+                assert!(*retry_after <= Duration::from_secs(5));
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert!(err.is_retryable());
+        // Non-blocking: 64 admission attempts in well under a second even
+        // with the pool busy.
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "try_submit must not block: {elapsed:?}"
+        );
+        assert!(service.lifetime_stats().rejected_queue_full >= 1);
+        // Everything admitted still completes.
+        for t in tickets {
+            let r = t.wait();
+            assert!(r.outcome.is_ok());
+        }
+    }
+
+    /// Overload behavior: a request whose deadline has already passed when a
+    /// worker picks it up is shed — counted, never executed.
+    #[test]
+    fn deadline_expired_requests_are_shed_before_execution() {
+        let (g, reg) = setup();
+        let service = QueryService::new(
+            g.clone(),
+            reg,
+            ServiceConfig::with_threads(1).with_queue_depth(8),
+        );
+        let q = parse_query("SELECT ?s WHERE { ?s <type> <big> }", g.dictionary()).unwrap();
+        // An already-expired deadline: the worker must shed it however fast
+        // it dequeues.
+        let expired = Instant::now() - Duration::from_millis(1);
+        let ticket = service
+            .submit(Request::new(q.clone(), 5).with_deadline(expired))
+            .unwrap();
+        let response = ticket.wait();
+        assert!(response.is_shed());
+        assert_eq!(
+            response.outcome.unwrap_err(),
+            ServiceError::DeadlineExceeded
+        );
+        assert_eq!(response.execution, Duration::ZERO, "shed jobs never run");
+        let stats = service.lifetime_stats();
+        assert_eq!(stats.shed_deadline, 1);
+        assert_eq!(stats.executed(), 0, "shed request must not execute");
+        // A request with a generous deadline still executes normally.
+        let ok = service
+            .submit(Request::new(q, 5).with_deadline_in(Duration::from_secs(30)))
+            .unwrap()
+            .wait();
+        assert!(ok.outcome.is_ok());
+    }
+
+    /// Graceful shutdown: everything admitted before `shutdown` completes
+    /// (drain-on-close), and submissions after it fail with `ShuttingDown`.
+    #[test]
+    fn shutdown_drains_in_flight_requests() {
+        let (g, reg) = setup();
+        let service = QueryService::new(
+            g.clone(),
+            reg,
+            ServiceConfig::with_threads(2).with_queue_depth(16),
+        );
+        let q = parse_query("SELECT ?s WHERE { ?s <type> <big> }", g.dictionary()).unwrap();
+        let tickets: Vec<Ticket> = (0..12)
+            .map(|_| service.submit(Request::new(q.clone(), 5)).unwrap())
+            .collect();
+        service.shutdown();
+        // Every admitted request was executed, none dropped.
+        for t in tickets {
+            let r = t.wait();
+            assert_eq!(
+                r.outcome.expect("drained request executed").answers.len(),
+                5
+            );
+        }
+        let e = service.submit(Request::new(q.clone(), 5)).unwrap_err();
+        assert_eq!(e, ServiceError::ShuttingDown);
+        let e = service.try_submit(Request::new(q, 5)).unwrap_err();
+        assert_eq!(e, ServiceError::ShuttingDown);
+        let stats = service.lifetime_stats();
+        assert_eq!(stats.completed, 12);
+        assert_eq!(stats.rejected_shutdown, 2);
+        // Idempotent.
+        service.shutdown();
+    }
+
+    #[test]
+    fn ticket_wait_timeout_returns_ticket_until_ready() {
+        let (g, reg) = setup();
+        let service = QueryService::new(g.clone(), reg, ServiceConfig::with_threads(1));
+        let q = parse_query("SELECT ?s WHERE { ?s <type> <small> }", g.dictionary()).unwrap();
+        let ticket = service.submit(Request::new(q, 5)).unwrap();
+        // Either it resolves within 5s or we get the ticket back and block.
+        match ticket.wait_timeout(Duration::from_secs(5)) {
+            Ok(response) => assert!(response.outcome.is_ok()),
+            Err(ticket) => {
+                let response = ticket.wait();
+                assert!(response.outcome.is_ok());
+            }
+        }
     }
 
     #[test]
@@ -805,6 +1368,8 @@ mod tests {
         assert_eq!(trinit.mean_latency, ms(100));
         assert!(per_mode[ExecMode::Naive.index()].is_none(), "no naive jobs");
         assert_eq!(ExecMode::SpecQp.label(), "specqp");
+        assert_eq!(ExecMode::from_index(1), Some(ExecMode::TriniT));
+        assert_eq!(ExecMode::from_index(3), None);
     }
 
     #[test]

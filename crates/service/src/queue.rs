@@ -7,9 +7,34 @@
 //! Throughput is bounded by query execution cost (milliseconds), not queue
 //! transfer cost (nanoseconds), so a mutex-guarded `VecDeque` is the right
 //! complexity trade-off here.
+//!
+//! Producers that must not block — an admission-control front-end shedding
+//! load instead of queueing unboundedly — use [`BoundedQueue::try_push`]
+//! (fail immediately when full) or [`BoundedQueue::push_timeout`] (bounded
+//! wait, then fail).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a non-blocking (or bounded-wait) push was refused. The rejected item
+/// is handed back so the producer can retry, reroute or drop it explicitly.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue held `capacity` items for the whole attempt window.
+    Full(T),
+    /// The queue was closed; it will never accept items again.
+    Closed(T),
+}
+
+impl<T> TryPushError<T> {
+    /// Recovers the rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            TryPushError::Full(item) | TryPushError::Closed(item) => item,
+        }
+    }
+}
 
 #[derive(Debug)]
 struct State<T> {
@@ -19,6 +44,17 @@ struct State<T> {
 
 /// A bounded FIFO queue safe to share (by reference or `Arc`) between any
 /// number of producer and consumer threads.
+///
+/// # Drain-on-close contract
+///
+/// [`close`](BoundedQueue::close) is a *graceful* shutdown signal, not an
+/// abort: items already queued at close time stay queued and are handed out
+/// by [`pop`](BoundedQueue::pop) in FIFO order before consumers observe
+/// `None`. Only *new* pushes are refused after close. A service draining
+/// in-flight requests on shutdown therefore needs no extra machinery — close
+/// the queue, join the consumers, and every accepted item has been
+/// processed. Nothing queued is ever silently dropped; the only way an item
+/// dies unprocessed is a consumer dropping it after `pop` returns it.
 #[derive(Debug)]
 pub struct BoundedQueue<T> {
     state: Mutex<State<T>>,
@@ -71,6 +107,54 @@ impl<T> BoundedQueue<T> {
         Ok(())
     }
 
+    /// Non-blocking push: enqueues `item` only if a slot is free right now.
+    ///
+    /// This is the admission-control primitive: a front-end that must bound
+    /// latency calls `try_push` and converts [`TryPushError::Full`] into an
+    /// explicit reject-with-retry-after instead of queueing unboundedly.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        state.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Bounded-wait push: like [`push`](BoundedQueue::push) but gives up
+    /// with [`TryPushError::Full`] if no slot frees within `timeout`.
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), TryPushError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("queue poisoned");
+        while state.items.len() >= self.capacity && !state.closed {
+            let now = Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(TryPushError::Full(item));
+            };
+            let (next, timed_out) = self
+                .not_full
+                .wait_timeout(state, left)
+                .expect("queue poisoned");
+            state = next;
+            if timed_out.timed_out() && state.items.len() >= self.capacity && !state.closed {
+                return Err(TryPushError::Full(item));
+            }
+        }
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        state.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Blocks until an item is available and dequeues it. Returns `None`
     /// once the queue is closed *and* drained — the consumer shutdown
     /// signal.
@@ -88,8 +172,9 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Closes the queue: future `push`es fail, and `pop` returns `None`
-    /// after the backlog drains.
+    /// Closes the queue: future pushes (blocking or not) fail, and `pop`
+    /// returns `None` once the backlog drains — see the type-level
+    /// *drain-on-close contract*.
     pub fn close(&self) {
         let mut state = self.state.lock().expect("queue poisoned");
         state.closed = true;
@@ -139,6 +224,65 @@ mod tests {
         assert_eq!(q.pop(), Some(0));
         assert!(producer.join().unwrap());
         assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn try_push_never_blocks() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        // Full: rejected immediately, item handed back.
+        assert_eq!(q.try_push(3), Err(TryPushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()), "freed slot accepts again");
+        q.close();
+        assert_eq!(q.try_push(4), Err(TryPushError::Closed(4)));
+        assert_eq!(TryPushError::Full(7).into_inner(), 7);
+    }
+
+    #[test]
+    fn push_timeout_expires_on_persistent_fullness() {
+        let q = BoundedQueue::new(1);
+        q.push(0).unwrap();
+        let t0 = std::time::Instant::now();
+        let r = q.push_timeout(1, std::time::Duration::from_millis(30));
+        assert_eq!(r, Err(TryPushError::Full(1)));
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(30));
+    }
+
+    #[test]
+    fn push_timeout_succeeds_when_a_slot_frees() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0).unwrap();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(15));
+                q.pop()
+            })
+        };
+        assert_eq!(q.push_timeout(1, std::time::Duration::from_secs(5)), Ok(()));
+        assert_eq!(consumer.join().unwrap(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn push_timeout_observes_close() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0).unwrap();
+        let closer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(15));
+                q.close();
+            })
+        };
+        let r = q.push_timeout(1, std::time::Duration::from_secs(5));
+        assert_eq!(r, Err(TryPushError::Closed(1)));
+        closer.join().unwrap();
+        // Drain-on-close: the backlog item is still delivered.
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! * [`relax`] — weighted relaxation rules and miners,
 //! * [`datagen`] — seeded synthetic XKG/Twitter datasets,
 //! * [`service`] — the concurrent query service (`Arc`-shared engine,
-//!   worker pool, plan-cache-backed batch driver).
+//!   worker pool, plan-cache-backed batch driver),
+//! * [`server`] — the TCP wire front-end (length-prefixed frames,
+//!   per-client token-bucket quotas, load-shedding admission control).
 //!
 //! ```
 //! use spec_qp::prelude::*;
@@ -35,6 +37,7 @@ pub use relax;
 pub use sparql;
 pub use specqp;
 pub use specqp_common as common;
+pub use specqp_server as server;
 pub use specqp_service as service;
 pub use specqp_stats as stats;
 
@@ -51,6 +54,9 @@ pub mod prelude {
         SpeculationPolicy,
     };
     pub use specqp_common::{Dictionary, Score, TermId};
-    pub use specqp_service::{ExecMode, QueryJob, QueryService, ServiceConfig};
+    pub use specqp_server::{Server, ServerConfig, SpecQpClient};
+    pub use specqp_service::{
+        ExecMode, QueryJob, QueryService, Request, ServiceConfig, ServiceError, Ticket,
+    };
     pub use specqp_stats::{ExactCardinality, RefitMode, ScoreEstimator, StatsCatalog};
 }

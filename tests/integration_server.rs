@@ -1,0 +1,366 @@
+//! Loopback TCP integration suite for the wire front-end: frame
+//! round-trips, protocol-error handling, per-client quota rejection,
+//! queue-full shedding with `RetryAfter`, deadline shedding, and response
+//! ordering — the overload behaviors the admission-control layer promises.
+
+use kgstore::KnowledgeGraphBuilder;
+use relax::RelaxationRegistry;
+use specqp_server::{
+    ErrorCode, QuotaConfig, Server, ServerConfig, SpecQpClient, WireResponse, OP_QUERY,
+};
+use specqp_service::{ExecMode, QueryService, ServiceConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SINGERS: &str = "SELECT ?s WHERE { ?s <rdf:type> <singer> }";
+/// A two-pattern merge join — around a millisecond per execution on the
+/// 2000-entity graph, the hammer for wedging a single-worker service.
+const SLOW_JOIN: &str = "SELECT ?s WHERE { ?s <rdf:type> <singer> . ?s <rdf:type> <artist> }";
+
+fn sized_service(entities: usize, threads: usize, queue_depth: usize) -> Arc<QueryService> {
+    let mut b = KnowledgeGraphBuilder::new();
+    for i in 0..entities {
+        b.add(
+            &format!("singer{i}"),
+            "rdf:type",
+            "singer",
+            100.0 / (i + 1) as f64,
+        );
+        b.add(
+            &format!("singer{i}"),
+            "rdf:type",
+            "artist",
+            90.0 / (i + 1) as f64,
+        );
+    }
+    let config = ServiceConfig::with_threads(threads).with_queue_depth(queue_depth);
+    Arc::new(QueryService::new(
+        Arc::new(b.build()),
+        Arc::new(RelaxationRegistry::new()),
+        config,
+    ))
+}
+
+fn test_service(threads: usize, queue_depth: usize) -> Arc<QueryService> {
+    sized_service(30, threads, queue_depth)
+}
+
+fn expect_answers(reply: WireResponse) -> Vec<specqp_server::WireAnswer> {
+    match reply {
+        WireResponse::Answers { answers, .. } => answers,
+        other => panic!("expected answers, got {other:?}"),
+    }
+}
+
+/// Frame round-trip: a well-formed query over loopback returns the ranked
+/// answer set with resolved term names and bit-exact scores.
+#[test]
+fn loopback_roundtrip_returns_ranked_answers() {
+    let service = test_service(2, 8);
+    let server =
+        Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = SpecQpClient::connect(server.local_addr()).unwrap();
+
+    let answers = expect_answers(
+        client
+            .roundtrip(SINGERS, ExecMode::SpecQp, 5, 0, 1)
+            .unwrap(),
+    );
+    assert_eq!(answers.len(), 5);
+    // Rank order, top entity first, names resolved through the dictionary.
+    assert_eq!(answers[0].bindings[0].1, "singer0");
+    for w in answers.windows(2) {
+        assert!(w[0].score >= w[1].score, "answers must be rank-ordered");
+    }
+    // The wire answers match an in-process run bit-for-bit.
+    let direct = service.engine().run_specqp(
+        &sparql::parse_query(SINGERS, service.engine().graph().dictionary()).unwrap(),
+        5,
+    );
+    for (wire, local) in answers.iter().zip(&direct.answers) {
+        assert_eq!(wire.score.to_bits(), local.score.value().to_bits());
+    }
+    server.shutdown();
+}
+
+/// Responses come back in request order per connection, and request ids
+/// correlate.
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let service = test_service(3, 16);
+    let server = Server::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = SpecQpClient::connect(server.local_addr()).unwrap();
+
+    let ids: Vec<u64> = (1..=10)
+        .map(|k| client.send(SINGERS, ExecMode::SpecQp, k, 0, 1).unwrap())
+        .collect();
+    for (i, id) in ids.iter().enumerate() {
+        let reply = client.recv().unwrap();
+        assert_eq!(reply.request_id(), *id, "response {i} out of order");
+        assert_eq!(
+            expect_answers(reply).len(),
+            i + 1,
+            "k grew with each request"
+        );
+    }
+    server.shutdown();
+}
+
+/// Malformed frames are a typed `Protocol` error, not a dropped connection:
+/// the same connection keeps serving valid requests afterwards.
+#[test]
+fn malformed_frame_gets_protocol_error_and_connection_survives() {
+    let service = test_service(2, 8);
+    let server = Server::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = SpecQpClient::connect(server.local_addr()).unwrap();
+
+    // Unknown opcode.
+    client.send_raw(&[0x7f, 1, 2, 3]).unwrap();
+    match client.recv().unwrap() {
+        WireResponse::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    // Truncated query payload.
+    client.send_raw(&[OP_QUERY, 0, 0]).unwrap();
+    match client.recv().unwrap() {
+        WireResponse::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    // Unparseable query text, unknown mode byte and k = 0 are all Protocol.
+    client
+        .send("THIS IS NOT SPARQL", ExecMode::SpecQp, 5, 0, 1)
+        .unwrap();
+    match client.recv().unwrap() {
+        WireResponse::Error { code, message, .. } => {
+            assert_eq!(code, ErrorCode::Protocol);
+            assert!(
+                message.contains("parse"),
+                "message names the cause: {message}"
+            );
+        }
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    client.send(SINGERS, ExecMode::SpecQp, 0, 0, 1).unwrap();
+    match client.recv().unwrap() {
+        WireResponse::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    // The connection still works.
+    let answers = expect_answers(
+        client
+            .roundtrip(SINGERS, ExecMode::TriniT, 3, 0, 1)
+            .unwrap(),
+    );
+    assert_eq!(answers.len(), 3);
+    server.shutdown();
+}
+
+/// Quota exhaustion: a client that bursts past its token bucket gets
+/// `RetryAfter` with a positive back-off hint, while other clients are
+/// unaffected; after the hinted wait the client is admitted again.
+#[test]
+fn quota_exhaustion_returns_retry_after() {
+    let service = test_service(2, 32);
+    let config = ServerConfig::with_quota(QuotaConfig {
+        rate_per_sec: 20.0,
+        burst: 3.0,
+    });
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0", config).unwrap();
+    let mut client = SpecQpClient::connect(server.local_addr()).unwrap();
+
+    // The burst admits; the next request is throttled.
+    for _ in 0..3 {
+        expect_answers(
+            client
+                .roundtrip(SINGERS, ExecMode::SpecQp, 2, 0, 7)
+                .unwrap(),
+        );
+    }
+    let retry_ms = match client
+        .roundtrip(SINGERS, ExecMode::SpecQp, 2, 0, 7)
+        .unwrap()
+    {
+        WireResponse::Error {
+            code: ErrorCode::RetryAfter,
+            retry_after_ms,
+            ..
+        } => retry_after_ms,
+        other => panic!("expected RetryAfter, got {other:?}"),
+    };
+    assert!(retry_ms >= 1, "hint must be positive");
+    // A different client id has its own untouched bucket.
+    expect_answers(
+        client
+            .roundtrip(SINGERS, ExecMode::SpecQp, 2, 0, 8)
+            .unwrap(),
+    );
+    // After backing off as hinted, client 7 is admitted again.
+    std::thread::sleep(Duration::from_millis(u64::from(retry_ms) + 20));
+    expect_answers(
+        client
+            .roundtrip(SINGERS, ExecMode::SpecQp, 2, 0, 7)
+            .unwrap(),
+    );
+    assert!(server.stats().quota_rejected >= 1);
+    server.shutdown();
+}
+
+/// Deadline shedding over the wire: a request whose deadline budget is
+/// already unmeetable comes back `DeadlineExceeded` without executing.
+#[test]
+fn expired_deadline_is_shed_over_the_wire() {
+    // One slow worker and a deep queue: put ~10ms of join work ahead of a
+    // request whose 1ms budget is unmeetable.
+    let service = sized_service(2000, 1, 32);
+    let server =
+        Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = SpecQpClient::connect(server.local_addr()).unwrap();
+
+    let mut sheds = 0;
+    for round in 0..10 {
+        for _ in 0..8 {
+            client.send(SLOW_JOIN, ExecMode::SpecQp, 10, 0, 1).unwrap();
+        }
+        let id = client.send(SINGERS, ExecMode::SpecQp, 10, 1, 1).unwrap();
+        for _ in 0..8 {
+            client.recv().unwrap();
+        }
+        match client.recv().unwrap() {
+            WireResponse::Error {
+                request_id,
+                code: ErrorCode::DeadlineExceeded,
+                ..
+            } => {
+                assert_eq!(request_id, id);
+                sheds += 1;
+                break;
+            }
+            WireResponse::Answers { .. } => { /* queue drained too fast; retry */ }
+            other => panic!("round {round}: unexpected reply {other:?}"),
+        }
+    }
+    assert!(
+        sheds > 0,
+        "a 1ms deadline behind ~10ms of queued joins must shed"
+    );
+    let stats = service.lifetime_stats();
+    assert!(stats.shed_deadline >= 1, "shed is counted, not executed");
+    server.shutdown();
+}
+
+/// Hammering a tiny queue from the wire: overloaded requests come back
+/// `RetryAfter` *quickly* (no unbounded waits), and accepted ones all
+/// complete.
+#[test]
+fn queue_saturation_sheds_with_retry_after() {
+    let service = test_service(1, 1);
+    let server =
+        Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = SpecQpClient::connect(server.local_addr()).unwrap();
+
+    let t0 = Instant::now();
+    let mut accepted = 0u32;
+    let mut shed = 0u32;
+    for _ in 0..60 {
+        client.send(SINGERS, ExecMode::SpecQp, 10, 0, 1).unwrap();
+    }
+    for _ in 0..60 {
+        match client.recv().unwrap() {
+            WireResponse::Answers { .. } => accepted += 1,
+            WireResponse::Error {
+                code: ErrorCode::RetryAfter,
+                retry_after_ms,
+                ..
+            } => {
+                assert!(retry_after_ms >= 1);
+                shed += 1;
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    let elapsed = t0.elapsed();
+    assert!(accepted >= 1, "some requests execute");
+    assert!(shed >= 1, "a 1-deep queue under a 60-burst must shed");
+    // Shedding is the point: the burst must resolve promptly instead of
+    // queueing unboundedly behind a single worker.
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "no unbounded waits: {elapsed:?}"
+    );
+    let stats = service.lifetime_stats();
+    assert_eq!(stats.submitted, u64::from(accepted));
+    assert!(stats.rejected_queue_full >= u64::from(shed));
+    server.shutdown();
+}
+
+/// Several concurrent connections share one service; every connection gets
+/// its own in-order responses and the lifetime stats add up.
+#[test]
+fn concurrent_connections_share_the_service() {
+    let service = test_service(3, 64);
+    let server =
+        Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..4)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = SpecQpClient::connect(addr).unwrap();
+                let mut got = 0;
+                for _ in 0..25 {
+                    match client
+                        .roundtrip(SINGERS, ExecMode::SpecQp, 5, 0, c)
+                        .unwrap()
+                    {
+                        WireResponse::Answers { answers, .. } => {
+                            assert_eq!(answers.len(), 5);
+                            got += 1;
+                        }
+                        WireResponse::Error { code, .. } => {
+                            panic!("closed-loop client {c} rejected: {code:?}")
+                        }
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, 100);
+    let stats = server.stats();
+    assert_eq!(stats.service.completed, 100);
+    assert!(stats.connections >= 4);
+    server.shutdown();
+}
+
+/// Shutdown closes the listener and unblocks connected clients instead of
+/// hanging them.
+#[test]
+fn shutdown_refuses_new_connections_and_unblocks_clients() {
+    let service = test_service(2, 8);
+    let server = Server::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut client = SpecQpClient::connect(addr).unwrap();
+    expect_answers(
+        client
+            .roundtrip(SINGERS, ExecMode::SpecQp, 2, 0, 1)
+            .unwrap(),
+    );
+
+    server.shutdown();
+    // A blocked reader on an existing connection is released.
+    assert!(client.recv().is_err(), "shutdown unblocks pending reads");
+    // New connections are refused once the acceptor is gone (a races-free
+    // guarantee needs a few attempts on loopback).
+    let mut served_after_shutdown = false;
+    for _ in 0..5 {
+        if let Ok(mut c) = SpecQpClient::connect(addr) {
+            if c.roundtrip(SINGERS, ExecMode::SpecQp, 2, 0, 1).is_ok() {
+                served_after_shutdown = true;
+            }
+        }
+    }
+    assert!(!served_after_shutdown, "no queries served after shutdown");
+    // Idempotent.
+    server.shutdown();
+}
