@@ -10,6 +10,7 @@
 //! bench_gate block <current.json> [min_speedup]
 //! bench_gate quality <current.json> [min_precision] [max_overhead]
 //! bench_gate overload <baseline.json> <current.json> [tolerance]
+//! bench_gate parallel <current.json> [min_speedup] [min_snapshot_speedup]
 //! ```
 //!
 //! * `regression` compares `planning_us` / `execution_us` (Spec-QP executor)
@@ -39,6 +40,16 @@
 //!   latency of *accepted* requests held to the committed baseline (same
 //!   tolerance discipline as `regression`) — overload must degrade into
 //!   explicit rejection, never into unbounded queueing.
+//! * `parallel` gates the `parallel` and `snapshot_v2` objects (emitted under
+//!   `probe --morsels N`). Correctness is unconditional: the morsel-parallel
+//!   executor must return answers bit-identical to sequential block execution
+//!   (`answers_match`). The throughput floor (default 2×) only applies when
+//!   the machine actually has at least as many cores as workers — the report
+//!   records `cores`, and a 1-core runner cannot speed anything up, so there
+//!   the floor is waived with a printed notice rather than failing the build
+//!   on physics. The snapshot v2 floor (default 5×) asserts the aligned
+//!   fixed-stride layout loads at least that much faster than the seed-style
+//!   hash-insertion decode it replaced.
 //!
 //! The workspace is dependency-free, so instead of a JSON library this uses
 //! a small field scanner that understands exactly the shape `probe` emits.
@@ -391,6 +402,66 @@ fn overload_gate(baseline_path: &str, current_path: &str, tol: f64) -> i32 {
     }
 }
 
+fn parallel_gate(path: &str, min_speedup: f64, min_snapshot_speedup: f64) -> i32 {
+    let json = read(path);
+    let mut failures = Vec::new();
+
+    let par = object_slice(&json, "parallel").unwrap_or_else(|| {
+        eprintln!("bench_gate: {path} has no \"parallel\" object");
+        exit(2);
+    });
+    let workers = require_num(&json, "parallel", "workers", path);
+    let cores = require_num(&json, "parallel", "cores", path);
+    let speedup = require_num(&json, "parallel", "speedup", path);
+    let seq = require_num(&json, "parallel", "seq_execution_us", path);
+    let par_us = require_num(&json, "parallel", "par_execution_us", path);
+    let answers_match = bool_field(par, "answers_match").unwrap_or_else(|| {
+        eprintln!("bench_gate: {path} lacks boolean parallel.answers_match");
+        exit(2);
+    });
+    println!(
+        "parallel: {workers:.0} workers on {cores:.0} cores -> {par_us:.0}us vs sequential \
+         {seq:.0}us ({speedup:.2}x, floor {min_speedup}x, answers_match={answers_match})"
+    );
+    // Correctness gates unconditionally: a parallel executor that disagrees
+    // with sequential block execution is wrong no matter how fast it is.
+    if !answers_match {
+        failures.push("parallel and sequential execution disagreed on answers".to_string());
+    }
+    // The throughput floor only gates on hardware that can express a speedup.
+    if cores >= workers {
+        if speedup < min_speedup {
+            failures.push(format!("parallel speedup {speedup:.2}x < {min_speedup}x"));
+        }
+    } else {
+        println!(
+            "parallel speedup floor waived: {cores:.0} cores < {workers:.0} workers \
+             (no hardware parallelism to measure)"
+        );
+    }
+
+    let v2 = require_num(&json, "snapshot_v2", "speedup", path);
+    let v2_load = require_num(&json, "snapshot_v2", "v2_load_us", path);
+    let v1_decode = require_num(&json, "snapshot_v2", "v1_decode_us", path);
+    println!(
+        "snapshot_v2: load {v2_load:.0}us vs v1 hash decode {v1_decode:.0}us \
+         -> {v2:.2}x (floor {min_snapshot_speedup}x)"
+    );
+    if v2 < min_snapshot_speedup {
+        failures.push(format!(
+            "snapshot_v2 speedup {v2:.2}x < {min_snapshot_speedup}x"
+        ));
+    }
+
+    if failures.is_empty() {
+        println!("bench_gate parallel: ok");
+        0
+    } else {
+        eprintln!("bench_gate parallel FAILED: {}", failures.join("; "));
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || -> ! {
@@ -400,7 +471,8 @@ fn main() {
              \x20      bench_gate snapshot <current.json> [min_speedup]\n\
              \x20      bench_gate block <current.json> [min_speedup]\n\
              \x20      bench_gate quality <current.json> [min_precision] [max_overhead]\n\
-             \x20      bench_gate overload <baseline.json> <current.json> [tolerance]"
+             \x20      bench_gate overload <baseline.json> <current.json> [tolerance]\n\
+             \x20      bench_gate parallel <current.json> [min_speedup] [min_snapshot_speedup]"
         );
         exit(2);
     };
@@ -445,6 +517,17 @@ fn main() {
                 .unwrap_or(3.0);
             overload_gate(&args[1], &args[2], tol)
         }
+        Some("parallel") if args.len() >= 2 => {
+            let floor = args
+                .get(2)
+                .map(|s| s.parse::<f64>().unwrap_or_else(|_| usage()))
+                .unwrap_or(2.0);
+            let snap_floor = args
+                .get(3)
+                .map(|s| s.parse::<f64>().unwrap_or_else(|_| usage()))
+                .unwrap_or(5.0);
+            parallel_gate(&args[1], floor, snap_floor)
+        }
         _ => usage(),
     };
     exit(code);
@@ -467,6 +550,8 @@ mod tests {
   "trinit": {"planning_us":0,"execution_us":1994,"top_k":10,"scores":[2.6,2.5]},
   "snapshot": {"triples":10,"bytes":123,"load_us":100,"tsv_load_us":900,"speedup":9.000,"from_snapshot":false},
   "block": {"block_size":256,"queries":18,"k":10,"row_execution_us":9000,"block_execution_us":4000,"speedup":2.250,"answers_match":true},
+  "parallel": {"workers":4,"cores":8,"rows":200000,"k":10,"block_size":256,"seq_execution_us":40000,"par_execution_us":14000,"speedup":2.857,"answers_match":true},
+  "snapshot_v2": {"triples":200000,"terms":2200,"v2_bytes":9000000,"v1_bytes":9000000,"v2_load_us":5500,"v1_decode_us":122000,"v1_load_us":12400,"speedup":22.182,"compat_speedup":2.255},
   "speculation": {"policy":"fallback:3","queries":18,"k":10,"mis_speculation_rate":0.1111,"fallback_rate":0.0556,"fallback_stages":2,"wasted_answers":120,"precision_fallback":0.9815,"precision_off":0.9259,"off_total_us":5000,"fallback_total_us":5600,"overhead":1.120},
   "service": {"threads":4,"queries_per_sec":730.059,"cache":{"hits":37}},
   "server": {"threads":4,"offered":400,"rate_per_sec":8000.0,"saturation_per_sec":4000.0,"accepted":231,"shed_retry_after":169,"shed_deadline":0,"other_errors":0,"p50_accepted_us":812,"p99_accepted_us":3420,"mean_accepted_us":990,"max_accepted_us":5100,"wall_us":61000,"connections":1,"quota_rejected":0,"protocol_errors":0}
@@ -530,6 +615,34 @@ mod tests {
         assert!(num_field(server, "shed_retry_after").unwrap() >= 1.0);
         let p99 = num_field(server, "p99_accepted_us").unwrap();
         assert!(p99 <= p99 * 3.0 + LATENCY_SLACK_US);
+    }
+
+    #[test]
+    fn parallel_object_fields_readable_and_sample_passes_gate() {
+        let par = object_slice(SAMPLE, "parallel").unwrap();
+        assert_eq!(num_field(par, "workers"), Some(4.0));
+        assert_eq!(num_field(par, "cores"), Some(8.0));
+        assert_eq!(num_field(par, "speedup"), Some(2.857));
+        assert_eq!(num_field(par, "seq_execution_us"), Some(40000.0));
+        assert_eq!(num_field(par, "par_execution_us"), Some(14000.0));
+        assert_eq!(bool_field(par, "answers_match"), Some(true));
+        // Sample has cores >= workers, so the floor applies — and passes.
+        assert!(num_field(par, "cores").unwrap() >= num_field(par, "workers").unwrap());
+        assert!(num_field(par, "speedup").unwrap() >= 2.0);
+    }
+
+    #[test]
+    fn snapshot_v2_object_fields_readable_and_sample_passes_gate() {
+        let v2 = object_slice(SAMPLE, "snapshot_v2").unwrap();
+        assert_eq!(num_field(v2, "v2_load_us"), Some(5500.0));
+        assert_eq!(num_field(v2, "v1_decode_us"), Some(122000.0));
+        assert_eq!(num_field(v2, "v1_load_us"), Some(12400.0));
+        assert_eq!(num_field(v2, "speedup"), Some(22.182));
+        assert_eq!(num_field(v2, "compat_speedup"), Some(2.255));
+        assert!(num_field(v2, "speedup").unwrap() >= 5.0);
+        // `snapshot_v2` must not shadow the original `snapshot` object.
+        let snap = object_slice(SAMPLE, "snapshot").unwrap();
+        assert!(snap.contains("tsv_load_us"));
     }
 
     #[test]

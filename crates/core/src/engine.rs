@@ -59,6 +59,27 @@ pub struct EngineConfig {
     /// [`SpeculationPolicy::from_env`]), which is how CI runs the whole test
     /// suite once with fallback recovery enabled.
     pub speculation: SpeculationPolicy,
+    /// Worker threads for morsel-driven intra-query parallelism (block
+    /// execution only; `1` = sequential). When a query has a safely
+    /// partitionable scan (see [`crate::parallel::partition_target`]), its
+    /// match list is split into morsels pulled by `parallelism` workers;
+    /// answers are bit-identical to sequential execution. The default
+    /// honours the `SPECQP_MORSELS` environment variable, which is how CI
+    /// runs the whole test suite once under parallel execution.
+    pub parallelism: usize,
+}
+
+/// Reads `SPECQP_MORSELS` (a positive worker count; unset means `1`).
+/// Panics on garbage so a typo in CI configuration fails loudly instead of
+/// silently testing the wrong executor.
+fn parallelism_from_env() -> usize {
+    match std::env::var("SPECQP_MORSELS") {
+        Err(_) => 1,
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("SPECQP_MORSELS={v:?} is not a valid worker count (expected >= 1)"),
+        },
+    }
 }
 
 impl Default for EngineConfig {
@@ -68,6 +89,7 @@ impl Default for EngineConfig {
             pull: PullStrategy::Adaptive,
             execution: ExecutionMode::from_env(),
             speculation: SpeculationPolicy::from_env(),
+            parallelism: parallelism_from_env(),
         }
     }
 }
@@ -82,6 +104,12 @@ impl EngineConfig {
     /// This configuration with `speculation` replaced.
     pub fn with_speculation(mut self, speculation: SpeculationPolicy) -> Self {
         self.speculation = speculation;
+        self
+    }
+
+    /// This configuration with `parallelism` replaced (clamped to ≥ 1).
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers.max(1);
         self
     }
 }
@@ -318,17 +346,42 @@ impl<'g> Engine<'g> {
                 self.config.pull,
                 k,
             ),
-            ExecutionMode::Block(size) => run_plan_blocks_with_chains(
-                self.graph.get(),
-                query,
-                plan,
-                self.registry.get(),
-                &self.chains,
-                metrics.clone(),
-                self.config.pull,
-                k,
-                size,
-            ),
+            ExecutionMode::Block(size) => {
+                if self.config.parallelism > 1 {
+                    if let Some(target) = crate::parallel::partition_target(
+                        self.graph.get(),
+                        query,
+                        plan,
+                        self.registry.get(),
+                        &self.chains,
+                    ) {
+                        return crate::parallel::run_plan_blocks_parallel(
+                            self.graph.get(),
+                            query,
+                            plan,
+                            self.registry.get(),
+                            &self.chains,
+                            metrics.clone(),
+                            self.config.pull,
+                            k,
+                            size,
+                            self.config.parallelism,
+                            target,
+                        );
+                    }
+                }
+                run_plan_blocks_with_chains(
+                    self.graph.get(),
+                    query,
+                    plan,
+                    self.registry.get(),
+                    &self.chains,
+                    metrics.clone(),
+                    self.config.pull,
+                    k,
+                    size,
+                )
+            }
         }
     }
 

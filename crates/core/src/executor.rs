@@ -19,12 +19,13 @@ use crate::plan::QueryPlan;
 use kgstore::KnowledgeGraph;
 use operators::{
     top_k, top_k_blocks, BlockIncrementalMerge, BlockRankJoin, BlockScan, BoxedBlockStream,
-    BoxedStream, IncrementalMerge, MetricsHandle, PartialAnswer, PatternScan, Projected,
-    PullStrategy, RankJoin, RankedStream, RowsToBlocks, Scaled,
+    BoxedStream, IncrementalMerge, MetricsHandle, MorselDispenser, PartialAnswer, PatternScan,
+    Projected, PullStrategy, RankJoin, RankedStream, RowsToBlocks, Scaled,
 };
 use relax::{ChainRuleSet, RelaxationRegistry};
 use sparql::{Query, Var};
 use specqp_common::{FxHashMap, Score};
+use std::sync::Arc;
 
 /// Builds the operator tree for `plan` over `query`.
 ///
@@ -153,12 +154,74 @@ pub fn build_block_stream_with_chains<'g>(
     strategy: PullStrategy,
     block_size: usize,
 ) -> BoxedBlockStream<'g> {
+    build_block_stream_inner(
+        graph, query, plan, registry, chains, metrics, strategy, block_size, None,
+    )
+}
+
+/// [`build_block_stream_with_chains`] with the scan of pattern `target`
+/// partitioned: instead of owning its whole match list, that scan pulls
+/// rank-range morsels from the shared `dispenser`. One such tree per
+/// parallel worker (all sharing one dispenser) partitions the target's
+/// rows across workers while every other operator runs privately — see
+/// [`crate::parallel`] for the eligibility rules that make the union of
+/// the workers' top-k exactly the sequential top-k.
+#[allow(clippy::too_many_arguments)]
+pub fn build_block_stream_morsels<'g>(
+    graph: &'g KnowledgeGraph,
+    query: &Query,
+    plan: &QueryPlan,
+    registry: &RelaxationRegistry,
+    chains: &ChainRuleSet,
+    metrics: MetricsHandle,
+    strategy: PullStrategy,
+    block_size: usize,
+    target: usize,
+    dispenser: Arc<MorselDispenser>,
+) -> BoxedBlockStream<'g> {
+    build_block_stream_inner(
+        graph,
+        query,
+        plan,
+        registry,
+        chains,
+        metrics,
+        strategy,
+        block_size,
+        Some((target, dispenser)),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_block_stream_inner<'g>(
+    graph: &'g KnowledgeGraph,
+    query: &Query,
+    plan: &QueryPlan,
+    registry: &RelaxationRegistry,
+    chains: &ChainRuleSet,
+    metrics: MetricsHandle,
+    strategy: PullStrategy,
+    block_size: usize,
+    morsels: Option<(usize, Arc<MorselDispenser>)>,
+) -> BoxedBlockStream<'g> {
     assert_eq!(plan.len(), query.len(), "plan/query arity mismatch");
     let block_size = block_size.max(1);
     let patterns = query.patterns();
     let mut next_fresh = query.var_count() as u32;
 
     let scan = |i: usize, weight: Score| -> BoxedBlockStream<'g> {
+        if let Some((target, dispenser)) = &morsels {
+            if *target == i {
+                return Box::new(BlockScan::with_morsels(
+                    graph,
+                    patterns[i],
+                    weight,
+                    metrics.clone(),
+                    block_size,
+                    Arc::clone(dispenser),
+                ));
+            }
+        }
         Box::new(BlockScan::new(
             graph,
             patterns[i],

@@ -70,6 +70,7 @@
 pub mod engine;
 pub mod evaluation;
 pub mod executor;
+pub mod parallel;
 pub mod plan;
 pub mod plan_cache;
 pub mod plangen;
@@ -82,9 +83,11 @@ pub use evaluation::{
     ScoreError,
 };
 pub use executor::{
-    build_block_stream_with_chains, build_plan_stream, build_plan_stream_with_chains, run_naive,
-    run_plan, run_plan_blocks, run_plan_blocks_with_chains, run_plan_with_chains,
+    build_block_stream_morsels, build_block_stream_with_chains, build_plan_stream,
+    build_plan_stream_with_chains, run_naive, run_plan, run_plan_blocks,
+    run_plan_blocks_with_chains, run_plan_with_chains,
 };
+pub use parallel::{partition_target, run_plan_blocks_parallel};
 pub use plan::QueryPlan;
 pub use plan_cache::{PlanCache, QueryShape};
 pub use plangen::plan_query;

@@ -51,7 +51,9 @@ pub use builder::{DuplicatePolicy, KnowledgeGraphBuilder};
 pub use columns::TripleColumns;
 pub use io::{read_tsv, read_tsv_into, write_tsv};
 pub use pattern_key::{PatternKey, Signature};
-pub use snapshot::{load_snapshot, read_snapshot, save_snapshot, write_snapshot};
+pub use snapshot::{
+    load_snapshot, read_snapshot, save_snapshot, write_snapshot, write_snapshot_v1,
+};
 pub use store::{KnowledgeGraph, MatchList};
 pub use triple::{ScoredTriple, Triple};
 

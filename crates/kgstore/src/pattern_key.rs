@@ -147,6 +147,13 @@ pub(crate) fn pack2(a: TermId, b: TermId) -> u64 {
     (u64::from(a.0) << 32) | u64::from(b.0)
 }
 
+/// Packs three 32-bit ids into one 128-bit map key; the numeric order of
+/// packed keys equals the lexicographic order of `(s, p, o)` tuples.
+#[inline]
+pub(crate) fn pack3(s: TermId, p: TermId, o: TermId) -> u128 {
+    (u128::from(s.0) << 64) | (u128::from(p.0) << 32) | u128::from(o.0)
+}
+
 impl fmt::Debug for PatternKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn part(x: Option<TermId>) -> String {

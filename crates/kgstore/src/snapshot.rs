@@ -3,59 +3,81 @@
 //! A snapshot serializes everything [`KnowledgeGraphBuilder::build`](crate::KnowledgeGraphBuilder::build) spends
 //! its time computing — the interned dictionary, the four triple columns and
 //! all eight prebuilt pattern indexes with their score-sorted posting lists —
-//! into one checksummed file. Loading a snapshot deserializes the posting
-//! lists verbatim: no TSV parsing, no duplicate folding and, crucially, no
-//! re-sorting of any posting list. (The hash maps that key the posting lists
-//! are re-inserted with pre-sized capacity; that is the only per-entry work
-//! left on the load path.)
+//! into one checksummed file.
 //!
-//! # Layout (format version 1)
+//! # Layout (format version 2)
 //!
-//! All integers are little-endian.
+//! All integers are little-endian. Every section starts on an 8-byte
+//! boundary and is zero-padded to an 8-byte multiple, and inside the COLS
+//! and IDX sections each fixed-stride column is padded so 8-byte-wide
+//! columns stay naturally aligned — the file layout is exactly the
+//! in-memory layout of the sorted-array index (`PostingMap`
+//! columns), so loading is a sequence of bulk column copies with **no
+//! per-entry hashing, insertion or re-sorting**: a page-in-style load
+//! rather than a rebuild.
 //!
 //! ```text
 //! ┌──────────────────────────────────────────────────────────────┐
 //! │ magic      8 B   b"SPECQPKG"                                 │
-//! │ version    u32   format version (currently 1)                │
+//! │ version    u32   format version (currently 2)                │
 //! │ sections   u32   section count                               │
-//! │ table      n × (id: u32, len: u64)  — offsets are implicit:  │
-//! │                  sections are stored back to back in order   │
+//! │ table      n × (id: u32, reserved: u32, len: u64)            │
+//! │                  — len is the unpadded body length; bodies   │
+//! │                  are stored back to back, each zero-padded   │
+//! │                  to the next 8-byte boundary                 │
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ section 1  DICT  term count, then (len: u32, utf-8 bytes)    │
-//! │ section 2  COLS  row count n, then s[n] p[n] o[n] (u32) and  │
-//! │                  score[n] (f64 bits) as contiguous columns   │
-//! │ section 3  IDX   spo map, sp/so/po pair maps, s/p/o single   │
-//! │                  maps, global score-sorted list              │
+//! │ section 2  COLS  row count n, then s[n] p[n] o[n] (u32,      │
+//! │                  padded to 8) and score[n] (f64 bits)        │
+//! │ section 3  IDX   spo key/val columns, sp/so/po and s/p/o     │
+//! │                  key/start/len columns, postings arena,      │
+//! │                  global score-sorted list — all fixed-stride │
 //! ├──────────────────────────────────────────────────────────────┤
-//! │ checksum   u64   word-wise FNV-1a (fnv1a_64_words) over      │
-//! │                  every preceding byte                        │
+//! │ checksum   u64   8-lane word-wise FNV-1a (fnv1a_64_lanes)    │
+//! │                  over every preceding byte                   │
 //! └──────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! Unknown trailing sections are skipped on read, so additive extensions do
-//! not need a version bump; any change to an existing section's encoding
-//! does. Readers reject versions newer than [`FORMAT_VERSION`] with
-//! [`SnapshotError::UnsupportedVersion`].
+//! # Version policy
+//!
+//! [`FORMAT_VERSION`] is the version written; readers accept every version
+//! in `1..=FORMAT_VERSION` and reject newer files with
+//! [`SnapshotError::UnsupportedVersion`]. Version 1 (12-byte table
+//! entries, unaligned sections, per-entry index encoding) is still read in
+//! full: its index entries were written key-sorted, so the v1 decoder fills
+//! the same sorted-array representation sequentially. [`write_snapshot_v1`]
+//! keeps the v1 writer available for compatibility tests and load
+//! benchmarks. Unknown trailing sections are skipped on read, so additive
+//! extensions do not need a version bump; any change to an existing
+//! section's encoding does.
 //!
 //! Every corruption mode maps to a typed [`SnapshotError`] — truncation,
 //! foreign files, version skew, checksum mismatch and structural
 //! inconsistencies all return errors, never panic.
 
 use crate::columns::TripleColumns;
-use crate::index::{PatternIndexes, PostingRange};
+use crate::index::{PatternIndexes, PostingMap, PostingRange, TripleMap};
 use crate::store::KnowledgeGraph;
-use specqp_common::{fnv1a_64_words, Dictionary, FxHashMap, Result, Score, SnapshotError, TermId};
+use specqp_common::{
+    fnv1a_64_lanes, fnv1a_64_words, Dictionary, Result, Score, SnapshotError, TermId,
+};
 use std::path::Path;
 
 /// The 8-byte file magic.
 pub const MAGIC: [u8; 8] = *b"SPECQPKG";
 /// Highest snapshot format version this build reads and the version it
 /// writes.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 const SECTION_DICT: u32 = 1;
 const SECTION_COLS: u32 = 2;
 const SECTION_IDX: u32 = 3;
+
+/// Rounds `n` up to the next multiple of 8.
+#[inline]
+fn pad8_len(n: usize) -> usize {
+    n.div_ceil(8) * 8
+}
 
 // ---------------------------------------------------------------------------
 // Writing
@@ -69,6 +91,16 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+fn put_u128(buf: &mut Vec<u8>, v: u128) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Zero-pads `buf` to the next 8-byte boundary (section bodies start
+/// 8-aligned in the file, so buffer-local alignment is file alignment).
+fn pad8(buf: &mut Vec<u8>) {
+    buf.resize(pad8_len(buf.len()), 0);
+}
+
 fn encode_dict(dict: &Dictionary) -> Vec<u8> {
     let mut buf = Vec::new();
     put_u64(&mut buf, dict.len() as u64);
@@ -79,9 +111,9 @@ fn encode_dict(dict: &Dictionary) -> Vec<u8> {
     buf
 }
 
-fn encode_cols(cols: &TripleColumns) -> Vec<u8> {
+fn encode_cols(cols: &TripleColumns, align: bool) -> Vec<u8> {
     let n = cols.len();
-    let mut buf = Vec::with_capacity(8 + n * 20);
+    let mut buf = Vec::with_capacity(8 + n * 20 + 8);
     put_u64(&mut buf, n as u64);
     for &t in cols.subjects() {
         put_u32(&mut buf, t.0);
@@ -92,56 +124,72 @@ fn encode_cols(cols: &TripleColumns) -> Vec<u8> {
     for &t in cols.objects() {
         put_u32(&mut buf, t.0);
     }
+    if align {
+        // Keep the f64-bits column 8-aligned behind the three u32 columns.
+        pad8(&mut buf);
+    }
     for &s in cols.scores() {
         put_u64(&mut buf, s.value().to_bits());
     }
     buf
 }
 
-/// Writes a map's entries sorted by key so snapshot bytes are deterministic
-/// for a given graph (hash-map iteration order is not). Posting lists are
-/// written inline after their key — on load they are re-concatenated into
-/// the shared arena in file order.
+/// Version-2 index section: every map is written as its flat key / start /
+/// len columns (keys strictly ascending by construction), then the shared
+/// postings arena and the global list. Fixed strides throughout; 8-byte
+/// columns are kept aligned with explicit padding.
 fn encode_idx(idx: &PatternIndexes) -> Vec<u8> {
     let mut buf = Vec::new();
 
-    let mut spo: Vec<(&(TermId, TermId, TermId), &u32)> = idx.spo.iter().collect();
-    spo.sort_unstable_by_key(|(k, _)| **k);
-    put_u64(&mut buf, spo.len() as u64);
-    for ((s, p, o), &i) in spo {
-        put_u32(&mut buf, s.0);
-        put_u32(&mut buf, p.0);
-        put_u32(&mut buf, o.0);
+    put_u64(&mut buf, idx.spo.len() as u64);
+    for &k in &idx.spo.keys {
+        put_u128(&mut buf, k);
+    }
+    for &v in &idx.spo.vals {
+        put_u32(&mut buf, v);
+    }
+    pad8(&mut buf);
+
+    let mut pair = |map: &PostingMap<u64>| {
+        put_u64(&mut buf, map.len() as u64);
+        for &k in &map.keys {
+            put_u64(&mut buf, k);
+        }
+        for &s in &map.starts {
+            put_u64(&mut buf, s);
+        }
+        for &l in &map.lens {
+            put_u32(&mut buf, l);
+        }
+        pad8(&mut buf);
+    };
+    pair(&idx.sp);
+    pair(&idx.so);
+    pair(&idx.po);
+
+    let mut single = |map: &PostingMap<TermId>| {
+        put_u64(&mut buf, map.len() as u64);
+        for &k in &map.keys {
+            put_u32(&mut buf, k.0);
+        }
+        pad8(&mut buf);
+        for &s in &map.starts {
+            put_u64(&mut buf, s);
+        }
+        for &l in &map.lens {
+            put_u32(&mut buf, l);
+        }
+        pad8(&mut buf);
+    };
+    single(&idx.s);
+    single(&idx.p);
+    single(&idx.o);
+
+    put_u64(&mut buf, idx.postings.len() as u64);
+    for &i in &idx.postings {
         put_u32(&mut buf, i);
     }
-
-    for map in [&idx.sp, &idx.so, &idx.po] {
-        let mut entries: Vec<(&u64, &crate::index::PostingRange)> = map.iter().collect();
-        entries.sort_unstable_by_key(|(k, _)| **k);
-        put_u64(&mut buf, entries.len() as u64);
-        for (&key, &range) in entries {
-            put_u64(&mut buf, key);
-            let list = idx.list(range);
-            put_u32(&mut buf, list.len() as u32);
-            for &i in list {
-                put_u32(&mut buf, i);
-            }
-        }
-    }
-
-    for map in [&idx.s, &idx.p, &idx.o] {
-        let mut entries: Vec<(&TermId, &crate::index::PostingRange)> = map.iter().collect();
-        entries.sort_unstable_by_key(|(k, _)| **k);
-        put_u64(&mut buf, entries.len() as u64);
-        for (&key, &range) in entries {
-            put_u32(&mut buf, key.0);
-            let list = idx.list(range);
-            put_u32(&mut buf, list.len() as u32);
-            for &i in list {
-                put_u32(&mut buf, i);
-            }
-        }
-    }
+    pad8(&mut buf);
 
     put_u64(&mut buf, idx.all.len() as u64);
     for &i in &idx.all {
@@ -150,17 +198,97 @@ fn encode_idx(idx: &PatternIndexes) -> Vec<u8> {
     buf
 }
 
-/// Serializes `graph` into an in-memory snapshot image.
+/// Version-1 index section: map entries with inline posting lists, written
+/// key-sorted. Kept for compatibility tests and v1-vs-v2 load benchmarks.
+fn encode_idx_v1(idx: &PatternIndexes) -> Vec<u8> {
+    let mut buf = Vec::new();
+
+    put_u64(&mut buf, idx.spo.len() as u64);
+    for (&k, &i) in idx.spo.keys.iter().zip(&idx.spo.vals) {
+        put_u32(&mut buf, (k >> 64) as u32);
+        put_u32(&mut buf, (k >> 32) as u32);
+        put_u32(&mut buf, k as u32);
+        put_u32(&mut buf, i);
+    }
+
+    let mut pair = |map: &PostingMap<u64>| {
+        put_u64(&mut buf, map.len() as u64);
+        for ((&key, &start), &len) in map.keys.iter().zip(&map.starts).zip(&map.lens) {
+            put_u64(&mut buf, key);
+            put_u32(&mut buf, len);
+            for &i in idx.list(PostingRange { start, len }) {
+                put_u32(&mut buf, i);
+            }
+        }
+    };
+    pair(&idx.sp);
+    pair(&idx.so);
+    pair(&idx.po);
+
+    let mut single = |map: &PostingMap<TermId>| {
+        put_u64(&mut buf, map.len() as u64);
+        for ((&key, &start), &len) in map.keys.iter().zip(&map.starts).zip(&map.lens) {
+            put_u32(&mut buf, key.0);
+            put_u32(&mut buf, len);
+            for &i in idx.list(PostingRange { start, len }) {
+                put_u32(&mut buf, i);
+            }
+        }
+    };
+    single(&idx.s);
+    single(&idx.p);
+    single(&idx.o);
+
+    put_u64(&mut buf, idx.all.len() as u64);
+    for &i in &idx.all {
+        put_u32(&mut buf, i);
+    }
+    buf
+}
+
+/// Serializes `graph` into an in-memory snapshot image (format version 2).
 pub fn write_snapshot(graph: &KnowledgeGraph) -> Vec<u8> {
     let sections = [
         (SECTION_DICT, encode_dict(&graph.dict)),
-        (SECTION_COLS, encode_cols(&graph.cols)),
+        (SECTION_COLS, encode_cols(&graph.cols, true)),
         (SECTION_IDX, encode_idx(&graph.indexes)),
+    ];
+    let payload_len: usize = sections.iter().map(|(_, b)| pad8_len(b.len())).sum();
+    let mut out = Vec::with_capacity(16 + sections.len() * 16 + payload_len + 8);
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    put_u32(&mut out, sections.len() as u32);
+    for (id, body) in &sections {
+        put_u32(&mut out, *id);
+        put_u32(&mut out, 0); // reserved — keeps table entries 16 B / 8-aligned
+        put_u64(&mut out, body.len() as u64);
+    }
+    for (_, body) in &sections {
+        out.extend_from_slice(body);
+        pad8(&mut out);
+    }
+    // The v2 trailer uses the 8-lane word FNV: on the multi-megabyte images
+    // this section layout targets, the single-chain variant is bound by
+    // multiply latency and would dominate the whole page-in-style load.
+    let checksum = fnv1a_64_lanes(&out);
+    put_u64(&mut out, checksum);
+    out
+}
+
+/// Serializes `graph` into a **format version 1** snapshot image (12-byte
+/// table entries, unaligned back-to-back sections, per-entry index
+/// encoding). Current readers accept it; kept so compatibility tests and
+/// the bench probe can exercise the v1 decode path against real bytes.
+pub fn write_snapshot_v1(graph: &KnowledgeGraph) -> Vec<u8> {
+    let sections = [
+        (SECTION_DICT, encode_dict(&graph.dict)),
+        (SECTION_COLS, encode_cols(&graph.cols, false)),
+        (SECTION_IDX, encode_idx_v1(&graph.indexes)),
     ];
     let payload_len: usize = sections.iter().map(|(_, b)| b.len()).sum();
     let mut out = Vec::with_capacity(16 + sections.len() * 12 + payload_len + 8);
     out.extend_from_slice(&MAGIC);
-    put_u32(&mut out, FORMAT_VERSION);
+    put_u32(&mut out, 1);
     put_u32(&mut out, sections.len() as u32);
     for (id, body) in &sections {
         put_u32(&mut out, *id);
@@ -217,6 +345,14 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
+    /// Skips to the next 8-byte boundary (v2 sections keep 8-byte-wide
+    /// columns aligned with zero padding).
+    fn align8(&mut self) -> Result<(), SnapshotError> {
+        let target = pad8_len(self.pos);
+        self.take(target - self.pos)?;
+        Ok(())
+    }
+
     fn u32(&mut self) -> Result<u32, SnapshotError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
@@ -253,6 +389,15 @@ impl<'a> Cursor<'a> {
         Ok(raw
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Bulk-decodes `n` little-endian u128s in one bounds check.
+    fn u128_vec(&mut self, n: usize) -> Result<Vec<u128>, SnapshotError> {
+        let raw = self.take(n.checked_mul(16).ok_or_else(|| self.truncated())?)?;
+        Ok(raw
+            .chunks_exact(16)
+            .map(|c| u128::from_le_bytes(c.try_into().unwrap()))
             .collect())
     }
 
@@ -297,7 +442,11 @@ fn decode_dict(bytes: &[u8]) -> Result<Dictionary, SnapshotError> {
     Dictionary::from_names(names).map_err(|e| SnapshotError::Corrupt(e.to_string()))
 }
 
-fn decode_cols(bytes: &[u8], dict_len: usize) -> Result<TripleColumns, SnapshotError> {
+fn decode_cols(
+    bytes: &[u8],
+    dict_len: usize,
+    aligned: bool,
+) -> Result<TripleColumns, SnapshotError> {
     let mut c = Cursor::new(bytes, "triple columns");
     let n = c.count(20)?;
     let term_col = |c: &mut Cursor<'_>, what: &str| -> Result<Vec<TermId>, SnapshotError> {
@@ -313,6 +462,9 @@ fn decode_cols(bytes: &[u8], dict_len: usize) -> Result<TripleColumns, SnapshotE
     let s = term_col(&mut c, "subject")?;
     let p = term_col(&mut c, "predicate")?;
     let o = term_col(&mut c, "object")?;
+    if aligned {
+        c.align8()?;
+    }
     let mut score = Vec::with_capacity(n);
     for bits in c.u64_vec(n)? {
         let v = f64::from_bits(bits);
@@ -333,89 +485,89 @@ fn decode_cols(bytes: &[u8], dict_len: usize) -> Result<TripleColumns, SnapshotE
         .ok_or_else(|| SnapshotError::Corrupt("triple columns have unequal lengths".into()))
 }
 
-fn decode_idx(bytes: &[u8], n_triples: usize) -> Result<PatternIndexes, SnapshotError> {
-    let mut c = Cursor::new(bytes, "pattern indexes");
-    let check_list = |list: &[u32]| -> Result<(), SnapshotError> {
-        if let Some(&i) = list.iter().find(|&&i| i as usize >= n_triples) {
-            return Err(SnapshotError::Corrupt(format!(
-                "posting references triple {i} outside table (len {n_triples})"
-            )));
-        }
-        Ok(())
-    };
+/// Every posting entry must reference a triple inside the table.
+fn check_list(list: &[u32], n_triples: usize) -> Result<(), SnapshotError> {
+    if let Some(&i) = list.iter().find(|&&i| i as usize >= n_triples) {
+        return Err(SnapshotError::Corrupt(format!(
+            "posting references triple {i} outside table (len {n_triples})"
+        )));
+    }
+    Ok(())
+}
 
-    let mut idx = PatternIndexes::default();
-
-    let spo_count = c.count(16)?;
-    idx.spo = FxHashMap::with_capacity_and_hasher(spo_count, Default::default());
-    let spo_raw = c.u32_vec(spo_count * 4)?;
-    for e in spo_raw.chunks_exact(4) {
-        let (s, p, o) = (TermId(e[0]), TermId(e[1]), TermId(e[2]));
-        check_list(&e[3..4])?;
-        if idx.spo.insert((s, p, o), e[3]).is_some() {
+/// Every (start, len) range must lie inside the postings arena.
+fn check_ranges(starts: &[u64], lens: &[u32], arena_len: usize) -> Result<(), SnapshotError> {
+    for (&start, &len) in starts.iter().zip(lens) {
+        let end = start.checked_add(u64::from(len));
+        if end.is_none_or(|e| e > arena_len as u64) {
             return Err(SnapshotError::Corrupt(format!(
-                "duplicate spo entry ({s:?},{p:?},{o:?})"
+                "posting range {start}+{len} exceeds arena (len {arena_len})"
             )));
         }
     }
+    Ok(())
+}
 
-    // Posting lists are concatenated into the shared arena in file order;
-    // maps record only (start, len) ranges — no per-list allocation.
-    let mut arena: Vec<u32> = Vec::with_capacity(6 * n_triples);
-    let pair_map = |c: &mut Cursor<'_>,
-                    arena: &mut Vec<u32>|
-     -> Result<FxHashMap<u64, PostingRange>, SnapshotError> {
-        let count = c.count(12)?;
-        let mut map = FxHashMap::with_capacity_and_hasher(count, Default::default());
-        for _ in 0..count {
-            let key = c.u64()?;
-            let len = c.u32()?;
-            let start = arena.len() as u64;
-            c.u32_into(len as usize, arena)?;
-            check_list(&arena[start as usize..])?;
-            if map.insert(key, PostingRange { start, len }).is_some() {
-                return Err(SnapshotError::Corrupt(format!(
-                    "duplicate posting key {key:#x}"
-                )));
-            }
-        }
-        Ok(map)
-    };
-    idx.sp = pair_map(&mut c, &mut arena)?;
-    idx.so = pair_map(&mut c, &mut arena)?;
-    idx.po = pair_map(&mut c, &mut arena)?;
+fn unsorted(what: &str) -> SnapshotError {
+    SnapshotError::Corrupt(format!("{what} keys not strictly ascending"))
+}
 
-    let single_map = |c: &mut Cursor<'_>,
-                      arena: &mut Vec<u32>|
-     -> Result<FxHashMap<TermId, PostingRange>, SnapshotError> {
-        let count = c.count(8)?;
-        let mut map = FxHashMap::with_capacity_and_hasher(count, Default::default());
-        for _ in 0..count {
-            let key = TermId(c.u32()?);
-            let len = c.u32()?;
-            let start = arena.len() as u64;
-            c.u32_into(len as usize, arena)?;
-            check_list(&arena[start as usize..])?;
-            if map.insert(key, PostingRange { start, len }).is_some() {
-                return Err(SnapshotError::Corrupt(format!(
-                    "duplicate posting key {key:?}"
-                )));
-            }
-        }
-        Ok(map)
+/// Version-2 index decode: bulk column copies straight into the
+/// sorted-array maps. The only per-entry work left is validation
+/// (key order, range bounds, posting bounds) — no hashing, no inserts.
+fn decode_idx(bytes: &[u8], n_triples: usize) -> Result<PatternIndexes, SnapshotError> {
+    let mut c = Cursor::new(bytes, "pattern indexes");
+
+    let spo_count = c.count(20)?;
+    let spo_keys = c.u128_vec(spo_count)?;
+    let spo_vals = c.u32_vec(spo_count)?;
+    c.align8()?;
+    check_list(&spo_vals, n_triples)?;
+    let spo = TripleMap::from_columns(spo_keys, spo_vals).ok_or_else(|| unsorted("spo"))?;
+
+    let pair = |c: &mut Cursor<'_>| -> Result<PostingMap<u64>, SnapshotError> {
+        let count = c.count(20)?;
+        let keys = c.u64_vec(count)?;
+        let starts = c.u64_vec(count)?;
+        let lens = c.u32_vec(count)?;
+        c.align8()?;
+        PostingMap::from_columns(keys, starts, lens).ok_or_else(|| unsorted("pair-map"))
     };
-    idx.s = single_map(&mut c, &mut arena)?;
-    idx.p = single_map(&mut c, &mut arena)?;
-    idx.o = single_map(&mut c, &mut arena)?;
-    idx.postings = arena;
+    let sp = pair(&mut c)?;
+    let so = pair(&mut c)?;
+    let po = pair(&mut c)?;
+
+    let single = |c: &mut Cursor<'_>| -> Result<PostingMap<TermId>, SnapshotError> {
+        let count = c.count(16)?;
+        let keys: Vec<TermId> = c.u32_vec(count)?.into_iter().map(TermId).collect();
+        c.align8()?;
+        let starts = c.u64_vec(count)?;
+        let lens = c.u32_vec(count)?;
+        c.align8()?;
+        PostingMap::from_columns(keys, starts, lens).ok_or_else(|| unsorted("single-map"))
+    };
+    let s = single(&mut c)?;
+    let p = single(&mut c)?;
+    let o = single(&mut c)?;
+
+    let arena_len = c.count(4)?;
+    let postings = c.u32_vec(arena_len)?;
+    c.align8()?;
+    check_list(&postings, n_triples)?;
+    for m in [&sp, &so, &po] {
+        check_ranges(&m.starts, &m.lens, postings.len())?;
+    }
+    for m in [&s, &p, &o] {
+        check_ranges(&m.starts, &m.lens, postings.len())?;
+    }
 
     let all_count = c.count(4)?;
-    idx.all = c.u32_vec(all_count)?;
-    check_list(&idx.all)?;
-    if idx.all.len() != n_triples {
+    let all = c.u32_vec(all_count)?;
+    check_list(&all, n_triples)?;
+    if all.len() != n_triples {
         return Err(SnapshotError::Corrupt(format!(
             "global list has {} entries for {} triples",
-            idx.all.len(),
+            all.len(),
             n_triples
         )));
     }
@@ -424,14 +576,121 @@ fn decode_idx(bytes: &[u8], n_triples: usize) -> Result<PatternIndexes, Snapshot
             "pattern indexes: trailing bytes after global list".into(),
         ));
     }
-    Ok(idx)
+    Ok(PatternIndexes {
+        spo,
+        sp,
+        so,
+        po,
+        s,
+        p,
+        o,
+        postings,
+        all,
+    })
 }
 
-/// Deserializes a snapshot image produced by [`write_snapshot`].
+/// Version-1 index decode: per-entry map records with inline posting lists.
+/// V1 writers emitted entries key-sorted, so this fills the sorted-array
+/// representation sequentially (posting lists concatenate into the shared
+/// arena in file order — still no hashing on the load path).
+fn decode_idx_v1(bytes: &[u8], n_triples: usize) -> Result<PatternIndexes, SnapshotError> {
+    let mut c = Cursor::new(bytes, "pattern indexes");
+
+    let spo_count = c.count(16)?;
+    let mut spo = TripleMap::default();
+    let spo_raw = c.u32_vec(spo_count * 4)?;
+    for e in spo_raw.chunks_exact(4) {
+        let key = (u128::from(e[0]) << 64) | (u128::from(e[1]) << 32) | u128::from(e[2]);
+        check_list(&e[3..4], n_triples)?;
+        if spo.keys.last().is_some_and(|&last| key <= last) {
+            return Err(unsorted("spo"));
+        }
+        spo.keys.push(key);
+        spo.vals.push(e[3]);
+    }
+
+    let mut arena: Vec<u32> = Vec::with_capacity(6 * n_triples);
+    let pair =
+        |c: &mut Cursor<'_>, arena: &mut Vec<u32>| -> Result<PostingMap<u64>, SnapshotError> {
+            let count = c.count(12)?;
+            let mut map = PostingMap::default();
+            for _ in 0..count {
+                let key = c.u64()?;
+                let len = c.u32()?;
+                let start = arena.len() as u64;
+                c.u32_into(len as usize, arena)?;
+                check_list(&arena[start as usize..], n_triples)?;
+                if map.keys.last().is_some_and(|&last| key <= last) {
+                    return Err(unsorted("pair-map"));
+                }
+                map.keys.push(key);
+                map.starts.push(start);
+                map.lens.push(len);
+            }
+            Ok(map)
+        };
+    let sp = pair(&mut c, &mut arena)?;
+    let so = pair(&mut c, &mut arena)?;
+    let po = pair(&mut c, &mut arena)?;
+
+    let single =
+        |c: &mut Cursor<'_>, arena: &mut Vec<u32>| -> Result<PostingMap<TermId>, SnapshotError> {
+            let count = c.count(8)?;
+            let mut map = PostingMap::default();
+            for _ in 0..count {
+                let key = TermId(c.u32()?);
+                let len = c.u32()?;
+                let start = arena.len() as u64;
+                c.u32_into(len as usize, arena)?;
+                check_list(&arena[start as usize..], n_triples)?;
+                if map.keys.last().is_some_and(|&last| key <= last) {
+                    return Err(unsorted("single-map"));
+                }
+                map.keys.push(key);
+                map.starts.push(start);
+                map.lens.push(len);
+            }
+            Ok(map)
+        };
+    let s = single(&mut c, &mut arena)?;
+    let p = single(&mut c, &mut arena)?;
+    let o = single(&mut c, &mut arena)?;
+
+    let all_count = c.count(4)?;
+    let all = c.u32_vec(all_count)?;
+    check_list(&all, n_triples)?;
+    if all.len() != n_triples {
+        return Err(SnapshotError::Corrupt(format!(
+            "global list has {} entries for {} triples",
+            all.len(),
+            n_triples
+        )));
+    }
+    if !c.done() {
+        return Err(SnapshotError::Corrupt(
+            "pattern indexes: trailing bytes after global list".into(),
+        ));
+    }
+    Ok(PatternIndexes {
+        spo,
+        sp,
+        so,
+        po,
+        s,
+        p,
+        o,
+        postings: arena,
+        all,
+    })
+}
+
+/// Deserializes a snapshot image produced by [`write_snapshot`] (or a
+/// version-1 image produced by an older build / [`write_snapshot_v1`]).
 ///
 /// Validates the magic, version, overall framing and FNV-1a trailer before
 /// touching any section, then checks every cross-reference (term ids against
-/// the dictionary, posting entries against the triple count) while decoding.
+/// the dictionary, posting entries against the triple count, ranges against
+/// the arena) while decoding.
 pub fn read_snapshot(bytes: &[u8]) -> Result<KnowledgeGraph> {
     let header_err = |context: &str| SnapshotError::Truncated {
         context: context.to_string(),
@@ -454,22 +713,31 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<KnowledgeGraph> {
         .into());
     }
     let section_count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
-    let table_end = 16 + section_count * 12;
+    // v1: 12-byte table entries, bodies packed back to back.
+    // v2: 16-byte table entries, bodies zero-padded to 8-byte boundaries.
+    let (entry_bytes, aligned) = if version >= 2 {
+        (16, true)
+    } else {
+        (12, false)
+    };
+    let table_end = 16 + section_count * entry_bytes;
     if bytes.len() < table_end {
         return Err(header_err("section table").into());
     }
     let mut sections = Vec::with_capacity(section_count);
     let mut payload_len = 0usize;
     for i in 0..section_count {
-        let at = 16 + i * 12;
+        let at = 16 + i * entry_bytes;
         let id = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
-        let len = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap());
+        let len_at = at + entry_bytes - 8;
+        let len = u64::from_le_bytes(bytes[len_at..len_at + 8].try_into().unwrap());
         let len = usize::try_from(len)
             .map_err(|_| SnapshotError::Corrupt(format!("section {id} length overflows")))?;
+        let stored = if aligned { pad8_len(len) } else { len };
         payload_len = payload_len
-            .checked_add(len)
+            .checked_add(stored)
             .ok_or_else(|| SnapshotError::Corrupt("section lengths overflow".into()))?;
-        sections.push((id, len));
+        sections.push((id, len, stored));
     }
     let expected_total = table_end
         .checked_add(payload_len)
@@ -487,7 +755,14 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<KnowledgeGraph> {
     }
     let body_end = expected_total - 8;
     let expected = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
-    let actual = fnv1a_64_words(&bytes[..body_end]);
+    // v1 trailers were written with the single-chain word FNV; v2 switched
+    // to the 8-lane variant. Old files must keep verifying, so the checksum
+    // function is part of each format version.
+    let actual = if version >= 2 {
+        fnv1a_64_lanes(&bytes[..body_end])
+    } else {
+        fnv1a_64_words(&bytes[..body_end])
+    };
     if expected != actual {
         return Err(SnapshotError::ChecksumMismatch { expected, actual }.into());
     }
@@ -496,9 +771,9 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<KnowledgeGraph> {
     let mut cols_bytes = None;
     let mut idx_bytes = None;
     let mut offset = table_end;
-    for (id, len) in sections {
+    for (id, len, stored) in sections {
         let body = &bytes[offset..offset + len];
-        offset += len;
+        offset += stored;
         match id {
             SECTION_DICT => dict_bytes = Some(body),
             SECTION_COLS => cols_bytes = Some(body),
@@ -509,8 +784,17 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<KnowledgeGraph> {
     }
     let missing = |name: &str| SnapshotError::Corrupt(format!("required section {name} missing"));
     let dict = decode_dict(dict_bytes.ok_or_else(|| missing("DICT"))?)?;
-    let cols = decode_cols(cols_bytes.ok_or_else(|| missing("COLS"))?, dict.len())?;
-    let indexes = decode_idx(idx_bytes.ok_or_else(|| missing("IDX"))?, cols.len())?;
+    let cols = decode_cols(
+        cols_bytes.ok_or_else(|| missing("COLS"))?,
+        dict.len(),
+        aligned,
+    )?;
+    let idx_body = idx_bytes.ok_or_else(|| missing("IDX"))?;
+    let indexes = if version >= 2 {
+        decode_idx(idx_body, cols.len())?
+    } else {
+        decode_idx_v1(idx_body, cols.len())?
+    };
     Ok(KnowledgeGraph {
         dict,
         cols,
@@ -554,11 +838,7 @@ mod tests {
         }
     }
 
-    #[test]
-    fn roundtrip_preserves_everything() {
-        let g = sample();
-        let bytes = write_snapshot(&g);
-        let g2 = read_snapshot(&bytes).unwrap();
+    fn assert_graphs_answer_identically(g: &KnowledgeGraph, g2: &KnowledgeGraph) {
         assert_eq!(g2.len(), g.len());
         assert_eq!(g2.dictionary().len(), g.dictionary().len());
         // Ids are identical, not merely isomorphic.
@@ -590,13 +870,50 @@ mod tests {
                 assert_eq!(m1.score_at(r), m2.score_at(r), "{key:?} rank {r}");
             }
         }
-        assert_eq!(g2.dictionary().lookup("ghost"), d.lookup("ghost"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample();
+        let bytes = write_snapshot(&g);
+        let g2 = read_snapshot(&bytes).unwrap();
+        assert_graphs_answer_identically(&g, &g2);
+        assert_eq!(
+            g2.dictionary().lookup("ghost"),
+            g.dictionary().lookup("ghost")
+        );
+    }
+
+    #[test]
+    fn v1_image_reads_back_identically() {
+        let g = sample();
+        let bytes = write_snapshot_v1(&g);
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+        let g2 = read_snapshot(&bytes).unwrap();
+        assert_graphs_answer_identically(&g, &g2);
+    }
+
+    #[test]
+    fn v2_sections_are_8_byte_aligned() {
+        let bytes = write_snapshot(&sample());
+        let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let table_end = 16 + count * 16;
+        assert_eq!(table_end % 8, 0);
+        let mut offset = table_end;
+        for i in 0..count {
+            assert_eq!(offset % 8, 0, "section {i} starts unaligned");
+            let len_at = 16 + i * 16 + 8;
+            let len = u64::from_le_bytes(bytes[len_at..len_at + 8].try_into().unwrap()) as usize;
+            offset += pad8_len(len);
+        }
+        assert_eq!(offset + 8, bytes.len());
     }
 
     #[test]
     fn snapshot_bytes_are_deterministic() {
         let g = sample();
         assert_eq!(write_snapshot(&g), write_snapshot(&g));
+        assert_eq!(write_snapshot_v1(&g), write_snapshot_v1(&g));
     }
 
     #[test]
@@ -605,6 +922,8 @@ mod tests {
         let g2 = read_snapshot(&write_snapshot(&g)).unwrap();
         assert!(g2.is_empty());
         assert!(g2.matches(PatternKey::any()).is_empty());
+        let g3 = read_snapshot(&write_snapshot_v1(&g)).unwrap();
+        assert!(g3.is_empty());
     }
 
     #[test]
@@ -667,7 +986,7 @@ mod tests {
     #[test]
     fn trailing_garbage_is_typed_error() {
         let mut bytes = write_snapshot(&sample());
-        bytes.extend_from_slice(b"extra");
+        bytes.extend_from_slice(b"extraextra");
         let e = snapshot_err(read_snapshot(&bytes));
         assert!(matches!(e, SnapshotError::Corrupt(_)), "{e:?}");
     }
@@ -679,11 +998,11 @@ mod tests {
         // The DICT section starts right after the header+table; overwrite its
         // term count with an absurd value and refresh the checksum so the
         // framing passes and the structural check is what fires.
-        let table_end = 16 + 3 * 12;
+        let table_end = 16 + 3 * 16;
         let mut bytes = bytes;
         bytes[table_end..table_end + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         let body_end = bytes.len() - 8;
-        let sum = fnv1a_64_words(&bytes[..body_end]);
+        let sum = fnv1a_64_lanes(&bytes[..body_end]);
         bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
         let e = snapshot_err(read_snapshot(&bytes));
         assert!(matches!(e, SnapshotError::Corrupt(_)), "{e:?}");
@@ -694,19 +1013,44 @@ mod tests {
         let g = sample();
         for bad in [-1.0f64, f64::INFINITY, f64::NAN] {
             let mut bytes = write_snapshot(&g);
-            // Section table entry 0 (DICT) holds its length at offset 20;
-            // COLS follows the table + DICT, scores follow count + 3 term
-            // columns. Patch the first score and refresh the checksum so
-            // the structural check (not the checksum) is what fires.
-            let dict_len = u64::from_le_bytes(bytes[20..28].try_into().unwrap()) as usize;
-            let score_off = (16 + 3 * 12) + dict_len + 8 + 3 * 4 * g.len();
+            // Locate the score column from the section table: COLS follows
+            // the padded DICT body; inside COLS the scores follow the count
+            // and the three (jointly padded) term columns. Patch the first
+            // score and refresh the checksum so the structural check (not
+            // the checksum) is what fires.
+            let table_end = 16 + 3 * 16;
+            let dict_len = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
+            let score_off = table_end + pad8_len(dict_len) + 8 + pad8_len(3 * 4 * g.len());
             bytes[score_off..score_off + 8].copy_from_slice(&bad.to_bits().to_le_bytes());
             let body_end = bytes.len() - 8;
-            let sum = fnv1a_64_words(&bytes[..body_end]);
+            let sum = fnv1a_64_lanes(&bytes[..body_end]);
             bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
             let e = snapshot_err(read_snapshot(&bytes));
             assert!(matches!(e, SnapshotError::Corrupt(_)), "{bad}: {e:?}");
         }
+    }
+
+    #[test]
+    fn unsorted_v2_keys_are_corrupt() {
+        let g = sample();
+        let mut bytes = write_snapshot(&g);
+        // The IDX section is third: swap the first two spo keys (two u128s
+        // right after the count) and refresh the checksum.
+        let table_end = 16 + 3 * 16;
+        let dict_len = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
+        let cols_len = u64::from_le_bytes(bytes[40..48].try_into().unwrap()) as usize;
+        let idx_off = table_end + pad8_len(dict_len) + pad8_len(cols_len);
+        let key_off = idx_off + 8;
+        let (a, b) = (key_off, key_off + 16);
+        let first: [u8; 16] = bytes[a..a + 16].try_into().unwrap();
+        let second: [u8; 16] = bytes[b..b + 16].try_into().unwrap();
+        bytes[a..a + 16].copy_from_slice(&second);
+        bytes[b..b + 16].copy_from_slice(&first);
+        let body_end = bytes.len() - 8;
+        let sum = fnv1a_64_lanes(&bytes[..body_end]);
+        bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
+        let e = snapshot_err(read_snapshot(&bytes));
+        assert!(matches!(e, SnapshotError::Corrupt(_)), "{e:?}");
     }
 
     #[test]

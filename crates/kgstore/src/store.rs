@@ -2,7 +2,7 @@
 
 use crate::columns::TripleColumns;
 use crate::index::PatternIndexes;
-use crate::pattern_key::{pack2, PatternKey, Signature};
+use crate::pattern_key::{pack2, pack3, PatternKey, Signature};
 use crate::triple::{ScoredTriple, Triple};
 use specqp_common::Dictionary;
 use specqp_common::{Score, TermId};
@@ -76,13 +76,13 @@ impl KnowledgeGraph {
     /// posting-list lookup; the all-wildcard key returns the global list.
     pub fn matches(&self, key: PatternKey) -> MatchList<'_> {
         let idx = &self.indexes;
-        let resolve = |r: Option<&crate::index::PostingRange>| -> &[u32] {
-            r.map(|&r| idx.list(r)).unwrap_or(&EMPTY)
+        let resolve = |r: Option<crate::index::PostingRange>| -> &[u32] {
+            r.map(|r| idx.list(r)).unwrap_or(&EMPTY)
         };
         let ids: &[u32] = match key.signature() {
             Signature::Spo => {
                 let (s, p, o) = (key.s.unwrap(), key.p.unwrap(), key.o.unwrap());
-                match idx.spo.get(&(s, p, o)) {
+                match idx.spo.get(pack3(s, p, o)) {
                     Some(i) => {
                         // Return a 1-element slice borrowed from a per-call
                         // allocation-free path: we keep singleton lists in the
@@ -90,9 +90,9 @@ impl KnowledgeGraph {
                         // the (s,p) postings and filter on o lazily — but that
                         // breaks the "slice" contract. We store the singleton
                         // in the po postings and search it.
-                        let list = resolve(idx.po.get(&pack2(p, o)));
+                        let list = resolve(idx.po.get(pack2(p, o)));
                         // Find position of `i` — lists are tiny for spo keys.
-                        match list.iter().position(|x| x == i) {
+                        match list.iter().position(|&x| x == i) {
                             Some(pos) => &list[pos..=pos],
                             None => &EMPTY,
                         }
@@ -100,12 +100,12 @@ impl KnowledgeGraph {
                     None => &EMPTY,
                 }
             }
-            Signature::SpX => resolve(idx.sp.get(&pack2(key.s.unwrap(), key.p.unwrap()))),
-            Signature::SxO => resolve(idx.so.get(&pack2(key.s.unwrap(), key.o.unwrap()))),
-            Signature::XpO => resolve(idx.po.get(&pack2(key.p.unwrap(), key.o.unwrap()))),
-            Signature::Sxx => resolve(idx.s.get(&key.s.unwrap())),
-            Signature::XpX => resolve(idx.p.get(&key.p.unwrap())),
-            Signature::XxO => resolve(idx.o.get(&key.o.unwrap())),
+            Signature::SpX => resolve(idx.sp.get(pack2(key.s.unwrap(), key.p.unwrap()))),
+            Signature::SxO => resolve(idx.so.get(pack2(key.s.unwrap(), key.o.unwrap()))),
+            Signature::XpO => resolve(idx.po.get(pack2(key.p.unwrap(), key.o.unwrap()))),
+            Signature::Sxx => resolve(idx.s.get(key.s.unwrap())),
+            Signature::XpX => resolve(idx.p.get(key.p.unwrap())),
+            Signature::XxO => resolve(idx.o.get(key.o.unwrap())),
             Signature::Xxx => &idx.all,
         };
         MatchList { graph: self, ids }
@@ -118,15 +118,15 @@ impl KnowledgeGraph {
 
     /// `true` if a triple with exactly these components exists.
     pub fn contains(&self, s: TermId, p: TermId, o: TermId) -> bool {
-        self.indexes.spo.contains_key(&(s, p, o))
+        self.indexes.spo.get(pack3(s, p, o)).is_some()
     }
 
     /// The raw score of an exact triple, if present.
     pub fn score_of(&self, s: TermId, p: TermId, o: TermId) -> Option<Score> {
         self.indexes
             .spo
-            .get(&(s, p, o))
-            .map(|&i| self.cols.score(i as usize))
+            .get(pack3(s, p, o))
+            .map(|i| self.cols.score(i as usize))
     }
 
     /// Approximate resident bytes (diagnostics).

@@ -445,19 +445,29 @@ impl BlockStream for RowsToBlocks<'_> {
     }
 }
 
-/// Pulls the top-`k` answers out of a block stream, converting only the
-/// winning rows into [`PartialAnswer`]s.
+/// Collects the top-`k` answers out of a block stream under the canonical
+/// total order (score desc, binding asc), converting only the winning rows
+/// into [`PartialAnswer`]s. Mirrors [`top_k`](crate::top_k): after `k`
+/// answers the stream has reached the score floor, and rows tied at the
+/// floor are drained so the boundary is resolved by binding rather than by
+/// incidental stream position — the block executor returns exactly what the
+/// row executor and the morsel-parallel merge return.
 pub fn top_k_blocks<S: BlockStream + ?Sized>(stream: &mut S, k: usize) -> Vec<PartialAnswer> {
     let mut out = Vec::with_capacity(k);
-    while out.len() < k {
-        let Some(block) = stream.next_block() else {
-            break;
-        };
-        let take = (k - out.len()).min(block.len());
-        for i in 0..take {
-            out.push(block.answer(i));
+    if k == 0 {
+        return out;
+    }
+    'stream: while let Some(block) = stream.next_block() {
+        for i in 0..block.len() {
+            let a = block.answer(i);
+            if out.len() >= k && a.score != out[k - 1].score {
+                break 'stream;
+            }
+            out.push(a);
         }
     }
+    out.sort_by(|a, b| b.cmp(a));
+    out.truncate(k);
     out
 }
 

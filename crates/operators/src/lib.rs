@@ -41,6 +41,7 @@ pub mod block;
 pub mod block_join;
 pub mod incr_merge;
 pub mod metrics;
+pub mod morsel;
 pub mod nrjn;
 pub mod rank_join;
 pub mod scan;
@@ -56,6 +57,7 @@ pub use block::{
 pub use block_join::{BlockIncrementalMerge, BlockNestedLoopsRankJoin, BlockRankJoin};
 pub use incr_merge::IncrementalMerge;
 pub use metrics::{CacheMetrics, CacheMetricsHandle, MetricsHandle, OpMetrics};
+pub use morsel::{MorselDispenser, DEFAULT_MORSEL_ROWS};
 pub use nrjn::NestedLoopsRankJoin;
 pub use rank_join::{PullStrategy, RankJoin};
 pub use scan::{BlockScan, PatternScan};

@@ -1,0 +1,142 @@
+//! Morsel-driven work distribution for intra-query parallelism.
+//!
+//! A [`MorselDispenser`] slices one pattern's rank range `0..total` into
+//! fixed-size *morsels* and hands them out through a single atomic cursor.
+//! Every parallel worker owns a private operator tree whose partitioned
+//! [`BlockScan`](crate::BlockScan) pulls morsels from the shared dispenser
+//! as it drains them — workers that finish cheap morsels immediately steal
+//! the next one, so skew in the score distribution balances itself without
+//! any static assignment.
+//!
+//! Because morsels are claimed in ascending rank order and match lists are
+//! score-descending, every claim sequence a worker observes is itself
+//! score-descending — the [`BlockStream`](crate::BlockStream) bound
+//! contract survives partitioning unchanged.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default morsel granularity cap in rows. Small enough that one morsel's
+/// gather stays cache-resident, large enough that the atomic claim is noise.
+pub const DEFAULT_MORSEL_ROWS: usize = 8192;
+
+/// Atomic hand-out of fixed-size rank ranges over `0..total`.
+///
+/// ```
+/// use operators::MorselDispenser;
+///
+/// let d = MorselDispenser::new(10, 4);
+/// assert_eq!(d.claim(), Some(0..4));
+/// assert_eq!(d.claim(), Some(4..8));
+/// assert_eq!(d.claim(), Some(8..10));
+/// assert_eq!(d.claim(), None);
+/// ```
+#[derive(Debug)]
+pub struct MorselDispenser {
+    cursor: AtomicUsize,
+    total: usize,
+    morsel: usize,
+}
+
+impl MorselDispenser {
+    /// A dispenser over `0..total` handing out ranges of up to `morsel`
+    /// rows (clamped to at least 1).
+    pub fn new(total: usize, morsel: usize) -> Self {
+        MorselDispenser {
+            cursor: AtomicUsize::new(0),
+            total,
+            morsel: morsel.max(1),
+        }
+    }
+
+    /// A dispenser sized for `workers` consumers: roughly four morsels per
+    /// worker (so stealing has slack to balance skew), capped at
+    /// [`DEFAULT_MORSEL_ROWS`].
+    pub fn for_workers(total: usize, workers: usize) -> Self {
+        let per = total.div_ceil(workers.max(1) * 4);
+        MorselDispenser::new(total, per.clamp(1, DEFAULT_MORSEL_ROWS))
+    }
+
+    /// Total number of rows being dispensed.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Claims the next unclaimed rank range, or `None` when `0..total` has
+    /// been fully handed out. Each row is claimed exactly once across all
+    /// callers.
+    pub fn claim(&self) -> Option<Range<usize>> {
+        let start = self.cursor.fetch_add(self.morsel, Ordering::Relaxed);
+        if start >= self.total {
+            None
+        } else {
+            Some(start..(start + self.morsel).min(self.total))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn covers_range_exactly_once() {
+        let d = MorselDispenser::new(100, 7);
+        let mut seen = [false; 100];
+        while let Some(r) = d.claim() {
+            for i in r {
+                assert!(!seen[i], "row {i} claimed twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(d.claim(), None, "exhausted dispenser stays exhausted");
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let d = MorselDispenser::new(0, 8);
+        assert_eq!(d.claim(), None);
+    }
+
+    #[test]
+    fn for_workers_scales_morsel_size() {
+        assert_eq!(MorselDispenser::for_workers(100, 4).morsel, 7);
+        assert_eq!(MorselDispenser::for_workers(3, 8).morsel, 1);
+        assert_eq!(
+            MorselDispenser::for_workers(10_000_000, 4).morsel,
+            DEFAULT_MORSEL_ROWS
+        );
+    }
+
+    #[test]
+    fn concurrent_claims_partition_the_range() {
+        let d = Arc::new(MorselDispenser::new(10_000, 13));
+        let mut claimed: Vec<Range<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let d = Arc::clone(&d);
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(r) = d.claim() {
+                            mine.push(r);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        claimed.sort_by_key(|r| r.start);
+        let mut next = 0;
+        for r in claimed {
+            assert_eq!(r.start, next, "gap or overlap at {next}");
+            next = r.end;
+        }
+        assert_eq!(next, 10_000);
+    }
+}

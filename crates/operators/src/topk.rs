@@ -5,18 +5,31 @@ use crate::stream::RankedStream;
 use sparql::Var;
 use specqp_common::FxHashSet;
 
-/// Pulls the first `k` answers. Because [`RankedStream`]s produce answers in
-/// non-increasing order, these are exactly the top-k; the early-termination
-/// logic lives inside the operators, which only consume as much of their
-/// inputs as the bounds require.
+/// Collects the top-`k` answers under the canonical total order
+/// (score desc, binding asc). Because [`RankedStream`]s produce answers in
+/// non-increasing score order, the first `k` pulls reach the score floor;
+/// answers tied *at* the floor are then drained so the boundary is resolved
+/// by binding rather than by incidental stream position — every executor
+/// (row, block, morsel-parallel) truncates the same total order and returns
+/// the same answer set in the same order. The early-termination logic lives
+/// inside the operators, which only consume as much of their inputs as the
+/// bounds require.
 pub fn top_k<S: RankedStream + ?Sized>(stream: &mut S, k: usize) -> Vec<PartialAnswer> {
     let mut out = Vec::with_capacity(k);
-    while out.len() < k {
-        match stream.next() {
-            Some(a) => out.push(a),
-            None => break,
-        }
+    if k == 0 {
+        return out;
     }
+    while let Some(a) = stream.next() {
+        // `out` is in non-increasing score order, so once it holds `k`
+        // answers `out[k - 1]` carries the floor; only floor ties may still
+        // belong to the canonical top-k.
+        if out.len() >= k && a.score != out[k - 1].score {
+            break;
+        }
+        out.push(a);
+    }
+    out.sort_by(|a, b| b.cmp(a));
+    out.truncate(k);
     out
 }
 

@@ -81,17 +81,35 @@ impl QuotaRegistry {
             tokens: cfg.burst,
             refilled: now,
         });
+        // Credit only *whole* tokens, and advance the refill clock by
+        // exactly the time those tokens took to accrue — the fractional
+        // remainder stays in the clock, not in the balance. Crediting
+        // fractions on every call (`tokens += elapsed * rate`) lets float
+        // rounding drift the balance when a throttled client polls at
+        // sub-token intervals; keeping the balance integral makes every
+        // refill boundary exact. At the burst cap the clock snaps to `now`:
+        // surplus idle time is forfeited, never banked.
         let elapsed = now.saturating_duration_since(bucket.refilled);
-        bucket.tokens = (bucket.tokens + elapsed.as_secs_f64() * cfg.rate_per_sec).min(cfg.burst);
-        bucket.refilled = now;
+        let accrued = (elapsed.as_secs_f64() * cfg.rate_per_sec).floor();
+        if accrued >= 1.0 {
+            if bucket.tokens + accrued >= cfg.burst {
+                bucket.tokens = cfg.burst;
+                bucket.refilled = now;
+            } else {
+                bucket.tokens += accrued;
+                bucket.refilled += Duration::from_secs_f64(accrued / cfg.rate_per_sec);
+            }
+        }
         if bucket.tokens >= 1.0 {
             bucket.tokens -= 1.0;
             Ok(())
         } else {
+            // Time already sitting in the refill clock counts toward the
+            // next token, so the hint shrinks as the wait progresses.
+            let since_refill = now.saturating_duration_since(bucket.refilled).as_secs_f64();
             let deficit = 1.0 - bucket.tokens;
-            Err(Duration::from_secs_f64(
-                deficit / cfg.rate_per_sec.max(f64::MIN_POSITIVE),
-            ))
+            let wait = deficit / cfg.rate_per_sec.max(f64::MIN_POSITIVE) - since_refill;
+            Err(Duration::from_secs_f64(wait.max(1e-9)))
         }
     }
 }
@@ -146,6 +164,67 @@ mod tests {
         assert!(q.try_acquire_at(1, t0).is_err(), "client 1 exhausted");
         // Client 2 is untouched by client 1's spending.
         assert!(q.try_acquire_at(2, t0).is_ok());
+    }
+
+    #[test]
+    fn sub_token_polls_do_not_drift_the_refill_clock() {
+        // One token per millisecond. A throttled client hammering the
+        // endpoint inside one refill period must see the token appear at
+        // the exact boundary — failed polls never nudge the clock.
+        let q = QuotaRegistry::new(Some(QuotaConfig {
+            rate_per_sec: 1000.0,
+            burst: 1.0,
+        }));
+        let t0 = Instant::now();
+        assert!(q.try_acquire_at(1, t0).is_ok());
+        for us in [100, 400, 900] {
+            assert!(
+                q.try_acquire_at(1, t0 + Duration::from_micros(us)).is_err(),
+                "{us}µs: no whole token has accrued yet"
+            );
+        }
+        assert!(q.try_acquire_at(1, t0 + Duration::from_millis(1)).is_ok());
+        assert!(q
+            .try_acquire_at(1, t0 + Duration::from_micros(1900))
+            .is_err());
+        assert!(q.try_acquire_at(1, t0 + Duration::from_millis(2)).is_ok());
+    }
+
+    #[test]
+    fn retry_hint_credits_partial_accrual() {
+        let q = QuotaRegistry::new(Some(QuotaConfig {
+            rate_per_sec: 10.0,
+            burst: 1.0,
+        }));
+        let t0 = Instant::now();
+        assert!(q.try_acquire_at(3, t0).is_ok());
+        // 60 ms into the 100 ms refill period, ~40 ms remain.
+        let hint = q
+            .try_acquire_at(3, t0 + Duration::from_millis(60))
+            .unwrap_err();
+        assert!(hint >= Duration::from_millis(39), "hint {hint:?}");
+        assert!(hint <= Duration::from_millis(41), "hint {hint:?}");
+        // Honouring the hint admits.
+        assert!(q
+            .try_acquire_at(3, t0 + Duration::from_millis(60) + hint)
+            .is_ok());
+    }
+
+    #[test]
+    fn long_idle_snaps_clock_to_now_at_burst_cap() {
+        let q = QuotaRegistry::new(Some(QuotaConfig {
+            rate_per_sec: 1.0,
+            burst: 2.0,
+        }));
+        let t0 = Instant::now();
+        assert!(q.try_acquire_at(9, t0).is_ok());
+        let t1 = t0 + Duration::from_secs(3600);
+        assert!(q.try_acquire_at(9, t1).is_ok());
+        assert!(q.try_acquire_at(9, t1).is_ok());
+        // The hour of surplus idle time was forfeited, not banked: the next
+        // token is a full second away.
+        let hint = q.try_acquire_at(9, t1).unwrap_err();
+        assert!(hint >= Duration::from_millis(999), "hint {hint:?}");
     }
 
     #[test]

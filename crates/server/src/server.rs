@@ -244,6 +244,20 @@ fn reader_loop(stream: TcpStream, shared: &Shared, tx: &mpsc::Sender<Outgoing>) 
     }
 }
 
+/// Converts a retry-hint [`Duration`] to whole wire milliseconds, rounding
+/// **up** and clamping to `[1, u32::MAX]`.
+///
+/// `as_millis()` truncates: a 1.4 ms throttle window would go out as 1 ms,
+/// and a compliant client retrying after exactly the advertised wait would
+/// arrive still-throttled and be bounced again (each bounce re-advertising
+/// a truncated hint). Ceiling the conversion makes the hint an upper bound
+/// on the remaining wait, so honouring it always succeeds.
+fn retry_after_ms(wait: Duration) -> u32 {
+    wait.as_nanos()
+        .div_ceil(1_000_000)
+        .clamp(1, u128::from(u32::MAX)) as u32
+}
+
 /// The admission pipeline for one decoded frame: each rejection layer is
 /// strictly cheaper than the next stage it guards.
 fn admit(shared: &Shared, payload: &[u8]) -> Outgoing {
@@ -286,7 +300,7 @@ fn admit(shared: &Shared, payload: &[u8]) -> Outgoing {
             .counters
             .quota_rejected
             .fetch_add(1, Ordering::Relaxed);
-        let ms = wait.as_millis().clamp(1, u64::from(u32::MAX) as u128) as u32;
+        let ms = retry_after_ms(wait);
         return reject(id, ErrorCode::RetryAfter, ms, "client quota exhausted");
     }
     let dict = shared.service.engine().graph().dictionary();
@@ -314,9 +328,7 @@ fn admit(shared: &Shared, payload: &[u8]) -> Outgoing {
     match shared.service.try_submit(request) {
         Ok(ticket) => Outgoing::Pending(id, ticket),
         Err(ServiceError::QueueFull { retry_after }) => {
-            let ms = retry_after
-                .as_millis()
-                .clamp(1, u64::from(u32::MAX) as u128) as u32;
+            let ms = retry_after_ms(retry_after);
             reject(id, ErrorCode::RetryAfter, ms, "execution queue full")
         }
         Err(ServiceError::ShuttingDown) => {
@@ -384,4 +396,40 @@ fn encode_response_frame(id: u64, response: specqp_service::Response, shared: &S
 /// as a ready-to-send frame payload.
 pub fn request_frame(req: &WireRequest) -> Vec<u8> {
     encode_request(req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::retry_after_ms;
+    use std::time::Duration;
+
+    #[test]
+    fn retry_after_rounds_fractional_millis_up() {
+        // The truncation bug this pins: 1.4 ms must advertise 2 ms, not 1.
+        assert_eq!(retry_after_ms(Duration::from_micros(1_400)), 2);
+        assert_eq!(retry_after_ms(Duration::from_nanos(1_000_001)), 2);
+        assert_eq!(retry_after_ms(Duration::from_micros(2_999)), 3);
+    }
+
+    #[test]
+    fn retry_after_exact_millis_pass_through() {
+        assert_eq!(retry_after_ms(Duration::from_millis(1)), 1);
+        assert_eq!(retry_after_ms(Duration::from_millis(250)), 250);
+        assert_eq!(retry_after_ms(Duration::from_secs(2)), 2_000);
+    }
+
+    #[test]
+    fn retry_after_never_advertises_zero() {
+        // A zero hint would mean "retry immediately" — guaranteed bounce.
+        assert_eq!(retry_after_ms(Duration::ZERO), 1);
+        assert_eq!(retry_after_ms(Duration::from_nanos(1)), 1);
+        assert_eq!(retry_after_ms(Duration::from_micros(999)), 1);
+    }
+
+    #[test]
+    fn retry_after_saturates_at_u32_max() {
+        assert_eq!(retry_after_ms(Duration::from_secs(u64::MAX / 2)), u32::MAX);
+        let exactly_max = Duration::from_millis(u64::from(u32::MAX));
+        assert_eq!(retry_after_ms(exactly_max), u32::MAX);
+    }
 }

@@ -314,6 +314,79 @@ mod tests {
         assert!(t.p99_latency >= Duration::from_micros(100_000));
     }
 
+    /// Pins the exact bucket boundaries of the log2 histogram: bucket 0
+    /// holds only 0µs, bucket `i` holds `[2^(i-1), 2^i)` — every power of
+    /// two *opens* a new bucket rather than closing the previous one, and
+    /// the top bucket absorbs everything from `2^62` up without overflow.
+    #[test]
+    fn histogram_buckets_pin_power_of_two_boundaries() {
+        let bucket_of = |us: u64| -> usize {
+            let h = Histogram::new();
+            h.record(Duration::from_micros(us));
+            h.load().iter().position(|&c| c == 1).unwrap()
+        };
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2, "2^1 opens bucket 2");
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(1023), 10, "2^10 - 1 closes bucket 10");
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of((1 << 62) - 1), 62);
+        assert_eq!(
+            bucket_of(1 << 62),
+            63,
+            "top bucket is clamped, not [..2^63)"
+        );
+        assert_eq!(bucket_of(u64::MAX), 63);
+        // A Duration whose microseconds exceed u64 saturates into the top
+        // bucket instead of wrapping.
+        let h = Histogram::new();
+        h.record(Duration::MAX);
+        assert_eq!(h.load()[63], 1);
+    }
+
+    /// Percentiles report the *upper* edge of the rank's bucket, so the
+    /// estimate always bounds the true sample from above (within 2x).
+    #[test]
+    fn percentile_upper_bounds_are_exact_bucket_edges() {
+        let h = Histogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.percentile(&h.load(), 0.5), Duration::ZERO);
+
+        let h = Histogram::new();
+        h.record(Duration::from_micros(1));
+        assert_eq!(h.percentile(&h.load(), 0.5), Duration::from_micros(2));
+
+        // A sample at an exact power of two reports the *next* power — the
+        // half-open bucketing keeps the bound ≥ the sample.
+        let h = Histogram::new();
+        h.record(Duration::from_micros(64));
+        assert_eq!(h.percentile(&h.load(), 0.99), Duration::from_micros(128));
+    }
+
+    #[test]
+    fn percentile_rank_is_nearest_rank_clamped() {
+        let h = Histogram::new();
+        // 10 samples in bucket 1 (1µs), 10 in bucket 5 (16..32µs).
+        for _ in 0..10 {
+            h.record(Duration::from_micros(1));
+            h.record(Duration::from_micros(20));
+        }
+        let counts = h.load();
+        // q→0 clamps to rank 1; q=0.5 is rank 10, the last fast sample;
+        // one rank further crosses into the slow bucket.
+        assert_eq!(h.percentile(&counts, 0.0), Duration::from_micros(2));
+        assert_eq!(h.percentile(&counts, 0.5), Duration::from_micros(2));
+        assert_eq!(h.percentile(&counts, 0.51), Duration::from_micros(32));
+        assert_eq!(h.percentile(&counts, 1.0), Duration::from_micros(32));
+        // Empty histogram: zero, not a bucket edge.
+        let empty = Histogram::new();
+        assert_eq!(empty.percentile(&empty.load(), 0.99), Duration::ZERO);
+    }
+
     #[test]
     fn mean_executed_latency_feeds_retry_hint() {
         let c = LifetimeCounters::new();

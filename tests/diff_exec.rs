@@ -164,6 +164,39 @@ proptest! {
     }
 }
 
+/// Morsel-driven parallel block execution must be **bit-identical** to
+/// sequential block execution — same answers, same order, same score bits —
+/// at every worker count. Degree 1 pins the hook's no-op path, 2 the
+/// minimal split, 8 oversubscribes test-sized match lists so most workers
+/// drain the dispenser dry.
+#[test]
+fn parallel_block_execution_equals_sequential() {
+    for world in [xkg(), twitter()] {
+        let engine = |workers: usize| {
+            Engine::with_config(
+                &world.ds.graph,
+                &world.ds.registry,
+                EngineConfig::default()
+                    .with_execution(ExecutionMode::Block(operators::DEFAULT_BLOCK_SIZE))
+                    .with_parallelism(workers),
+            )
+        };
+        let sequential = engine(1);
+        for q in &world.ds.workload.queries {
+            let seq_spec = sequential.run_specqp(q, 10);
+            let seq_trinit = sequential.run_trinit(q, 10);
+            for workers in [1, 2, 8] {
+                let parallel = engine(workers);
+                let spec = parallel.run_specqp(q, 10);
+                assert_eq!(seq_spec.plan, spec.plan, "{workers} workers");
+                assert_eq!(seq_spec.answers, spec.answers, "{workers} workers");
+                let trinit = parallel.run_trinit(q, 10);
+                assert_eq!(seq_trinit.answers, trinit.answers, "{workers} workers");
+            }
+        }
+    }
+}
+
 /// The exact benchmark workloads (not random subsets) must also agree,
 /// including the per-query plans — this is the configuration the bench gate
 /// times.

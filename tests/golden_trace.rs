@@ -60,13 +60,17 @@ fn trace_for(mode: &str, execution: ExecutionMode) -> String {
     // Speculation pinned Off: the goldens pin the *baseline* planner and
     // executors. The lifecycle's fallback/feedback behaviour evolves plans
     // across runs by design and has its own differential suite
-    // (tests/diff_speculation.rs).
+    // (tests/diff_speculation.rs). Parallelism pinned to 1: morsel workers
+    // repeat non-target scans, so their work counters legitimately exceed
+    // the sequential trace even though answers stay bit-identical (that
+    // equality is asserted by tests/diff_exec.rs, not here).
     let engine = Engine::with_config(
         &ds.graph,
         &ds.registry,
         EngineConfig::default()
             .with_execution(execution)
-            .with_speculation(specqp::SpeculationPolicy::Off),
+            .with_speculation(specqp::SpeculationPolicy::Off)
+            .with_parallelism(1),
     );
     let mut out = String::new();
     let _ = writeln!(

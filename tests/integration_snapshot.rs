@@ -6,7 +6,9 @@
 //! included.
 
 use datagen::{XkgConfig, XkgGenerator};
-use kgstore::snapshot::{load_snapshot, read_snapshot, save_snapshot, write_snapshot};
+use kgstore::snapshot::{
+    load_snapshot, read_snapshot, save_snapshot, write_snapshot, write_snapshot_v1,
+};
 use kgstore::PatternKey;
 use operators::PartialAnswer;
 use specqp::Engine;
@@ -96,6 +98,59 @@ fn service_boots_from_snapshot_file() {
         assert_identical_answers(&x.answers, &y.answers, &format!("job {i}"));
     }
     std::fs::remove_file(&path).ok();
+}
+
+/// A v1 snapshot (the previous on-disk format: unaligned sections,
+/// per-entry inline posting lists) must keep reading back into a graph
+/// indistinguishable from the v2 roundtrip — the version policy promises
+/// old files stay loadable across format bumps.
+#[test]
+fn v1_snapshot_reads_back_identically_to_v2() {
+    let ds = small_xkg();
+    let v1 = read_snapshot(&write_snapshot_v1(&ds.graph)).unwrap();
+    let v2 = read_snapshot(&write_snapshot(&ds.graph)).unwrap();
+    assert_eq!(v1.len(), ds.graph.len());
+    for q in &ds.workload.queries {
+        for p in q.patterns() {
+            let (s, pp, o) = p.const_parts();
+            let key = PatternKey { s, p: pp, o };
+            let (m1, m2) = (v1.matches(key), v2.matches(key));
+            assert_eq!(m1.len(), m2.len(), "{key:?}");
+            for r in 0..m1.len() {
+                assert_eq!(m1.id_at(r), m2.id_at(r), "{key:?} rank {r}");
+                assert_eq!(m1.score_at(r), m2.score_at(r), "{key:?} rank {r}");
+            }
+        }
+    }
+    // And the whole engine agrees with the freshly built graph.
+    let built = Engine::new(&ds.graph, &ds.registry);
+    let loaded = Engine::new(&v1, &ds.registry);
+    for (qi, q) in ds.workload.queries.iter().take(4).enumerate() {
+        let a = built.run_specqp(q, 10);
+        let b = loaded.run_specqp(q, 10);
+        assert_identical_answers(&a.answers, &b.answers, &format!("v1 specqp q{qi}"));
+    }
+}
+
+/// Every v2 section offset is 8-byte aligned in a real workload-sized
+/// snapshot, so the fixed-stride columns can be reinterpreted without
+/// repacking — the property the page-in-style loader relies on.
+#[test]
+fn workload_snapshot_sections_are_aligned() {
+    let ds = small_xkg();
+    let bytes = write_snapshot(&ds.graph);
+    assert_eq!(&bytes[..8], b"SPECQPKG");
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    assert_eq!(version, 2);
+    let sections = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let mut off = 16 + sections * 16;
+    for i in 0..sections {
+        assert_eq!(off % 8, 0, "section {i} starts misaligned at {off}");
+        let at = 16 + i * 16 + 8;
+        let len = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+        off += len.div_ceil(8) * 8;
+    }
+    assert_eq!(off + 8, bytes.len(), "sections + checksum must cover file");
 }
 
 #[test]

@@ -110,7 +110,7 @@ proptest! {
         // Skip the 16-byte header (magic/version handled by other tests).
         let at = 16 + pos as usize % (body_end - 16);
         bytes[at] ^= mask;
-        let sum = specqp_common::fnv1a_64_words(&bytes[..body_end]);
+        let sum = specqp_common::fnv1a_64_lanes(&bytes[..body_end]);
         bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
         match read_snapshot(&bytes) {
             Ok(_) | Err(Error::Snapshot(_)) => {}
