@@ -20,6 +20,7 @@ test:
 	SPECQP_EXEC=block $(CARGO) test -q --workspace
 	SPECQP_SPEC=fallback $(CARGO) test -q --workspace
 	SPECQP_EXEC=block SPECQP_MORSELS=4 $(CARGO) test -q --workspace
+	SPECQP_CHURN=1 $(CARGO) test -q --workspace
 	env -u RUST_TEST_THREADS $(CARGO) test -q --release --test integration_service
 	env -u RUST_TEST_THREADS $(CARGO) test -q --release --test integration_server
 	env -u RUST_TEST_THREADS $(CARGO) test -q --release -p specqp_service
@@ -36,22 +37,24 @@ example:
 
 # The weekly bench-smoke job in one command.
 smoke:
-	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --block-size 128 --quality --server --morsels 4 --json BENCH_probe.json
+	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --block-size 128 --quality --server --morsels 4 --churn --json BENCH_probe.json
 
 # The CI bench-regression job: probe the current tree, gate against the
 # committed baseline (3x noise tolerance), and check the snapshot speedup,
 # the block-executor speedup, the speculation quality floor, the wire
-# front-end's overload behavior (shed with RetryAfter, p99 bounded), and the
+# front-end's overload behavior (shed with RetryAfter, p99 bounded), the
 # morsel-parallel + snapshot v2 floors (answers bit-identical always; the 2x
-# speedup floor applies only when cores >= workers).
+# speedup floor applies only when cores >= workers), and the live-writes
+# churn floors (answers epoch-stable, post-compaction load >= 5x).
 gate:
-	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --block-size 128 --quality --server --morsels 4 --json target/BENCH_current.json
+	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --block-size 128 --quality --server --morsels 4 --churn --json target/BENCH_current.json
 	$(CARGO) run --release -p bench --bin bench_gate -- regression BENCH_probe.json target/BENCH_current.json 3
 	$(CARGO) run --release -p bench --bin bench_gate -- snapshot target/BENCH_current.json 3
 	$(CARGO) run --release -p bench --bin bench_gate -- block target/BENCH_current.json 1.3
 	$(CARGO) run --release -p bench --bin bench_gate -- quality target/BENCH_current.json 0.95 1.25
 	$(CARGO) run --release -p bench --bin bench_gate -- overload BENCH_probe.json target/BENCH_current.json 3
 	$(CARGO) run --release -p bench --bin bench_gate -- parallel target/BENCH_current.json 2 5
+	$(CARGO) run --release -p bench --bin bench_gate -- churn target/BENCH_current.json 5
 
 # The speculation quality gate alone: precision@k vs TriniT must stay
 # >= 0.95 with the fallback lifecycle enabled, at <= 1.25x runtime overhead.

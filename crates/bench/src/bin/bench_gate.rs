@@ -11,6 +11,7 @@
 //! bench_gate quality <current.json> [min_precision] [max_overhead]
 //! bench_gate overload <baseline.json> <current.json> [tolerance]
 //! bench_gate parallel <current.json> [min_speedup] [min_snapshot_speedup]
+//! bench_gate churn <current.json> [min_load_speedup]
 //! ```
 //!
 //! * `regression` compares `planning_us` / `execution_us` (Spec-QP executor)
@@ -50,6 +51,15 @@
 //!   on physics. The snapshot v2 floor (default 5×) asserts the aligned
 //!   fixed-stride layout loads at least that much faster than the seed-style
 //!   hash-insertion decode it replaced.
+//! * `churn` gates the `churn` object (emitted under `probe --churn`, which
+//!   interleaves writer batches into a live engine). Correctness is
+//!   unconditional: answers must be byte-stable within every epoch and
+//!   across the irrelevant churn (`answers_stable`), a version pinned
+//!   before the churn must still answer epoch 0 (`pinned_stable`), and the
+//!   post-compaction graph must answer identically to the pre-churn
+//!   baseline (`post_compaction_match`). The load floor (default 5×)
+//!   asserts the compacted base reloads through the v2 snapshot layout at
+//!   least that much faster than the seed-style v1 decode.
 //!
 //! The workspace is dependency-free, so instead of a JSON library this uses
 //! a small field scanner that understands exactly the shape `probe` emits.
@@ -462,6 +472,57 @@ fn parallel_gate(path: &str, min_speedup: f64, min_snapshot_speedup: f64) -> i32
     }
 }
 
+fn churn_gate(path: &str, min_load_speedup: f64) -> i32 {
+    let json = read(path);
+    let slice = object_slice(&json, "churn").unwrap_or_else(|| {
+        eprintln!("bench_gate: {path} has no \"churn\" object");
+        exit(2);
+    });
+    let mut failures = Vec::new();
+    let require_bool = |key: &str| {
+        bool_field(slice, key).unwrap_or_else(|| {
+            eprintln!("bench_gate: {path} lacks boolean churn.{key}");
+            exit(2);
+        })
+    };
+    let answers_stable = require_bool("answers_stable");
+    let pinned_stable = require_bool("pinned_stable");
+    let post_compaction_match = require_bool("post_compaction_match");
+    let epochs = require_num(&json, "churn", "epochs", path);
+    let speedup = require_num(&json, "churn", "load_speedup", path);
+    let v2_load = require_num(&json, "churn", "v2_load_us", path);
+    let v1_decode = require_num(&json, "churn", "v1_decode_us", path);
+    println!(
+        "churn: {epochs:.0} epochs; answers_stable={answers_stable} \
+         pinned_stable={pinned_stable} post_compaction_match={post_compaction_match}; \
+         post-compaction load {v2_load:.0}us vs v1 decode {v1_decode:.0}us \
+         -> {speedup:.2}x (floor {min_load_speedup}x)"
+    );
+    // Correctness gates unconditionally — a live engine that wobbles its
+    // answers under irrelevant writes is wrong no matter how fast it loads.
+    if !answers_stable {
+        failures.push("answers not byte-stable across churn epochs".to_string());
+    }
+    if !pinned_stable {
+        failures.push("pinned version leaked later commits".to_string());
+    }
+    if !post_compaction_match {
+        failures.push("compaction changed the answers".to_string());
+    }
+    if speedup < min_load_speedup {
+        failures.push(format!(
+            "post-compaction load speedup {speedup:.2}x < {min_load_speedup}x"
+        ));
+    }
+    if failures.is_empty() {
+        println!("bench_gate churn: ok");
+        0
+    } else {
+        eprintln!("bench_gate churn FAILED: {}", failures.join("; "));
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || -> ! {
@@ -472,7 +533,8 @@ fn main() {
              \x20      bench_gate block <current.json> [min_speedup]\n\
              \x20      bench_gate quality <current.json> [min_precision] [max_overhead]\n\
              \x20      bench_gate overload <baseline.json> <current.json> [tolerance]\n\
-             \x20      bench_gate parallel <current.json> [min_speedup] [min_snapshot_speedup]"
+             \x20      bench_gate parallel <current.json> [min_speedup] [min_snapshot_speedup]\n\
+             \x20      bench_gate churn <current.json> [min_load_speedup]"
         );
         exit(2);
     };
@@ -528,6 +590,13 @@ fn main() {
                 .unwrap_or(5.0);
             parallel_gate(&args[1], floor, snap_floor)
         }
+        Some("churn") if args.len() >= 2 => {
+            let floor = args
+                .get(2)
+                .map(|s| s.parse::<f64>().unwrap_or_else(|_| usage()))
+                .unwrap_or(5.0);
+            churn_gate(&args[1], floor)
+        }
         _ => usage(),
     };
     exit(code);
@@ -552,6 +621,7 @@ mod tests {
   "block": {"block_size":256,"queries":18,"k":10,"row_execution_us":9000,"block_execution_us":4000,"speedup":2.250,"answers_match":true},
   "parallel": {"workers":4,"cores":8,"rows":200000,"k":10,"block_size":256,"seq_execution_us":40000,"par_execution_us":14000,"speedup":2.857,"answers_match":true},
   "snapshot_v2": {"triples":200000,"terms":2200,"v2_bytes":9000000,"v1_bytes":9000000,"v2_load_us":5500,"v1_decode_us":122000,"v1_load_us":12400,"speedup":22.182,"compat_speedup":2.255},
+  "churn": {"rows":30000,"rounds":24,"batch_size":128,"epochs":25,"delta_rows_at_fold":1600,"compact_us":8200,"answers_stable":true,"pinned_stable":true,"post_compaction_match":true,"v2_load_us":900,"v1_decode_us":14000,"load_speedup":15.556},
   "speculation": {"policy":"fallback:3","queries":18,"k":10,"mis_speculation_rate":0.1111,"fallback_rate":0.0556,"fallback_stages":2,"wasted_answers":120,"precision_fallback":0.9815,"precision_off":0.9259,"off_total_us":5000,"fallback_total_us":5600,"overhead":1.120},
   "service": {"threads":4,"queries_per_sec":730.059,"cache":{"hits":37}},
   "server": {"threads":4,"offered":400,"rate_per_sec":8000.0,"saturation_per_sec":4000.0,"accepted":231,"shed_retry_after":169,"shed_deadline":0,"other_errors":0,"p50_accepted_us":812,"p99_accepted_us":3420,"mean_accepted_us":990,"max_accepted_us":5100,"wall_us":61000,"connections":1,"quota_rejected":0,"protocol_errors":0}
@@ -643,6 +713,19 @@ mod tests {
         // `snapshot_v2` must not shadow the original `snapshot` object.
         let snap = object_slice(SAMPLE, "snapshot").unwrap();
         assert!(snap.contains("tsv_load_us"));
+    }
+
+    #[test]
+    fn churn_object_fields_readable_and_sample_passes_gate() {
+        let churn = object_slice(SAMPLE, "churn").unwrap();
+        assert_eq!(bool_field(churn, "answers_stable"), Some(true));
+        assert_eq!(bool_field(churn, "pinned_stable"), Some(true));
+        assert_eq!(bool_field(churn, "post_compaction_match"), Some(true));
+        assert_eq!(num_field(churn, "epochs"), Some(25.0));
+        assert_eq!(num_field(churn, "v2_load_us"), Some(900.0));
+        assert_eq!(num_field(churn, "v1_decode_us"), Some(14000.0));
+        assert_eq!(num_field(churn, "load_speedup"), Some(15.556));
+        assert!(num_field(churn, "load_speedup").unwrap() >= 5.0);
     }
 
     #[test]

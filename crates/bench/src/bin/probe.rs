@@ -46,6 +46,19 @@
 //! comparing the v2 bulk snapshot loader against the v1 per-entry decoder
 //! on the same graph. `bench_gate parallel` asserts both speedup floors.
 //!
+//! With `--churn` the JSON report additionally carries a `churn` object
+//! exercising the live-write path: a [`LiveGraph`] over a 30k-row rank scan
+//! absorbs rounds of low-scoring writer batches (asserts + retractions of
+//! fresh terms) while the engine keeps answering the same top-k query. The
+//! probe checks that answers are byte-stable within every epoch and across
+//! the churn (the writes never rank), that a version pinned before the
+//! churn still answers epoch 0, and that after a forced compaction the
+//! folded base reloads through the v2 snapshot layout at least as fast as
+//! the gate's floor over the seed-style v1 decode. `bench_gate churn`
+//! asserts all of it.
+//!
+//! [`LiveGraph`]: kgstore::LiveGraph
+//!
 //! Snapshot flags: `--save-snapshot <path>` writes the generated graph as a
 //! binary KG snapshot; `--snapshot <path>` boots the probe's graph from a
 //! snapshot instead of the freshly built one (term ids are preserved, so the
@@ -244,6 +257,13 @@ fn main() {
     let server_probe = raw
         .iter()
         .position(|a| a == "--server")
+        .map(|i| {
+            raw.remove(i);
+        })
+        .is_some();
+    let churn = raw
+        .iter()
+        .position(|a| a == "--churn")
         .map(|i| {
             raw.remove(i);
         })
@@ -710,6 +730,140 @@ fn main() {
         );
     }
 
+    // Live-churn probe (`--churn`): rounds of writer batches against a
+    // LiveGraph-backed engine that keeps answering one top-k query. The
+    // churn triples score far below the top-k, so three properties are
+    // checkable: answers are byte-stable within every epoch (two runs at
+    // the same epoch agree) and across the whole churn (irrelevant writes
+    // never perturb the ranking); a version pinned before any commit still
+    // answers epoch 0; and after a forced compaction the folded base
+    // round-trips the v2 snapshot layout, which must load well ahead of the
+    // seed-style v1 decode. `bench_gate churn` holds all of it.
+    let mut churn_json = String::new();
+    if churn {
+        use kgstore::{CompactionPolicy, KnowledgeGraphBuilder, LiveGraph, WriteBatch};
+        use relax::RelaxationRegistry;
+        use std::time::Instant;
+
+        let n_base = 30_000usize;
+        let mut b = KnowledgeGraphBuilder::new();
+        for i in 0..n_base {
+            b.add(
+                &format!("user{i}"),
+                "follows",
+                "celebrity",
+                (n_base - i) as f64,
+            );
+        }
+        // Compaction is forced explicitly below so the probe controls when
+        // the fold happens (and can time it), not the policy.
+        let live = Arc::new(LiveGraph::with_policy(b.build(), CompactionPolicy::never()));
+        let registry = Arc::new(RelaxationRegistry::new());
+        let engine = Engine::live(Arc::clone(&live), Arc::clone(&registry));
+        let q = {
+            let graph = engine.graph();
+            let d = graph.dictionary();
+            let mut qb = sparql::QueryBuilder::new();
+            let x = qb.var("x");
+            qb.pattern(
+                x,
+                d.lookup("follows").unwrap(),
+                d.lookup("celebrity").unwrap(),
+            );
+            qb.project(x);
+            qb.build().expect("churn probe query")
+        };
+        // Term ids are stable across epochs (and across the flatten), so
+        // raw (score bits, bound ids) is a byte-level answer fingerprint.
+        let fingerprint = |o: &specqp::QueryOutcome| -> Vec<(u64, Vec<u32>)> {
+            o.answers
+                .iter()
+                .map(|a| {
+                    (
+                        a.score.value().to_bits(),
+                        a.binding.iter().map(|(_, t)| t.0).collect(),
+                    )
+                })
+                .collect()
+        };
+        let pinned0 = engine.graph();
+        let baseline = engine.run_specqp(&q, k);
+
+        let rounds = 24usize;
+        let batch_size = 128usize;
+        let mut answers_stable = true;
+        for r in 0..rounds {
+            let mut batch = WriteBatch::new();
+            for j in 0..batch_size {
+                batch.assert(&format!("churn{r}_{j}"), "follows", "celebrity", 0.25);
+            }
+            // Half of the previous round's churn is retracted again, so the
+            // overlay carries dead rows and base-mask churn, not just
+            // appends.
+            if r > 0 {
+                for j in 0..batch_size / 2 {
+                    batch.retract(&format!("churn{}_{j}", r - 1), "follows", "celebrity");
+                }
+            }
+            live.commit(&batch);
+            let a = engine.run_specqp(&q, k);
+            let rerun = engine.run_specqp(&q, k);
+            if fingerprint(&a) != fingerprint(&rerun) || fingerprint(&a) != fingerprint(&baseline) {
+                answers_stable = false;
+            }
+        }
+        let delta_rows = live.stats().delta_rows;
+        let pinned_stable = pinned0.epoch() == kgstore::Epoch::ZERO && pinned0.len() == n_base;
+
+        let epoch_before = live.epoch().value();
+        let t0 = Instant::now();
+        let epochs = live.compact().value();
+        let compact_us = t0.elapsed().as_micros();
+        assert!(epochs > epoch_before, "a dirty overlay must fold");
+        let after = engine.run_specqp(&q, k);
+        let post_compaction_match = fingerprint(&after) == fingerprint(&baseline);
+
+        // Cold-load of the folded base: v2 bulk loader vs the seed-style
+        // per-entry v1 decode (same comparison the snapshot_v2 probe makes,
+        // but over a graph produced by compaction rather than the builder).
+        let (compacted, _) = live.pinned();
+        let v2 = kgstore::snapshot::write_snapshot(&compacted);
+        let v1 = kgstore::snapshot::write_snapshot_v1(&compacted);
+        let best_of = |f: &dyn Fn() -> u128| (0..3).map(|_| f()).min().unwrap();
+        let v1_decode_us = best_of(&|| {
+            let t0 = Instant::now();
+            let fingerprint = seed_style_v1_decode(&v1);
+            let us = t0.elapsed().as_micros();
+            assert!(fingerprint > compacted.len());
+            us
+        });
+        let v2_load_us = best_of(&|| {
+            let t0 = Instant::now();
+            let g = kgstore::snapshot::read_snapshot(&v2).expect("reload compacted snapshot");
+            let us = t0.elapsed().as_micros();
+            assert_eq!(g.len(), compacted.len());
+            us
+        });
+        let load_speedup = v1_decode_us as f64 / (v2_load_us.max(1)) as f64;
+        println!(
+            "churn: {rounds} rounds x {batch_size} ops over {n_base} rows -> {epochs} epochs, \
+             {delta_rows} delta rows at fold (compact {compact_us}us); \
+             answers_stable={answers_stable} pinned_stable={pinned_stable} \
+             post_compaction_match={post_compaction_match}; \
+             post-compaction load {v2_load_us}us vs v1 decode {v1_decode_us}us \
+             ({load_speedup:.1}x)",
+        );
+        churn_json = format!(
+            ",\n  \"churn\": {{\"rows\":{n_base},\"rounds\":{rounds},\
+             \"batch_size\":{batch_size},\"epochs\":{epochs},\
+             \"delta_rows_at_fold\":{delta_rows},\"compact_us\":{compact_us},\
+             \"answers_stable\":{answers_stable},\"pinned_stable\":{pinned_stable},\
+             \"post_compaction_match\":{post_compaction_match},\
+             \"v2_load_us\":{v2_load_us},\"v1_decode_us\":{v1_decode_us},\
+             \"load_speedup\":{load_speedup:.3}}}",
+        );
+    }
+
     // Speculation-quality probe (`--quality`): the whole seeded workload in
     // Spec-QP mode with the fallback lifecycle enabled vs speculation off vs
     // the TriniT baseline. Quality (precision@k against TriniT, mis-
@@ -992,7 +1146,7 @@ fn main() {
              \"prediction_exact\": {exact},\n  \"prediction_covers\": {covers},\n  \
              \"specqp\": {},\n  \"trinit\": \
              {}{snapshot_json}{block_json}{parallel_json}{snapshot_v2_json}\
-             {speculation_json}{service_json}{server_json}\n}}\n",
+             {churn_json}{speculation_json}{service_json}{server_json}\n}}\n",
             json_escape(&ds.name),
             json_escape(&summary),
             spec.plan.singletons(),

@@ -152,6 +152,8 @@ pub fn drive(
                     ErrorCode::DeadlineExceeded => deadline += 1,
                     _ => other += 1,
                 },
+                // The query driver never sends WRITE frames.
+                WireResponse::WriteOk { .. } => other += 1,
             }
         }
         (accepted_lat, accepted, retry, deadline, other)

@@ -1,14 +1,27 @@
 //! String ⇄ id interning.
 
 use crate::{FxHashMap, TermId};
+use std::sync::Arc;
 
 /// A bidirectional dictionary mapping term strings (IRIs, literals, textual
 /// tokens) to dense [`TermId`]s.
 ///
 /// Ids are assigned in first-seen order starting at 0, so they can directly
 /// index side arrays.
+///
+/// # Layering
+///
+/// A dictionary can be **layered on an immutable base**
+/// ([`Dictionary::layered`]): the base's assignments are shared through an
+/// `Arc` and only terms interned *after* the fork live in the local layer.
+/// Ids are globally consistent — the local layer starts at `base.len()` —
+/// so a term keeps its id across every version forked from the same base.
+/// This is what makes cloning a live graph's dictionary per commit O(new
+/// terms) instead of O(all terms).
 #[derive(Default, Debug, Clone)]
 pub struct Dictionary {
+    /// Frozen lower layer; `None` for a flat (unlayered) dictionary.
+    base: Option<Arc<Dictionary>>,
     by_name: FxHashMap<Box<str>, TermId>,
     by_id: Vec<Box<str>>,
 }
@@ -19,12 +32,44 @@ impl Dictionary {
         Self::default()
     }
 
+    /// Creates a dictionary layered on `base`: every term of `base` resolves
+    /// with its existing id, and newly interned terms get ids starting at
+    /// `base.len()`.
+    ///
+    /// ```
+    /// # use specqp_common::Dictionary;
+    /// # use std::sync::Arc;
+    /// let mut seed = Dictionary::new();
+    /// let singer = seed.intern("singer");
+    /// let mut live = Dictionary::layered(Arc::new(seed));
+    /// assert_eq!(live.lookup("singer"), Some(singer));
+    /// let fresh = live.intern("guitarist");
+    /// assert_eq!(fresh.index(), 1);
+    /// ```
+    pub fn layered(base: Arc<Dictionary>) -> Self {
+        Dictionary {
+            base: Some(base),
+            by_name: FxHashMap::default(),
+            by_id: Vec::new(),
+        }
+    }
+
+    /// Number of terms in the frozen base layer (0 when unlayered).
+    fn base_len(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.len())
+    }
+
     /// Interns `name`, returning its id (existing or newly assigned).
     pub fn intern(&mut self, name: &str) -> TermId {
+        if let Some(base) = &self.base {
+            if let Some(id) = base.lookup(name) {
+                return id;
+            }
+        }
         if let Some(&id) = self.by_name.get(name) {
             return id;
         }
-        let id = TermId::from_index(self.by_id.len());
+        let id = TermId::from_index(self.base_len() + self.by_id.len());
         let boxed: Box<str> = name.into();
         self.by_id.push(boxed.clone());
         self.by_name.insert(boxed, id);
@@ -55,12 +100,22 @@ impl Dictionary {
 
     /// Looks up an existing term without interning.
     pub fn lookup(&self, name: &str) -> Option<TermId> {
+        if let Some(base) = &self.base {
+            if let Some(id) = base.lookup(name) {
+                return Some(id);
+            }
+        }
         self.by_name.get(name).copied()
     }
 
     /// Returns the string for `id`, if assigned.
     pub fn name(&self, id: TermId) -> Option<&str> {
-        self.by_id.get(id.index()).map(|s| &**s)
+        let base_len = self.base_len();
+        if id.index() < base_len {
+            // `base_len > 0` implies `base` is `Some`.
+            return self.base.as_ref().and_then(|b| b.name(id));
+        }
+        self.by_id.get(id.index() - base_len).map(|s| &**s)
     }
 
     /// Returns the string for `id`, or a placeholder for unknown ids.
@@ -69,22 +124,41 @@ impl Dictionary {
         self.name(id).unwrap_or("<?unknown?>")
     }
 
-    /// Number of interned terms.
+    /// Number of interned terms (base layer included).
     pub fn len(&self) -> usize {
-        self.by_id.len()
+        self.base_len() + self.by_id.len()
     }
 
     /// `true` if no terms have been interned.
     pub fn is_empty(&self) -> bool {
-        self.by_id.is_empty()
+        self.len() == 0
     }
 
-    /// Iterates `(id, name)` pairs in id order.
+    /// Iterates `(id, name)` pairs in id order, base layer first.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
-        self.by_id
-            .iter()
+        let base: Box<dyn Iterator<Item = &str> + '_> = match &self.base {
+            Some(b) => Box::new(b.iter().map(|(_, n)| n)),
+            None => Box::new(std::iter::empty()),
+        };
+        base.chain(self.by_id.iter().map(|s| &**s))
             .enumerate()
-            .map(|(i, s)| (TermId::from_index(i), &**s))
+            .map(|(i, s)| (TermId::from_index(i), s))
+    }
+
+    /// Flattens the layering into a single self-contained dictionary with
+    /// identical id assignments. Used by compaction, where the folded base
+    /// should no longer pin the pre-fork dictionary alive.
+    pub fn flattened(&self) -> Dictionary {
+        match &self.base {
+            None => self.clone(),
+            Some(_) => {
+                let mut flat = Dictionary::new();
+                for (_, name) in self.iter() {
+                    flat.intern(name);
+                }
+                flat
+            }
+        }
     }
 }
 
@@ -146,5 +220,56 @@ mod tests {
         d.intern("y");
         let v: Vec<_> = d.iter().map(|(i, n)| (i.0, n.to_string())).collect();
         assert_eq!(v, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+
+    #[test]
+    fn layered_dictionary_shares_base_ids() {
+        let mut seed = Dictionary::new();
+        let a = seed.intern("a");
+        let b = seed.intern("b");
+        let mut live = Dictionary::layered(std::sync::Arc::new(seed));
+        assert_eq!(live.len(), 2);
+        assert_eq!(live.lookup("a"), Some(a));
+        assert_eq!(live.intern("b"), b, "base term must not re-intern");
+        let c = live.intern("c");
+        assert_eq!(c, TermId(2), "local layer starts at base.len()");
+        assert_eq!(live.name(a), Some("a"));
+        assert_eq!(live.name(c), Some("c"));
+        assert_eq!(live.len(), 3);
+        let v: Vec<_> = live.iter().map(|(i, n)| (i.0, n.to_string())).collect();
+        assert_eq!(
+            v,
+            vec![(0, "a".into()), (1, "b".into()), (2, "c".to_string())]
+        );
+    }
+
+    #[test]
+    fn flattened_preserves_ids_and_drops_layering() {
+        let mut seed = Dictionary::new();
+        seed.intern("a");
+        let mut live = Dictionary::layered(std::sync::Arc::new(seed));
+        live.intern("z");
+        let flat = live.flattened();
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat.lookup("a"), live.lookup("a"));
+        assert_eq!(flat.lookup("z"), live.lookup("z"));
+        // A flat dictionary round-trips through from_names (layered ones do
+        // too, via iter, which is what the snapshot writer uses).
+        let names: Vec<String> = flat.iter().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(Dictionary::from_names(names).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn doubly_layered_dictionary_resolves_every_layer() {
+        let mut l0 = Dictionary::new();
+        l0.intern("a");
+        let mut l1 = Dictionary::layered(std::sync::Arc::new(l0));
+        l1.intern("b");
+        let mut l2 = Dictionary::layered(std::sync::Arc::new(l1));
+        let c = l2.intern("c");
+        assert_eq!(c, TermId(2));
+        assert_eq!(l2.lookup("a"), Some(TermId(0)));
+        assert_eq!(l2.name(TermId(1)), Some("b"));
+        assert_eq!(l2.iter().count(), 3);
     }
 }

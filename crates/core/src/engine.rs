@@ -8,13 +8,15 @@ use crate::plan_cache::{PlanCache, QueryShape};
 use crate::plangen::plan_query;
 use crate::speculation::{self, SpeculationPolicy, Verdict};
 use crate::trace::RunReport;
-use kgstore::KnowledgeGraph;
+use kgstore::{Epoch, KnowledgeGraph, LiveGraph};
 use operators::{
     CacheMetricsHandle, ExecutionMode, MetricsHandle, OpMetrics, PartialAnswer, PullStrategy,
 };
 use relax::{ChainRuleSet, RelaxationRegistry};
 use sparql::Query;
 use specqp_stats::{CardinalityEstimator, ExactCardinality, RefitMode, StatsCatalog};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -35,6 +37,71 @@ impl<T> Handle<'_, T> {
             Handle::Borrowed(r) => r,
             Handle::Shared(a) => a,
         }
+    }
+}
+
+/// How the engine holds its graph. The first two mirror [`Handle`]; the
+/// third is the live-write path: the engine holds a [`LiveGraph`] and every
+/// public entry point *pins* the current version for the duration of that
+/// call (see [`PinnedGraph`]), so one query sees one consistent epoch while
+/// writers keep committing.
+#[derive(Debug)]
+enum GraphHandle<'g> {
+    Borrowed(&'g KnowledgeGraph),
+    Shared(Arc<KnowledgeGraph>),
+    Live(Arc<LiveGraph>),
+}
+
+enum PinnedInner<'e> {
+    /// An immutable graph: the pin is just a borrow, the epoch is fixed at
+    /// [`Epoch::ZERO`] forever.
+    Static(&'e KnowledgeGraph),
+    /// A version published by a [`LiveGraph`]: the `Arc` keeps this exact
+    /// version alive for as long as the pin is held, even if writers commit
+    /// (or compaction folds the delta) concurrently.
+    Versioned(Arc<KnowledgeGraph>, Epoch),
+}
+
+/// A graph version pinned for the duration of one engine call.
+///
+/// Dereferences to [`KnowledgeGraph`]. For engines over an immutable graph
+/// this is a plain borrow at [`Epoch::ZERO`]; for engines over a
+/// [`LiveGraph`] it co-owns the version that was current when the pin was
+/// taken, so concurrent [`LiveGraph::commit`]s never change what an
+/// in-flight query sees. Dropping the pin releases the version (compacted
+/// versions are freed once the last pinned reader drops them).
+pub struct PinnedGraph<'e> {
+    inner: PinnedInner<'e>,
+}
+
+impl Deref for PinnedGraph<'_> {
+    type Target = KnowledgeGraph;
+
+    #[inline]
+    fn deref(&self) -> &KnowledgeGraph {
+        match &self.inner {
+            PinnedInner::Static(g) => g,
+            PinnedInner::Versioned(g, _) => g,
+        }
+    }
+}
+
+impl PinnedGraph<'_> {
+    /// The epoch this pin observes ([`Epoch::ZERO`] for immutable graphs).
+    pub fn epoch(&self) -> Epoch {
+        match &self.inner {
+            PinnedInner::Static(_) => Epoch::ZERO,
+            PinnedInner::Versioned(_, e) => *e,
+        }
+    }
+}
+
+impl std::fmt::Debug for PinnedGraph<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinnedGraph")
+            .field("epoch", &self.epoch())
+            .field("triples", &self.len())
+            .finish()
     }
 }
 
@@ -134,28 +201,46 @@ pub struct QueryOutcome {
 /// 5 consecutive runs for each query and considered the average of the
 /// last 3").
 ///
-/// Two construction paths exist:
+/// Three construction paths exist:
 ///
 /// * **Borrowed** ([`Engine::new`] / [`Engine::with_config`]): the engine
 ///   borrows the graph and registry — zero overhead, lifetime-tied.
 /// * **Shared** ([`Engine::shared`] / [`Engine::shared_with_config`]): the
 ///   engine co-owns them through [`Arc`]s and is `'static`, so it can be
 ///   wrapped in an `Arc` itself and shared across service worker threads.
-///   `Engine` is `Send + Sync` either way.
+/// * **Live** ([`Engine::live`] / [`Engine::live_with_config`]): the engine
+///   holds a [`LiveGraph`] accepting concurrent writes. Every public entry
+///   point pins the version current at call start ([`PinnedGraph`]) so one
+///   query sees one consistent epoch end to end, and the first call that
+///   observes a new epoch invalidates the statistics caches and bumps the
+///   catalog generation — the plan cache drops plans estimated against the
+///   old epoch on sight.
+///
+/// `Engine` is `Send + Sync` in all three cases.
 pub struct Engine<'g> {
-    graph: Handle<'g, KnowledgeGraph>,
+    graph: GraphHandle<'g>,
     registry: Handle<'g, RelaxationRegistry>,
     chains: ChainRuleSet,
     catalog: StatsCatalog,
     cardinality: Box<dyn CardinalityEstimator + 'g>,
     plan_cache: PlanCache,
     config: EngineConfig,
+    /// Highest epoch any pin has observed — the edge detector that triggers
+    /// the statistics/plan-cache invalidation exactly once per commit.
+    last_epoch: AtomicU64,
 }
 
 impl std::fmt::Debug for Engine<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Deliberately avoids `pin()`: Debug must not have the side effect
+        // of observing (and invalidating for) a fresh epoch.
+        let triples = match &self.graph {
+            GraphHandle::Borrowed(g) => g.len(),
+            GraphHandle::Shared(g) => g.len(),
+            GraphHandle::Live(live) => live.pinned().0.len(),
+        };
         f.debug_struct("Engine")
-            .field("triples", &self.graph.get().len())
+            .field("triples", &triples)
             .field("rules", &self.registry.get().len())
             .field("config", &self.config)
             .field("cached_plans", &self.plan_cache.len())
@@ -168,13 +253,14 @@ impl<'g> Engine<'g> {
     /// refit, adaptive rank joins).
     pub fn new(graph: &'g KnowledgeGraph, registry: &'g RelaxationRegistry) -> Self {
         Engine {
-            graph: Handle::Borrowed(graph),
+            graph: GraphHandle::Borrowed(graph),
             registry: Handle::Borrowed(registry),
             chains: ChainRuleSet::new(),
             catalog: StatsCatalog::new(),
             cardinality: Box::new(ExactCardinality::new()),
             plan_cache: PlanCache::default(),
             config: EngineConfig::default(),
+            last_epoch: AtomicU64::new(0),
         }
     }
 
@@ -198,13 +284,14 @@ impl<'g> Engine<'g> {
         registry: Arc<RelaxationRegistry>,
     ) -> Engine<'static> {
         Engine {
-            graph: Handle::Shared(graph),
+            graph: GraphHandle::Shared(graph),
             registry: Handle::Shared(registry),
             chains: ChainRuleSet::new(),
             catalog: StatsCatalog::new(),
             cardinality: Box::new(ExactCardinality::new()),
             plan_cache: PlanCache::default(),
             config: EngineConfig::default(),
+            last_epoch: AtomicU64::new(0),
         }
     }
 
@@ -217,6 +304,40 @@ impl<'g> Engine<'g> {
         Engine {
             config,
             ..Engine::shared(graph, registry)
+        }
+    }
+
+    /// Live construction path: the engine serves queries from a
+    /// [`LiveGraph`] that accepts concurrent [`LiveGraph::commit`]s. Each
+    /// `run_*` / [`Engine::plan`] call pins the version current when it
+    /// starts and uses it end to end (plan, execute, verify), so answers are
+    /// consistent under concurrent writes. The first call observing a new
+    /// epoch invalidates the cached pattern statistics and cardinality
+    /// memos and bumps the catalog generation, which makes the
+    /// generation-checked plan cache re-plan every shape.
+    pub fn live(live: Arc<LiveGraph>, registry: Arc<RelaxationRegistry>) -> Engine<'static> {
+        let epoch = live.epoch();
+        Engine {
+            graph: GraphHandle::Live(live),
+            registry: Handle::Shared(registry),
+            chains: ChainRuleSet::new(),
+            catalog: StatsCatalog::new(),
+            cardinality: Box::new(ExactCardinality::new()),
+            plan_cache: PlanCache::default(),
+            config: EngineConfig::default(),
+            last_epoch: AtomicU64::new(epoch.value()),
+        }
+    }
+
+    /// Live construction path with explicit configuration.
+    pub fn live_with_config(
+        live: Arc<LiveGraph>,
+        registry: Arc<RelaxationRegistry>,
+        config: EngineConfig,
+    ) -> Engine<'static> {
+        Engine {
+            config,
+            ..Engine::live(live, registry)
         }
     }
 
@@ -241,9 +362,52 @@ impl<'g> Engine<'g> {
         &self.chains
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &KnowledgeGraph {
-        self.graph.get()
+    /// Pins and returns the graph version this call should read (see
+    /// [`PinnedGraph`]). For borrowed/shared engines this is free; for live
+    /// engines it snapshots the current version and, on the first pin after
+    /// a commit, refreshes the statistics layer.
+    pub fn graph(&self) -> PinnedGraph<'_> {
+        self.pin()
+    }
+
+    /// The live graph, when this engine was built with [`Engine::live`] —
+    /// the handle writers commit through.
+    pub fn live_graph(&self) -> Option<&Arc<LiveGraph>> {
+        match &self.graph {
+            GraphHandle::Live(live) => Some(live),
+            _ => None,
+        }
+    }
+
+    fn pin(&self) -> PinnedGraph<'_> {
+        match &self.graph {
+            GraphHandle::Borrowed(g) => PinnedGraph {
+                inner: PinnedInner::Static(g),
+            },
+            GraphHandle::Shared(g) => PinnedGraph {
+                inner: PinnedInner::Static(g),
+            },
+            GraphHandle::Live(live) => {
+                let (graph, epoch) = live.pinned();
+                self.observe_epoch(epoch);
+                PinnedGraph {
+                    inner: PinnedInner::Versioned(graph, epoch),
+                }
+            }
+        }
+    }
+
+    /// Edge-detects epoch advancement: exactly one pin per committed epoch
+    /// wins the `fetch_max` race and pays for the invalidation — cached
+    /// pattern statistics, cardinality memos, and (via the catalog
+    /// generation bump) every cached plan estimated against the old
+    /// version.
+    fn observe_epoch(&self, epoch: Epoch) {
+        let prev = self.last_epoch.fetch_max(epoch.value(), Ordering::AcqRel);
+        if prev < epoch.value() {
+            self.catalog.invalidate_stats();
+            self.cardinality.invalidate();
+        }
     }
 
     /// The rule registry.
@@ -282,9 +446,15 @@ impl<'g> Engine<'g> {
 
     /// Phase 1 of the lifecycle — returns the plan for `query` and the time
     /// it took: a plan-cache lookup first (generation-checked against the
-    /// statistics feedback ledger, so plans older than the latest refit are
-    /// re-planned), with PLANGEN run (and the result cached) on a miss.
+    /// statistics feedback ledger, so plans older than the latest refit —
+    /// or estimated against an older epoch — are re-planned), with PLANGEN
+    /// run (and the result cached) on a miss.
     pub fn plan(&self, query: &Query, k: usize) -> (QueryPlan, Duration) {
+        let graph = self.pin();
+        self.plan_on(&graph, query, k)
+    }
+
+    fn plan_on(&self, graph: &KnowledgeGraph, query: &Query, k: usize) -> (QueryPlan, Duration) {
         let t0 = Instant::now();
         let shape = QueryShape::of(query, k);
         let generation = self.catalog.generation();
@@ -292,7 +462,7 @@ impl<'g> Engine<'g> {
             return (plan, t0.elapsed());
         }
         let plan = plan_query(
-            self.graph.get(),
+            graph,
             query,
             k,
             &self.catalog,
@@ -306,10 +476,13 @@ impl<'g> Engine<'g> {
 
     /// Spec-QP: speculative plan, then the execute → verify → recover
     /// lifecycle (§3.2 plus the runtime safety net of
-    /// [`crate::speculation`]).
+    /// [`crate::speculation`]). The graph version is pinned once here, so
+    /// planning, execution, verification and any fallback stages all read
+    /// the same epoch even while writers commit.
     pub fn run_specqp(&self, query: &Query, k: usize) -> QueryOutcome {
-        let (plan, planning) = self.plan(query, k);
-        self.run_speculative(query, k, plan, planning)
+        let graph = self.pin();
+        let (plan, planning) = self.plan_on(&graph, query, k);
+        self.run_speculative_on(&graph, query, k, plan, planning)
     }
 
     /// TriniT baseline: every pattern processed with its relaxations
@@ -330,6 +503,7 @@ impl<'g> Engine<'g> {
     /// identical lifecycle.
     fn execute_phase(
         &self,
+        graph: &KnowledgeGraph,
         query: &Query,
         k: usize,
         plan: &QueryPlan,
@@ -337,7 +511,7 @@ impl<'g> Engine<'g> {
     ) -> Vec<PartialAnswer> {
         match self.config.execution {
             ExecutionMode::RowAtATime => run_plan_with_chains(
-                self.graph.get(),
+                graph,
                 query,
                 plan,
                 self.registry.get(),
@@ -349,14 +523,14 @@ impl<'g> Engine<'g> {
             ExecutionMode::Block(size) => {
                 if self.config.parallelism > 1 {
                     if let Some(target) = crate::parallel::partition_target(
-                        self.graph.get(),
+                        graph,
                         query,
                         plan,
                         self.registry.get(),
                         &self.chains,
                     ) {
                         return crate::parallel::run_plan_blocks_parallel(
-                            self.graph.get(),
+                            graph,
                             query,
                             plan,
                             self.registry.get(),
@@ -371,7 +545,7 @@ impl<'g> Engine<'g> {
                     }
                 }
                 run_plan_blocks_with_chains(
-                    self.graph.get(),
+                    graph,
                     query,
                     plan,
                     self.registry.get(),
@@ -396,9 +570,21 @@ impl<'g> Engine<'g> {
         plan: QueryPlan,
         planning: Duration,
     ) -> QueryOutcome {
+        let graph = self.pin();
+        self.run_with_plan_on(&graph, query, k, plan, planning)
+    }
+
+    fn run_with_plan_on(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &Query,
+        k: usize,
+        plan: QueryPlan,
+        planning: Duration,
+    ) -> QueryOutcome {
         let metrics = OpMetrics::new_handle();
         let t0 = Instant::now();
-        let answers = self.execute_phase(query, k, &plan, &metrics);
+        let answers = self.execute_phase(graph, query, k, &plan, &metrics);
         let execution = t0.elapsed();
         QueryOutcome {
             answers,
@@ -446,9 +632,21 @@ impl<'g> Engine<'g> {
         plan: QueryPlan,
         planning: Duration,
     ) -> QueryOutcome {
+        let graph = self.pin();
+        self.run_speculative_on(&graph, query, k, plan, planning)
+    }
+
+    fn run_speculative_on(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &Query,
+        k: usize,
+        plan: QueryPlan,
+        planning: Duration,
+    ) -> QueryOutcome {
         let policy = self.config.speculation;
         if !policy.verifies() {
-            return self.run_with_plan(query, k, plan, planning);
+            return self.run_with_plan_on(graph, query, k, plan, planning);
         }
         let max_stages = match policy {
             SpeculationPolicy::Off => unreachable!("handled above"),
@@ -464,7 +662,7 @@ impl<'g> Engine<'g> {
         let mut created_before = 0u64;
 
         let t0 = Instant::now();
-        let mut answers = self.execute_phase(query, k, &current, &metrics);
+        let mut answers = self.execute_phase(graph, query, k, &current, &metrics);
         execution += t0.elapsed();
 
         let mut mis_speculated = false;
@@ -546,7 +744,7 @@ impl<'g> Engine<'g> {
                         .collect();
                     if !audit.is_empty() {
                         let contributing = crate::evaluation::required_relaxations(
-                            self.graph.get(),
+                            graph,
                             query,
                             self.registry.get(),
                             &answers,
@@ -585,7 +783,7 @@ impl<'g> Engine<'g> {
             created_before = created;
             current = next;
             let t = Instant::now();
-            let recovered = self.execute_phase(query, k, &current, &metrics);
+            let recovered = self.execute_phase(graph, query, k, &current, &metrics);
             execution += t.elapsed();
             // Confirm before teaching (ForceFinal skips the bookkeeping —
             // its verdicts are never recorded): an escalation that changed
@@ -602,7 +800,7 @@ impl<'g> Engine<'g> {
                 let confirmed = recovered != answers;
                 if confirmed && targets.len() > 1 {
                     let contributing = crate::evaluation::required_relaxations(
-                        self.graph.get(),
+                        graph,
                         query,
                         self.registry.get(),
                         &recovered,
@@ -646,8 +844,9 @@ impl<'g> Engine<'g> {
 
     /// Brute-force ground truth (tests / validation only).
     pub fn run_naive(&self, query: &Query, k: usize) -> QueryOutcome {
+        let graph = self.pin();
         let t0 = Instant::now();
-        let answers = run_naive(self.graph.get(), query, self.registry.get(), k);
+        let answers = run_naive(&graph, query, self.registry.get(), k);
         let execution = t0.elapsed();
         QueryOutcome {
             answers,
@@ -1119,6 +1318,62 @@ mod tests {
                 "clean runs count once the pattern is on file"
             );
         }
+    }
+
+    /// The live path end to end: a pin taken before a commit keeps reading
+    /// the old version (epoch isolation), while the first engine call after
+    /// the commit observes the new epoch — statistics invalidated, catalog
+    /// generation bumped, the cached plan dropped as stale, and the freshly
+    /// written triple served on top.
+    #[test]
+    fn live_engine_pins_versions_and_invalidates_on_commit() {
+        use kgstore::{LiveGraph, PatternKey, WriteBatch};
+
+        let (g, reg) = setup();
+        let live = Arc::new(LiveGraph::new(g));
+        let engine = Engine::live(Arc::clone(&live), Arc::new(reg));
+        // `big` has no relaxations, so answer sets are exact.
+        let (q, ty, big) = {
+            let graph = engine.graph();
+            let d = graph.dictionary();
+            (
+                parse_query("SELECT ?s WHERE { ?s <type> <big> }", d).unwrap(),
+                d.lookup("type").unwrap(),
+                d.lookup("big").unwrap(),
+            )
+        };
+        let before = engine.run_specqp(&q, 10);
+        let m = engine.plan_cache_metrics().clone();
+        let gen0 = engine.catalog().generation();
+
+        // Pin the pre-commit version, then commit a higher-scored entity.
+        let pinned = engine.graph();
+        let seen_before = pinned.matches(PatternKey::po(ty, big)).len();
+        let mut batch = WriteBatch::new();
+        batch.assert("brand-new", "type", "big", 500.0);
+        let epoch = live.commit(&batch);
+        assert_eq!(epoch.value(), 1);
+
+        // Epoch isolation: the held pin still reads the old version.
+        assert_eq!(pinned.epoch(), kgstore::Epoch::ZERO);
+        assert_eq!(pinned.matches(PatternKey::po(ty, big)).len(), seen_before);
+
+        // A fresh call observes the commit: generation bumped, the stale
+        // plan dropped on sight, and the new triple ranks first.
+        let after = engine.run_specqp(&q, 10);
+        assert!(engine.catalog().generation() > gen0, "stats invalidated");
+        assert_eq!(m.stale(), 1, "old-epoch plan dropped on sight");
+        let graph = engine.graph();
+        assert_eq!(graph.epoch(), epoch);
+        let new_id = graph.dictionary().lookup("brand-new").unwrap();
+        let binds_new = |a: &PartialAnswer| a.binding.iter().any(|(_, t)| t == new_id);
+        assert!(binds_new(&after.answers[0]), "new triple ranks first");
+        assert!(!before.answers.iter().any(binds_new));
+
+        // Steady state: no further commits, no further invalidations.
+        let gen1 = engine.catalog().generation();
+        let _ = engine.run_specqp(&q, 10);
+        assert_eq!(engine.catalog().generation(), gen1);
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub mod plangen;
 pub mod speculation;
 pub mod trace;
 
-pub use engine::{Engine, EngineConfig, QueryOutcome};
+pub use engine::{Engine, EngineConfig, PinnedGraph, QueryOutcome};
 pub use evaluation::{
     precision_at_k, prediction_covering, prediction_exact, required_relaxations, score_error,
     ScoreError,

@@ -105,11 +105,7 @@ impl KnowledgeGraphBuilder {
     /// Finalizes the graph: builds every pattern index.
     pub fn build(self) -> KnowledgeGraph {
         let indexes = PatternIndexes::build(&self.cols);
-        KnowledgeGraph {
-            dict: self.dict,
-            cols: self.cols,
-            indexes,
-        }
+        KnowledgeGraph::from_parts(self.dict, self.cols, indexes)
     }
 }
 

@@ -42,6 +42,7 @@ pub mod builder;
 pub mod columns;
 pub mod index;
 pub mod io;
+pub mod live;
 pub mod pattern_key;
 pub mod snapshot;
 pub mod store;
@@ -50,6 +51,7 @@ pub mod triple;
 pub use builder::{DuplicatePolicy, KnowledgeGraphBuilder};
 pub use columns::TripleColumns;
 pub use io::{read_tsv, read_tsv_into, write_tsv};
+pub use live::{CompactionPolicy, DeltaStore, Epoch, LiveGraph, LiveStats, WriteBatch, WriteOp};
 pub use pattern_key::{PatternKey, Signature};
 pub use snapshot::{
     load_snapshot, read_snapshot, save_snapshot, write_snapshot, write_snapshot_v1,

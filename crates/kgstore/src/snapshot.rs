@@ -51,6 +51,25 @@
 //! extensions do not need a version bump; any change to an existing
 //! section's encoding does.
 //!
+//! **Each version owns its checksum.** The trailer function is part of the
+//! format version, not a negotiable field: v1 trailers verify with the
+//! single-chain [`fnv1a_64_words`], v2 trailers with the 8-lane
+//! [`fnv1a_64_lanes`] (on multi-megabyte images the single chain is bound
+//! by multiply latency and would dominate the page-in-style load). A future
+//! v3 that wants a different checksum bumps the version rather than adding
+//! a "checksum kind" byte — old readers then reject the file up front with
+//! a version error instead of a misleading checksum mismatch, and the
+//! reader's dispatch stays a single `version >= N` branch with no
+//! attacker-controllable algorithm choice in the file itself.
+//!
+//! # Live graphs
+//!
+//! Snapshots always describe a **flat** graph. Writing a graph that carries
+//! a delta overlay (see [`crate::live`]) first folds the overlay into a
+//! fresh base via [`KnowledgeGraph::flattened`] — the file format has no
+//! notion of masks or delta segments, which keeps every reader version
+//! oblivious to the write path.
+//!
 //! Every corruption mode maps to a typed [`SnapshotError`] — truncation,
 //! foreign files, version skew, checksum mismatch and structural
 //! inconsistencies all return errors, never panic.
@@ -247,7 +266,14 @@ fn encode_idx_v1(idx: &PatternIndexes) -> Vec<u8> {
 }
 
 /// Serializes `graph` into an in-memory snapshot image (format version 2).
+///
+/// A graph carrying a live-write overlay is flattened first (snapshots are
+/// always flat; see the module docs), so the image round-trips to the same
+/// visible triples under a compacted id space.
 pub fn write_snapshot(graph: &KnowledgeGraph) -> Vec<u8> {
+    if graph.has_overlay() {
+        return write_snapshot(&graph.flattened());
+    }
     let sections = [
         (SECTION_DICT, encode_dict(&graph.dict)),
         (SECTION_COLS, encode_cols(&graph.cols, true)),
@@ -279,7 +305,11 @@ pub fn write_snapshot(graph: &KnowledgeGraph) -> Vec<u8> {
 /// table entries, unaligned back-to-back sections, per-entry index
 /// encoding). Current readers accept it; kept so compatibility tests and
 /// the bench probe can exercise the v1 decode path against real bytes.
+/// Overlay graphs are flattened first, like [`write_snapshot`].
 pub fn write_snapshot_v1(graph: &KnowledgeGraph) -> Vec<u8> {
+    if graph.has_overlay() {
+        return write_snapshot_v1(&graph.flattened());
+    }
     let sections = [
         (SECTION_DICT, encode_dict(&graph.dict)),
         (SECTION_COLS, encode_cols(&graph.cols, false)),
@@ -795,11 +825,7 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<KnowledgeGraph> {
     } else {
         decode_idx_v1(idx_body, cols.len())?
     };
-    Ok(KnowledgeGraph {
-        dict,
-        cols,
-        indexes,
-    })
+    Ok(KnowledgeGraph::from_parts(dict, cols, indexes))
 }
 
 /// Loads a knowledge graph from a snapshot file at `path`.

@@ -1,97 +1,309 @@
-//! The immutable knowledge graph and its match-list access path.
+//! The knowledge graph and its match-list access path.
+//!
+//! A [`KnowledgeGraph`] is either **flat** — the immutable columnar base
+//! produced by the builder or a snapshot load — or a flat base plus one
+//! frozen `OverlaySegment` of live writes (asserted rows, retraction
+//! masks) produced by [`LiveGraph::commit`](crate::live::LiveGraph::commit).
+//! Every access path merges the two sides on the fly while preserving the
+//! storage-level contract operators rely on: matches stream in descending
+//! raw-score order, ties broken by ascending storage index.
+//!
+//! Storage indexes form one global id space: base rows keep their ids
+//! `0..base_len`, delta rows live at `base_len..base_len + delta_len`.
+//! Because every base id is smaller than every delta id, the usual
+//! "base wins score ties" merge rule coincides with the global
+//! `(score desc, id asc)` order — merged lists are deterministic and
+//! executor-independent, exactly like flat ones. Note that when rows are
+//! masked by retractions the *visible* ids are no longer dense: iterate via
+//! match lists, not `0..len()`.
 
 use crate::columns::TripleColumns;
-use crate::index::PatternIndexes;
+use crate::index::{PatternIndexes, PostingRange};
 use crate::pattern_key::{pack2, pack3, PatternKey, Signature};
 use crate::triple::{ScoredTriple, Triple};
 use specqp_common::Dictionary;
 use specqp_common::{Score, TermId};
+use std::sync::Arc;
 
-/// An immutable, fully indexed scored knowledge graph (Def. 1).
+/// A frozen layer of live writes on top of an immutable base.
+///
+/// Built by the delta store when a write batch commits: `cols`/`indexes`
+/// hold only the *alive* delta rows (local ids `0..delta_len`), `masked` is
+/// a bitset of retracted/replaced base rows, and `all` is the fully merged
+/// global scan list so the all-wildcard signature stays a borrowed slice.
+#[derive(Debug, Default)]
+pub(crate) struct OverlaySegment {
+    /// Alive delta rows, local ids (global id = `base_len + local`).
+    pub(crate) cols: TripleColumns,
+    /// Pattern indexes over the delta rows alone (local ids).
+    pub(crate) indexes: PatternIndexes,
+    /// Bitset over base storage indexes: set = base row is not visible.
+    pub(crate) masked: Vec<u64>,
+    /// Number of set bits in `masked`.
+    pub(crate) masked_count: u32,
+    /// Merged global scan list (score desc, id asc), masking applied.
+    pub(crate) all: Vec<u32>,
+}
+
+impl OverlaySegment {
+    /// `true` if base row `id` is hidden by a retraction or replacement.
+    #[inline]
+    pub(crate) fn is_masked(&self, id: u32) -> bool {
+        self.masked
+            .get((id / 64) as usize)
+            .is_some_and(|w| w & (1u64 << (id % 64)) != 0)
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.cols.approx_bytes()
+            + self.indexes.approx_bytes()
+            + self.masked.len() * 8
+            + self.all.len() * 4
+    }
+}
+
+/// A fully indexed scored knowledge graph (Def. 1).
 ///
 /// Build one with [`KnowledgeGraphBuilder`](crate::KnowledgeGraphBuilder),
-/// or load one from a binary snapshot with
-/// [`snapshot::load_snapshot`](crate::snapshot::load_snapshot).
+/// load one from a binary snapshot with
+/// [`snapshot::load_snapshot`](crate::snapshot::load_snapshot), or obtain a
+/// live version with an overlay of recent writes from
+/// [`LiveGraph::pinned`](crate::live::LiveGraph::pinned).
 /// All lookup methods return matches sorted by descending raw score.
 ///
 /// Storage is columnar: the triple table is four parallel `s`/`p`/`o`/`score`
 /// columns ([`TripleColumns`]), so score-only access paths (upper bounds,
-/// normalizers) never touch the term columns.
+/// normalizers) never touch the term columns. The base columns and indexes
+/// sit behind `Arc`s so that every live version forked from the same base
+/// shares them — a commit clones two pointers, not the graph.
 #[derive(Debug)]
 pub struct KnowledgeGraph {
     pub(crate) dict: Dictionary,
-    pub(crate) cols: TripleColumns,
-    pub(crate) indexes: PatternIndexes,
+    pub(crate) cols: Arc<TripleColumns>,
+    pub(crate) indexes: Arc<PatternIndexes>,
+    pub(crate) overlay: Option<OverlaySegment>,
 }
 
 static EMPTY: [u32; 0] = [];
 
+/// Resolves the posting list for a 1- or 2-bound signature in `idx`.
+/// `Spo` and `Xxx` have dedicated paths in the callers.
+fn keyed_list(idx: &PatternIndexes, key: PatternKey) -> &[u32] {
+    let resolve = |r: Option<PostingRange>| -> &[u32] { r.map(|r| idx.list(r)).unwrap_or(&EMPTY) };
+    match key.signature() {
+        Signature::SpX => resolve(idx.sp.get(pack2(key.s.unwrap(), key.p.unwrap()))),
+        Signature::SxO => resolve(idx.so.get(pack2(key.s.unwrap(), key.o.unwrap()))),
+        Signature::XpO => resolve(idx.po.get(pack2(key.p.unwrap(), key.o.unwrap()))),
+        Signature::Sxx => resolve(idx.s.get(key.s.unwrap())),
+        Signature::XpX => resolve(idx.p.get(key.p.unwrap())),
+        Signature::XxO => resolve(idx.o.get(key.o.unwrap())),
+        Signature::Spo | Signature::Xxx => unreachable!("handled by the callers"),
+    }
+}
+
 impl KnowledgeGraph {
+    /// Assembles a flat graph from its parts (builder / snapshot load).
+    pub(crate) fn from_parts(
+        dict: Dictionary,
+        cols: TripleColumns,
+        indexes: PatternIndexes,
+    ) -> Self {
+        KnowledgeGraph {
+            dict,
+            cols: Arc::new(cols),
+            indexes: Arc::new(indexes),
+            overlay: None,
+        }
+    }
+
+    /// A sibling version of flat `base` carrying `overlay`, sharing the base
+    /// columns and indexes by `Arc`.
+    pub(crate) fn overlay_version(
+        base: &KnowledgeGraph,
+        dict: Dictionary,
+        overlay: OverlaySegment,
+    ) -> Self {
+        debug_assert!(base.overlay.is_none(), "overlay base must be flat");
+        KnowledgeGraph {
+            dict,
+            cols: Arc::clone(&base.cols),
+            indexes: Arc::clone(&base.indexes),
+            overlay: Some(overlay),
+        }
+    }
+
     /// The term dictionary.
     pub fn dictionary(&self) -> &Dictionary {
         &self.dict
     }
 
-    /// Number of stored triples.
-    pub fn len(&self) -> usize {
+    /// Number of base rows — the boundary of the global id space: delta rows
+    /// live at ids `>= base_len`.
+    #[inline]
+    pub(crate) fn base_len(&self) -> usize {
         self.cols.len()
     }
 
-    /// `true` if the graph holds no triples.
-    pub fn is_empty(&self) -> bool {
-        self.cols.is_empty()
+    /// Number of *visible* triples (base rows minus retraction masks, plus
+    /// overlay rows).
+    pub fn len(&self) -> usize {
+        match &self.overlay {
+            Some(ov) => ov.all.len(),
+            None => self.cols.len(),
+        }
     }
 
-    /// The triple components at storage index `i`.
+    /// `true` if the graph holds no visible triples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when this graph carries an overlay of live writes on top of
+    /// its immutable base (i.e. it came from a [`LiveGraph`] with
+    /// uncompacted deltas).
+    ///
+    /// [`LiveGraph`]: crate::live::LiveGraph
+    pub fn has_overlay(&self) -> bool {
+        self.overlay.is_some()
+    }
+
+    /// The triple components at storage index `i` (global id space).
     #[inline]
     pub fn triple(&self, i: u32) -> Triple {
-        self.cols.triple(i as usize)
+        let base_len = self.cols.len();
+        if (i as usize) < base_len {
+            self.cols.triple(i as usize)
+        } else {
+            self.overlay
+                .as_ref()
+                .expect("id beyond base without overlay")
+                .cols
+                .triple(i as usize - base_len)
+        }
     }
 
     /// The triple at storage index `i` with its score.
     #[inline]
     pub fn scored(&self, i: u32) -> ScoredTriple {
-        self.cols.scored(i as usize)
+        ScoredTriple {
+            triple: self.triple(i),
+            score: self.score(i),
+        }
     }
 
-    /// The columnar triple table.
+    /// The columnar triple table of the immutable **base** (overlay rows,
+    /// if any, live in their own columns and are reached through the
+    /// id-dispatching accessors or [`KnowledgeGraph::gather_into`]).
     pub fn columns(&self) -> &TripleColumns {
         &self.cols
     }
 
-    /// Iterates all triples with scores in storage order.
+    /// Iterates all visible triples with scores: base rows in storage order
+    /// (retracted rows skipped), then overlay rows.
     pub fn iter_scored(&self) -> impl Iterator<Item = ScoredTriple> + '_ {
-        self.cols.iter()
+        let masked = |i: usize| {
+            self.overlay
+                .as_ref()
+                .is_some_and(|ov| ov.is_masked(i as u32))
+        };
+        let base = (0..self.cols.len())
+            .filter(move |&i| !masked(i))
+            .map(|i| self.cols.scored(i));
+        let delta = self
+            .overlay
+            .iter()
+            .flat_map(|ov| (0..ov.cols.len()).map(|i| ov.cols.scored(i)));
+        base.chain(delta)
     }
 
-    /// Raw score of the triple at storage index `i`.
+    /// Raw score of the triple at storage index `i` (global id space).
     #[inline]
     pub fn score(&self, i: u32) -> Score {
-        self.cols.score(i as usize)
+        let base_len = self.cols.len();
+        if (i as usize) < base_len {
+            self.cols.score(i as usize)
+        } else {
+            self.overlay
+                .as_ref()
+                .expect("id beyond base without overlay")
+                .cols
+                .score(i as usize - base_len)
+        }
+    }
+
+    /// Gathers the rows at global ids `ids` into four parallel output
+    /// vectors (appending) — the block-at-a-time fill path. Flat graphs take
+    /// one tight columnar loop per column; overlay graphs dispatch each id
+    /// to its side.
+    pub fn gather_into(
+        &self,
+        ids: &[u32],
+        s: &mut Vec<TermId>,
+        p: &mut Vec<TermId>,
+        o: &mut Vec<TermId>,
+        score: &mut Vec<Score>,
+    ) {
+        match &self.overlay {
+            None => self.cols.gather_into(ids, s, p, o, score),
+            Some(ov) => {
+                let base_len = self.cols.len();
+                let side = |i: u32| -> (&TripleColumns, usize) {
+                    if (i as usize) < base_len {
+                        (&*self.cols, i as usize)
+                    } else {
+                        (&ov.cols, i as usize - base_len)
+                    }
+                };
+                s.extend(ids.iter().map(|&i| {
+                    let (c, u) = side(i);
+                    c.subjects()[u]
+                }));
+                p.extend(ids.iter().map(|&i| {
+                    let (c, u) = side(i);
+                    c.predicates()[u]
+                }));
+                o.extend(ids.iter().map(|&i| {
+                    let (c, u) = side(i);
+                    c.objects()[u]
+                }));
+                score.extend(ids.iter().map(|&i| {
+                    let (c, u) = side(i);
+                    c.scores()[u]
+                }));
+            }
+        }
     }
 
     /// Returns the score-descending [`MatchList`] for `key`.
     ///
     /// Fully bound keys yield a 0- or 1-element list; everything else is a
     /// posting-list lookup; the all-wildcard key returns the global list.
+    /// On a flat graph every list borrows the postings arena directly; with
+    /// an overlay the base and delta lists are merged (and retraction masks
+    /// applied) into an owned list, except when the delta side has no
+    /// matches and nothing is masked — then the borrowed fast path still
+    /// applies.
     pub fn matches(&self, key: PatternKey) -> MatchList<'_> {
-        let idx = &self.indexes;
-        let resolve = |r: Option<crate::index::PostingRange>| -> &[u32] {
-            r.map(|r| idx.list(r)).unwrap_or(&EMPTY)
+        let ids = match &self.overlay {
+            None => self.flat_ids(key),
+            Some(ov) => self.merged_ids(key, ov),
         };
+        MatchList { graph: self, ids }
+    }
+
+    /// Flat-graph id resolution: every list is a borrowed arena slice.
+    fn flat_ids(&self, key: PatternKey) -> Ids<'_> {
+        let idx = &*self.indexes;
         let ids: &[u32] = match key.signature() {
             Signature::Spo => {
                 let (s, p, o) = (key.s.unwrap(), key.p.unwrap(), key.o.unwrap());
                 match idx.spo.get(pack3(s, p, o)) {
                     Some(i) => {
-                        // Return a 1-element slice borrowed from a per-call
-                        // allocation-free path: we keep singleton lists in the
-                        // `sp` index (s,p) filtered below instead. Simpler: use
-                        // the (s,p) postings and filter on o lazily — but that
-                        // breaks the "slice" contract. We store the singleton
-                        // in the po postings and search it.
-                        let list = resolve(idx.po.get(pack2(p, o)));
-                        // Find position of `i` — lists are tiny for spo keys.
+                        // Keep the borrowed-slice contract without a
+                        // dedicated singleton arena: the triple also sits in
+                        // its (p,o) posting list, so find it there and
+                        // return that 1-element window.
+                        let list = idx.po.get(pack2(p, o)).map(|r| idx.list(r)).unwrap_or(&[]);
                         match list.iter().position(|&x| x == i) {
                             Some(pos) => &list[pos..=pos],
                             None => &EMPTY,
@@ -100,15 +312,76 @@ impl KnowledgeGraph {
                     None => &EMPTY,
                 }
             }
-            Signature::SpX => resolve(idx.sp.get(pack2(key.s.unwrap(), key.p.unwrap()))),
-            Signature::SxO => resolve(idx.so.get(pack2(key.s.unwrap(), key.o.unwrap()))),
-            Signature::XpO => resolve(idx.po.get(pack2(key.p.unwrap(), key.o.unwrap()))),
-            Signature::Sxx => resolve(idx.s.get(key.s.unwrap())),
-            Signature::XpX => resolve(idx.p.get(key.p.unwrap())),
-            Signature::XxO => resolve(idx.o.get(key.o.unwrap())),
             Signature::Xxx => &idx.all,
+            _ => keyed_list(idx, key),
         };
-        MatchList { graph: self, ids }
+        Ids::Borrowed(ids)
+    }
+
+    /// Overlay-graph id resolution: merge base and delta lists under the
+    /// retraction mask, preserving `(score desc, global id asc)` order.
+    fn merged_ids<'g>(&'g self, key: PatternKey, ov: &'g OverlaySegment) -> Ids<'g> {
+        let base_len = self.cols.len() as u32;
+        match key.signature() {
+            Signature::Spo => {
+                let (s, p, o) = (key.s.unwrap(), key.p.unwrap(), key.o.unwrap());
+                let packed = pack3(s, p, o);
+                if let Some(local) = ov.indexes.spo.get(packed) {
+                    return Ids::Owned(vec![base_len + local]);
+                }
+                match self.indexes.spo.get(packed) {
+                    Some(i) if !ov.is_masked(i) => Ids::Owned(vec![i]),
+                    _ => Ids::Borrowed(&EMPTY),
+                }
+            }
+            Signature::Xxx => Ids::Borrowed(&ov.all),
+            _ => {
+                let base = keyed_list(&self.indexes, key);
+                let delta = keyed_list(&ov.indexes, key);
+                if delta.is_empty() && ov.masked_count == 0 {
+                    return Ids::Borrowed(base);
+                }
+                Ids::Owned(self.merge_lists(base, delta, ov))
+            }
+        }
+    }
+
+    /// Two-pointer merge of a base posting list and a delta posting list
+    /// (local ids), skipping masked base rows. Both inputs are score-desc;
+    /// on equal scores the base row wins, which is exactly ascending global
+    /// id order since every base id is below `base_len`.
+    fn merge_lists(&self, base: &[u32], delta_local: &[u32], ov: &OverlaySegment) -> Vec<u32> {
+        let base_len = self.cols.len() as u32;
+        let mut out = Vec::with_capacity(base.len() + delta_local.len());
+        let (mut bi, mut di) = (0usize, 0usize);
+        loop {
+            while bi < base.len() && ov.is_masked(base[bi]) {
+                bi += 1;
+            }
+            match (bi < base.len(), di < delta_local.len()) {
+                (false, false) => break,
+                (true, false) => {
+                    out.push(base[bi]);
+                    bi += 1;
+                }
+                (false, true) => {
+                    out.push(base_len + delta_local[di]);
+                    di += 1;
+                }
+                (true, true) => {
+                    let bs = self.cols.score(base[bi] as usize);
+                    let ds = ov.cols.score(delta_local[di] as usize);
+                    if bs >= ds {
+                        out.push(base[bi]);
+                        bi += 1;
+                    } else {
+                        out.push(base_len + delta_local[di]);
+                        di += 1;
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Number of triples matching `key` (the `mᵢ` statistic of §3.1.1).
@@ -116,76 +389,145 @@ impl KnowledgeGraph {
         self.matches(key).len()
     }
 
-    /// `true` if a triple with exactly these components exists.
+    /// `true` if a triple with exactly these components is visible.
     pub fn contains(&self, s: TermId, p: TermId, o: TermId) -> bool {
-        self.indexes.spo.get(pack3(s, p, o)).is_some()
+        self.score_of(s, p, o).is_some()
     }
 
-    /// The raw score of an exact triple, if present.
+    /// The raw score of an exact visible triple, if present. An overlay row
+    /// shadows the base row for the same triple; a masked base row is
+    /// absent.
     pub fn score_of(&self, s: TermId, p: TermId, o: TermId) -> Option<Score> {
+        let packed = pack3(s, p, o);
+        if let Some(ov) = &self.overlay {
+            if let Some(local) = ov.indexes.spo.get(packed) {
+                return Some(ov.cols.score(local as usize));
+            }
+            return match self.indexes.spo.get(packed) {
+                Some(i) if !ov.is_masked(i) => Some(self.cols.score(i as usize)),
+                _ => None,
+            };
+        }
         self.indexes
             .spo
-            .get(pack3(s, p, o))
+            .get(packed)
             .map(|i| self.cols.score(i as usize))
     }
 
-    /// Approximate resident bytes (diagnostics).
+    /// Folds the overlay (if any) into a fresh, self-contained flat graph
+    /// with identical visible triples and a [`flattened`] dictionary.
+    /// Row order is base-then-delta, masked rows dropped; storage indexes
+    /// are re-densified, which is invisible to queries (all ordering
+    /// contracts are score-based). Flat graphs return a cheap `Arc`-sharing
+    /// copy. This is the compaction primitive and the snapshot-writer
+    /// normal form.
+    ///
+    /// [`flattened`]: specqp_common::Dictionary::flattened
+    pub fn flattened(&self) -> KnowledgeGraph {
+        match &self.overlay {
+            None => KnowledgeGraph {
+                dict: self.dict.flattened(),
+                cols: Arc::clone(&self.cols),
+                indexes: Arc::clone(&self.indexes),
+                overlay: None,
+            },
+            Some(ov) => {
+                let mut cols = TripleColumns::new();
+                cols.reserve(self.len());
+                for i in 0..self.cols.len() {
+                    if !ov.is_masked(i as u32) {
+                        cols.push(self.cols.triple(i), self.cols.score(i));
+                    }
+                }
+                for i in 0..ov.cols.len() {
+                    cols.push(ov.cols.triple(i), ov.cols.score(i));
+                }
+                let indexes = PatternIndexes::build(&cols);
+                KnowledgeGraph::from_parts(self.dict.flattened(), cols, indexes)
+            }
+        }
+    }
+
+    /// Approximate resident bytes (diagnostics). Overlay versions count the
+    /// shared base once plus their own segment.
     pub fn approx_bytes(&self) -> usize {
-        self.cols.approx_bytes() + self.indexes.approx_bytes()
+        self.cols.approx_bytes()
+            + self.indexes.approx_bytes()
+            + self.overlay.as_ref().map_or(0, |ov| ov.approx_bytes())
     }
 }
 
-/// A borrowed, score-descending list of triples matching one pattern.
+/// Either a borrowed arena slice (flat graphs, and overlay lookups that
+/// touch no delta rows or masks) or an owned merged list.
+#[derive(Clone)]
+enum Ids<'g> {
+    Borrowed(&'g [u32]),
+    Owned(Vec<u32>),
+}
+
+/// A score-descending list of triples matching one pattern.
 ///
 /// This is the storage-level contract every operator relies on: positional
 /// access is by *rank* (0 = best). `max_score` is the normalizer of Def. 5.
-#[derive(Clone, Copy)]
+/// On flat graphs the list borrows the postings arena (zero-copy); on
+/// overlay graphs it may own a merged base+delta id list — either way the
+/// rank order is identical to what a from-scratch rebuild would produce.
+#[derive(Clone)]
 pub struct MatchList<'g> {
     graph: &'g KnowledgeGraph,
-    ids: &'g [u32],
+    ids: Ids<'g>,
 }
 
 impl<'g> MatchList<'g> {
+    /// The id slice, whichever side owns it.
+    #[inline]
+    fn slice(&self) -> &[u32] {
+        match &self.ids {
+            Ids::Borrowed(s) => s,
+            Ids::Owned(v) => v,
+        }
+    }
+
     /// Number of matches (`mᵢ`).
     pub fn len(&self) -> usize {
-        self.ids.len()
+        self.slice().len()
     }
 
     /// `true` when no triple matches.
     pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+        self.slice().is_empty()
     }
 
     /// Storage index of the match at `rank` (0 = highest score).
     #[inline]
     pub fn id_at(&self, rank: usize) -> u32 {
-        self.ids[rank]
+        self.slice()[rank]
     }
 
-    /// The raw storage-index slice in rank order — the arena range this
-    /// list borrows. Block scans slice this to gather whole batches of
-    /// triples column-wise (see [`TripleColumns::gather_into`]).
+    /// The raw storage-index slice in rank order. Block scans slice this to
+    /// gather whole batches of triples column-wise (see
+    /// [`KnowledgeGraph::gather_into`]).
     #[inline]
-    pub fn ids(&self) -> &'g [u32] {
-        self.ids
+    pub fn ids(&self) -> &[u32] {
+        self.slice()
     }
 
     /// The triple at `rank`.
     #[inline]
     pub fn triple_at(&self, rank: usize) -> Triple {
-        self.graph.cols.triple(self.ids[rank] as usize)
+        self.graph.triple(self.slice()[rank])
     }
 
     /// Raw score at `rank` (touches only the score column).
     #[inline]
     pub fn score_at(&self, rank: usize) -> Score {
-        self.graph.cols.score(self.ids[rank] as usize)
+        self.graph.score(self.slice()[rank])
     }
 
     /// The maximum raw score (score at rank 0), i.e. the Def.-5 normalizer
     /// `max_{t∈A(q)} S(t)`. Zero for empty lists.
     pub fn max_score(&self) -> Score {
-        if self.ids.is_empty() {
+        if self.is_empty() {
             Score::ZERO
         } else {
             self.score_at(0)
@@ -204,26 +546,24 @@ impl<'g> MatchList<'g> {
     }
 
     /// Iterates `(storage index, raw score)` in descending-score order.
-    pub fn iter(&self) -> impl Iterator<Item = (u32, Score)> + 'g {
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Score)> + '_ {
         let graph = self.graph;
-        self.ids
-            .iter()
-            .map(move |&i| (i, graph.cols.score(i as usize)))
+        self.slice().iter().map(move |&i| (i, graph.score(i)))
     }
 
     /// Iterates the matching triples in descending-score order.
-    pub fn iter_triples(&self) -> impl Iterator<Item = (Triple, Score)> + 'g {
+    pub fn iter_triples(&self) -> impl Iterator<Item = (Triple, Score)> + '_ {
         let graph = self.graph;
-        self.ids
+        self.slice()
             .iter()
-            .map(move |&i| (graph.cols.triple(i as usize), graph.cols.score(i as usize)))
+            .map(move |&i| (graph.triple(i), graph.score(i)))
     }
 
     /// Sum of raw scores over ranks `0..=rank` (the `S_r` statistic).
     pub fn cumulative_score(&self, rank: usize) -> Score {
-        self.ids[..=rank]
+        self.slice()[..=rank]
             .iter()
-            .map(|&i| self.graph.cols.score(i as usize))
+            .map(|&i| self.graph.score(i))
             .sum()
     }
 
@@ -240,7 +580,7 @@ impl<'g> MatchList<'g> {
 
 impl std::fmt::Debug for MatchList<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "MatchList(len={})", self.ids.len())
+        write!(f, "MatchList(len={})", self.len())
     }
 }
 
@@ -348,5 +688,16 @@ mod tests {
             assert_eq!(cols.scores()[i as usize], st.score);
         }
         assert_eq!(kg.iter_scored().count(), kg.len());
+    }
+
+    #[test]
+    fn flat_flatten_is_identity() {
+        let kg = sample();
+        let flat = kg.flattened();
+        assert!(!flat.has_overlay());
+        assert_eq!(flat.len(), kg.len());
+        assert_eq!(flat.dictionary().len(), kg.dictionary().len());
+        let ty = flat.dictionary().lookup("type").unwrap();
+        assert_eq!(flat.matches(PatternKey::p_only(ty)).len(), 4);
     }
 }

@@ -185,16 +185,12 @@ impl Block {
     }
 
     /// Appends the matches of `list` at `ranks` via one column-wise gather
-    /// from the backing [`TripleColumns`](kgstore::TripleColumns).
+    /// through [`kgstore::KnowledgeGraph::gather_into`] (which dispatches
+    /// each id to the base columns or the live-write overlay).
     pub fn fill_from(&mut self, list: &MatchList<'_>, ranks: std::ops::Range<usize>) {
         let ids = &list.ids()[ranks];
-        list.graph().columns().gather_into(
-            ids,
-            &mut self.s,
-            &mut self.p,
-            &mut self.o,
-            &mut self.score,
-        );
+        list.graph()
+            .gather_into(ids, &mut self.s, &mut self.p, &mut self.o, &mut self.score);
     }
 }
 

@@ -7,7 +7,8 @@
 //! request order per connection; correlate via `request_id`).
 
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, WireError, WireRequest, WireResponse,
+    decode_response, encode_request, encode_write, read_frame, write_frame, WireError, WireRequest,
+    WireResponse, WireWrite, WireWriteOp,
 };
 use specqp_service::ExecMode;
 use std::io::{self, BufReader};
@@ -76,6 +77,39 @@ impl SpecQpClient {
         };
         write_frame(&mut self.writer, &encode_request(&req))?;
         Ok(request_id)
+    }
+
+    /// Sends one write batch; returns the request id to correlate the
+    /// `WriteOk` (or error) response with. Ops are applied atomically
+    /// server-side under a single new epoch.
+    pub fn send_writes(&mut self, ops: Vec<WireWriteOp>, client_id: u64) -> Result<u64, WireError> {
+        let request_id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        let write = WireWrite {
+            request_id,
+            client_id,
+            ops,
+        };
+        write_frame(&mut self.writer, &encode_write(&write))?;
+        Ok(request_id)
+    }
+
+    /// Send a write batch + receive its response in one call. Returns the
+    /// published epoch on success; any other response (an error frame, or a
+    /// mis-ordered answers frame) comes back as [`WireError::Malformed`]
+    /// carrying the rendered response.
+    pub fn apply_writes(
+        &mut self,
+        ops: Vec<WireWriteOp>,
+        client_id: u64,
+    ) -> Result<u64, WireError> {
+        let id = self.send_writes(ops, client_id)?;
+        match self.recv()? {
+            WireResponse::WriteOk { request_id, epoch } if request_id == id => Ok(epoch),
+            other => Err(WireError::Malformed(format!(
+                "expected WriteOk for request {id}, got {other:?}"
+            ))),
+        }
     }
 
     /// Sends a raw, possibly malformed payload (tests of the server's

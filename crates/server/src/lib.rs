@@ -52,8 +52,8 @@ mod server;
 
 pub use client::SpecQpClient;
 pub use protocol::{
-    ErrorCode, WireAnswer, WireError, WireRequest, WireResponse, MAX_FRAME, OP_ANSWERS, OP_ERROR,
-    OP_QUERY,
+    ErrorCode, WireAnswer, WireError, WireRequest, WireResponse, WireWrite, WireWriteOp, MAX_FRAME,
+    OP_ANSWERS, OP_ERROR, OP_QUERY, OP_WRITE, OP_WRITE_OK,
 };
 pub use quota::{QuotaConfig, QuotaRegistry};
 pub use server::{request_frame, Server, ServerConfig, ServerStats};

@@ -10,13 +10,26 @@
 //! QUERY      := 0x01 request_id:u64 client_id:u64 mode:u8 k:u32
 //!               deadline_ms:u32 query_len:u32 query[query_len]
 //!
+//! WRITE      := 0x02 request_id:u64 client_id:u64 count:u32 op[count]
+//! op         := kind:u8 term term term (score:f64 when kind = 0)
+//! term       := len:u16 bytes[len]
+//!
 //! ANSWERS    := 0x81 request_id:u64 count:u32 answer[count]
 //! answer     := score:f64 arity:u16 binding[arity]
 //! binding    := var:u32 term_len:u16 term[term_len]
 //!
 //! ERROR      := 0x82 request_id:u64 code:u8 retry_after_ms:u32
 //!               msg_len:u16 msg[msg_len]
+//!
+//! WRITE_OK   := 0x83 request_id:u64 epoch:u64
 //! ```
+//!
+//! A `WRITE` op's `kind` is 0 for an assert (upsert of the 〈s,p,o〉 triple at
+//! the given score) and 1 for a retract. The terms travel as raw strings —
+//! the server interns them against the live dictionary on commit. A
+//! successful write answers with `WRITE_OK` carrying the epoch the batch
+//! published; failures reuse `ERROR` (a read-only server answers
+//! [`ErrorCode::Protocol`] since retrying cannot succeed).
 //!
 //! `mode` is [`ExecMode::index`](specqp_service::ExecMode::index) as a byte
 //! (0 = specqp, 1 = trinit, 2 = naive). `deadline_ms == 0` means no
@@ -36,10 +49,14 @@ pub const MAX_FRAME: usize = 64 * 1024;
 
 /// Client → server query submission.
 pub const OP_QUERY: u8 = 0x01;
+/// Client → server write-batch submission.
+pub const OP_WRITE: u8 = 0x02;
 /// Server → client successful answer set.
 pub const OP_ANSWERS: u8 = 0x81;
 /// Server → client typed error.
 pub const OP_ERROR: u8 = 0x82;
+/// Server → client write acknowledgement carrying the published epoch.
+pub const OP_WRITE_OK: u8 = 0x83;
 
 /// Typed error codes carried by `ERROR` frames — the wire projection of
 /// [`specqp_service::ServiceError`] plus quota rejection.
@@ -124,6 +141,43 @@ pub struct WireRequest {
     pub query: String,
 }
 
+/// One operation inside a `WRITE` frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireWriteOp {
+    /// Upsert 〈s,p,o〉 at `score` (kind byte 0).
+    Assert {
+        /// Subject term.
+        s: String,
+        /// Predicate term.
+        p: String,
+        /// Object term.
+        o: String,
+        /// Triple score (bit-exact across the wire).
+        score: f64,
+    },
+    /// Remove 〈s,p,o〉 if present (kind byte 1).
+    Retract {
+        /// Subject term.
+        s: String,
+        /// Predicate term.
+        p: String,
+        /// Object term.
+        o: String,
+    },
+}
+
+/// A decoded `WRITE` frame: one batch of operations committed atomically
+/// under a single epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireWrite {
+    /// Client-chosen correlation id echoed on the response.
+    pub request_id: u64,
+    /// Quota accounting identity (0 = anonymous).
+    pub client_id: u64,
+    /// The operations, applied in order.
+    pub ops: Vec<WireWriteOp>,
+}
+
 /// One answer inside an `ANSWERS` frame: the score plus resolved
 /// `(variable, term name)` bindings.
 #[derive(Clone, Debug, PartialEq)]
@@ -143,6 +197,14 @@ pub enum WireResponse {
         request_id: u64,
         /// The ranked answer set.
         answers: Vec<WireAnswer>,
+    },
+    /// A write batch committed; `epoch` is the version it published.
+    WriteOk {
+        /// Echo of [`WireWrite::request_id`].
+        request_id: u64,
+        /// The epoch the batch published (`Epoch::value` on the server
+        /// side).
+        epoch: u64,
     },
     /// The request was rejected, shed or failed.
     Error {
@@ -164,6 +226,7 @@ impl WireResponse {
     pub fn request_id(&self) -> u64 {
         match self {
             WireResponse::Answers { request_id, .. } => *request_id,
+            WireResponse::WriteOk { request_id, .. } => *request_id,
             WireResponse::Error { request_id, .. } => *request_id,
         }
     }
@@ -217,6 +280,97 @@ pub fn encode_request(req: &WireRequest) -> Vec<u8> {
     out.extend_from_slice(&req.deadline_ms.to_be_bytes());
     out.extend_from_slice(&(q.len() as u32).to_be_bytes());
     out.extend_from_slice(q);
+    out
+}
+
+/// Appends one length-prefixed term (truncated to `u16` length).
+fn push_term(out: &mut Vec<u8>, term: &str) {
+    let t = &term.as_bytes()[..term.len().min(u16::MAX as usize)];
+    out.extend_from_slice(&(t.len() as u16).to_be_bytes());
+    out.extend_from_slice(t);
+}
+
+/// Encodes a `WRITE` payload.
+pub fn encode_write(write: &WireWrite) -> Vec<u8> {
+    let mut out = Vec::with_capacity(21 + write.ops.len() * 32);
+    out.push(OP_WRITE);
+    out.extend_from_slice(&write.request_id.to_be_bytes());
+    out.extend_from_slice(&write.client_id.to_be_bytes());
+    out.extend_from_slice(&(write.ops.len() as u32).to_be_bytes());
+    for op in &write.ops {
+        match op {
+            WireWriteOp::Assert { s, p, o, score } => {
+                out.push(0);
+                push_term(&mut out, s);
+                push_term(&mut out, p);
+                push_term(&mut out, o);
+                out.extend_from_slice(&score.to_bits().to_be_bytes());
+            }
+            WireWriteOp::Retract { s, p, o } => {
+                out.push(1);
+                push_term(&mut out, s);
+                push_term(&mut out, p);
+                push_term(&mut out, o);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a `WRITE` payload (opcode included).
+pub fn decode_write(payload: &[u8]) -> Result<WireWrite, WireError> {
+    let mut c = Cursor::new(payload);
+    let op = c.u8()?;
+    if op != OP_WRITE {
+        return Err(WireError::Malformed(format!("unknown opcode 0x{op:02x}")));
+    }
+    let request_id = c.u64()?;
+    let client_id = c.u64()?;
+    let count = c.u32()? as usize;
+    // An op is ≥ 7 bytes (kind + three empty terms); reject counts the
+    // payload cannot hold.
+    if count > payload.len() / 7 {
+        return Err(WireError::Malformed(format!("op count {count} too large")));
+    }
+    let mut ops = Vec::with_capacity(count);
+    for _ in 0..count {
+        let kind = c.u8()?;
+        let term = |c: &mut Cursor<'_>| -> Result<String, WireError> {
+            let len = c.u16()? as usize;
+            c.string(len)
+        };
+        let s = term(&mut c)?;
+        let p = term(&mut c)?;
+        let o = term(&mut c)?;
+        ops.push(match kind {
+            0 => WireWriteOp::Assert {
+                s,
+                p,
+                o,
+                score: f64::from_bits(c.u64()?),
+            },
+            1 => WireWriteOp::Retract { s, p, o },
+            other => {
+                return Err(WireError::Malformed(format!(
+                    "unknown write-op kind {other}"
+                )))
+            }
+        });
+    }
+    c.finish()?;
+    Ok(WireWrite {
+        request_id,
+        client_id,
+        ops,
+    })
+}
+
+/// Encodes a `WRITE_OK` payload.
+pub fn encode_write_ok(request_id: u64, epoch: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17);
+    out.push(OP_WRITE_OK);
+    out.extend_from_slice(&request_id.to_be_bytes());
+    out.extend_from_slice(&epoch.to_be_bytes());
     out
 }
 
@@ -375,6 +529,12 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, WireError> {
                 answers,
             })
         }
+        OP_WRITE_OK => {
+            let request_id = c.u64()?;
+            let epoch = c.u64()?;
+            c.finish()?;
+            Ok(WireResponse::WriteOk { request_id, epoch })
+        }
         OP_ERROR => {
             let request_id = c.u64()?;
             let code_byte = c.u8()?;
@@ -452,6 +612,111 @@ mod tests {
             }
             other => panic!("expected answers, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn write_roundtrip_bit_exact_scores() {
+        let w = WireWrite {
+            request_id: 11,
+            client_id: 3,
+            ops: vec![
+                WireWriteOp::Assert {
+                    s: "shakira".into(),
+                    p: "rdf:type".into(),
+                    o: "singer".into(),
+                    score: 0.1 + 0.2,
+                },
+                WireWriteOp::Retract {
+                    s: "adele".into(),
+                    p: "rdf:type".into(),
+                    o: "singer".into(),
+                },
+                WireWriteOp::Assert {
+                    s: "".into(),
+                    p: "".into(),
+                    o: "".into(),
+                    score: f64::MIN_POSITIVE,
+                },
+            ],
+        };
+        let payload = encode_write(&w);
+        assert_eq!(payload[0], OP_WRITE);
+        let got = decode_write(&payload).unwrap();
+        assert_eq!(got, w);
+        match (&got.ops[0], &w.ops[0]) {
+            (WireWriteOp::Assert { score: a, .. }, WireWriteOp::Assert { score: b, .. }) => {
+                assert_eq!(a.to_bits(), b.to_bits(), "bit-exact");
+            }
+            _ => unreachable!(),
+        }
+        // An empty batch round-trips too (the server treats it as a no-op).
+        let empty = WireWrite {
+            request_id: 1,
+            client_id: 0,
+            ops: vec![],
+        };
+        assert_eq!(decode_write(&encode_write(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn write_ok_roundtrip() {
+        let payload = encode_write_ok(11, 7);
+        assert_eq!(payload[0], OP_WRITE_OK);
+        assert_eq!(
+            decode_response(&payload).unwrap(),
+            WireResponse::WriteOk {
+                request_id: 11,
+                epoch: 7
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_write_payloads_are_typed_errors() {
+        let w = WireWrite {
+            request_id: 1,
+            client_id: 0,
+            ops: vec![WireWriteOp::Retract {
+                s: "a".into(),
+                p: "b".into(),
+                o: "c".into(),
+            }],
+        };
+        // Wrong opcode.
+        let mut payload = encode_write(&w);
+        payload[0] = OP_QUERY;
+        assert!(matches!(
+            decode_write(&payload),
+            Err(WireError::Malformed(_))
+        ));
+        // Unknown op kind.
+        let mut payload = encode_write(&w);
+        payload[21] = 9;
+        assert!(matches!(
+            decode_write(&payload),
+            Err(WireError::Malformed(_))
+        ));
+        // Truncated mid-op.
+        let mut payload = encode_write(&w);
+        payload.truncate(24);
+        assert!(matches!(
+            decode_write(&payload),
+            Err(WireError::Malformed(_))
+        ));
+        // Absurd op count.
+        let mut payload = encode_write(&w);
+        payload[17..21].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            decode_write(&payload),
+            Err(WireError::Malformed(_))
+        ));
+        // Trailing garbage.
+        let mut payload = encode_write(&w);
+        payload.push(0);
+        assert!(matches!(
+            decode_write(&payload),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -15,11 +15,13 @@
 //! and deadline shedding inside the service before the executor runs.
 
 use crate::protocol::{
-    decode_request, encode_answers, encode_error, encode_request, read_frame, write_frame,
-    ErrorCode, WireAnswer, WireError, WireRequest,
+    decode_request, decode_write, encode_answers, encode_error, encode_request, encode_write_ok,
+    read_frame, write_frame, ErrorCode, WireAnswer, WireError, WireRequest, WireWriteOp, OP_WRITE,
 };
 use crate::quota::{QuotaConfig, QuotaRegistry};
-use specqp_service::{ExecMode, QueryService, Request, ServiceError, ServiceStats, Ticket};
+use specqp_service::{
+    ExecMode, QueryService, Request, ServiceError, ServiceStats, Ticket, WriteBatch,
+};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -260,7 +262,15 @@ fn retry_after_ms(wait: Duration) -> u32 {
 
 /// The admission pipeline for one decoded frame: each rejection layer is
 /// strictly cheaper than the next stage it guards.
+///
+/// The opcode byte routes before any decoding happens — `WRITE` frames take
+/// the synchronous commit path (writes are cheap interning + publication,
+/// not queued execution), everything else is treated as a query request so
+/// unknown opcodes surface as the decoder's typed `Protocol` error.
 fn admit(shared: &Shared, payload: &[u8]) -> Outgoing {
+    if payload.first() == Some(&OP_WRITE) {
+        return admit_write(shared, payload);
+    }
     let reject = |id: u64, code: ErrorCode, retry_ms: u32, msg: &str| {
         Outgoing::Ready(encode_error(id, code, retry_ms, msg))
     };
@@ -303,8 +313,11 @@ fn admit(shared: &Shared, payload: &[u8]) -> Outgoing {
         let ms = retry_after_ms(wait);
         return reject(id, ErrorCode::RetryAfter, ms, "client quota exhausted");
     }
-    let dict = shared.service.engine().graph().dictionary();
-    let query = match sparql::parse_query(&wire.query, dict) {
+    // Pin the current graph version for parsing: term ids are append-only
+    // across commits, so a query parsed against the newest dictionary
+    // resolves identically on any version pinned later by the executor.
+    let graph = shared.service.engine().graph();
+    let query = match sparql::parse_query(&wire.query, graph.dictionary()) {
         Ok(q) => q,
         Err(e) => {
             shared
@@ -338,6 +351,70 @@ fn admit(shared: &Shared, payload: &[u8]) -> Outgoing {
     }
 }
 
+/// Admission for a `WRITE` frame: decode, quota, then commit through
+/// [`QueryService::apply_writes`]. Commits are synchronous — by the time
+/// `WRITE_OK` reaches the client, the new epoch is published and every
+/// *later* query on any connection sees it (already-pinned queries keep
+/// their version; see the service docs on epoch-pinned reads).
+fn admit_write(shared: &Shared, payload: &[u8]) -> Outgoing {
+    let reject = |id: u64, code: ErrorCode, retry_ms: u32, msg: &str| {
+        Outgoing::Ready(encode_error(id, code, retry_ms, msg))
+    };
+    let wire = match decode_write(payload) {
+        Ok(w) => w,
+        Err(e) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return reject(0, ErrorCode::Protocol, 0, &e.to_string());
+        }
+    };
+    let id = wire.request_id;
+    // Writes draw from the same per-client token bucket as queries: a
+    // write-hot client cannot starve read admission for everyone else.
+    if let Err(wait) = shared.quotas.try_acquire(wire.client_id) {
+        shared
+            .counters
+            .quota_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        let ms = retry_after_ms(wait);
+        return reject(id, ErrorCode::RetryAfter, ms, "client quota exhausted");
+    }
+    let mut batch = WriteBatch::new();
+    for op in &wire.ops {
+        match op {
+            WireWriteOp::Assert { s, p, o, score } => {
+                batch.assert(s, p, o, *score);
+            }
+            WireWriteOp::Retract { s, p, o } => {
+                batch.retract(s, p, o);
+            }
+        }
+    }
+    match shared.service.apply_writes(&batch) {
+        Ok(epoch) => Outgoing::Ready(encode_write_ok(id, epoch.value())),
+        Err(ServiceError::ShuttingDown) => {
+            reject(id, ErrorCode::ShuttingDown, 0, "service is shutting down")
+        }
+        Err(e @ ServiceError::ReadOnly) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            reject(id, ErrorCode::Protocol, 0, &e.to_string())
+        }
+        Err(ServiceError::Protocol(msg)) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            reject(id, ErrorCode::Protocol, 0, &msg)
+        }
+        Err(e) => reject(id, ErrorCode::Internal, 0, &e.to_string()),
+    }
+}
+
 fn writer_loop(stream: TcpStream, rx: mpsc::Receiver<Outgoing>, shared: Arc<Shared>) {
     let mut writer = BufWriter::new(stream);
     for out in rx {
@@ -359,7 +436,8 @@ fn writer_loop(stream: TcpStream, rx: mpsc::Receiver<Outgoing>, shared: Arc<Shar
 fn encode_response_frame(id: u64, response: specqp_service::Response, shared: &Shared) -> Vec<u8> {
     match response.outcome {
         Ok(outcome) => {
-            let dict = shared.service.engine().graph().dictionary();
+            let graph = shared.service.engine().graph();
+            let dict = graph.dictionary();
             let answers: Vec<WireAnswer> = outcome
                 .answers
                 .iter()

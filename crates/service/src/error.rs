@@ -41,6 +41,10 @@ pub enum ServiceError {
     /// Execution of the query panicked; the worker caught it and the pool
     /// keeps serving. The payload is the rendered panic message.
     Panicked(String),
+    /// A write was submitted to a service whose engine serves an immutable
+    /// graph (built without [`crate::QueryService::live`]). Writes need a
+    /// live graph; re-deploy the service over one.
+    ReadOnly,
 }
 
 impl ServiceError {
@@ -69,6 +73,7 @@ impl fmt::Display for ServiceError {
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ServiceError::Panicked(msg) => write!(f, "query execution panicked: {msg}"),
+            ServiceError::ReadOnly => write!(f, "service graph is read-only"),
         }
     }
 }
@@ -91,6 +96,7 @@ mod tests {
             ServiceError::ShuttingDown,
             ServiceError::Protocol("bad frame".into()),
             ServiceError::Panicked("boom".into()),
+            ServiceError::ReadOnly,
         ] {
             assert_eq!(e.retry_after(), None);
             assert!(!e.is_retryable());

@@ -55,6 +55,10 @@ pub use error::ServiceError;
 pub use queue::{BoundedQueue, TryPushError};
 pub use stats::{LifetimeCounters, ModeTotals, ServiceStats};
 
+// The write-path vocabulary, re-exported so front-ends can accept batches
+// and report epochs without depending on `kgstore` directly.
+pub use kgstore::{Epoch, LiveGraph, WriteBatch, WriteOp};
+
 use kgstore::KnowledgeGraph;
 use relax::RelaxationRegistry;
 use sparql::Query;
@@ -351,6 +355,11 @@ impl Ticket {
         }
     }
 }
+
+/// Upper bound on operations per [`QueryService::apply_writes`] batch.
+/// Write admission control: larger batches are refused with
+/// [`ServiceError::Protocol`] instead of wedging the single-writer lock.
+pub const MAX_WRITE_BATCH: usize = 4096;
 
 /// What travels through the execution queue.
 #[derive(Debug)]
@@ -653,6 +662,21 @@ impl QueryService {
         }
     }
 
+    /// Builds a service over a [`LiveGraph`] accepting concurrent writes,
+    /// and starts its worker pool. Queries pin the version current when
+    /// they start (epoch-consistent reads, see [`specqp::PinnedGraph`]);
+    /// writers go through [`QueryService::apply_writes`], which commits a
+    /// batch and bumps the epoch while in-flight queries keep serving from
+    /// the version they pinned.
+    pub fn live(
+        live: Arc<LiveGraph>,
+        registry: Arc<RelaxationRegistry>,
+        config: ServiceConfig,
+    ) -> Self {
+        let engine = Engine::live_with_config(live, registry, config.engine);
+        QueryService::with_engine(Arc::new(engine), config)
+    }
+
     /// Boots a service directly from a binary KG snapshot file: the graph is
     /// deserialized with its posting lists intact (no TSV parse, no index
     /// rebuild — see [`kgstore::snapshot`]), wrapped in an `Arc` and shared
@@ -700,6 +724,62 @@ impl QueryService {
     /// since construction.
     pub fn lifetime_stats(&self) -> ServiceStats {
         self.core.counters.snapshot()
+    }
+
+    /// Commits one write batch to the live graph and returns the epoch it
+    /// published — the write-path analogue of [`QueryService::try_submit`],
+    /// with its own admission control:
+    ///
+    /// * a service built over an immutable graph (any constructor but
+    ///   [`QueryService::live`]) refuses with [`ServiceError::ReadOnly`];
+    /// * after [`QueryService::shutdown`] has closed admission, writes are
+    ///   refused with [`ServiceError::ShuttingDown`] — queries already
+    ///   admitted drain against the epochs they pinned, never against a
+    ///   version committed during teardown;
+    /// * batches larger than [`MAX_WRITE_BATCH`] are refused with
+    ///   [`ServiceError::Protocol`] so one runaway client cannot wedge the
+    ///   single-writer lock for an unbounded stretch;
+    /// * an empty batch is a no-op returning the current epoch (no bump, no
+    ///   plan-cache invalidation).
+    ///
+    /// The commit itself runs on the caller's thread (writers serialize on
+    /// the live graph's writer lock); in-flight queries keep serving from
+    /// their pinned versions and the *next* query picks up the new epoch.
+    pub fn apply_writes(&self, batch: &WriteBatch) -> std::result::Result<Epoch, ServiceError> {
+        let Some(live) = self.core.engine.live_graph() else {
+            self.core.counters.record_rejected_write();
+            return Err(ServiceError::ReadOnly);
+        };
+        if self.core.queue.is_closed() {
+            self.core.counters.record_rejected_write();
+            return Err(ServiceError::ShuttingDown);
+        }
+        if batch.len() > MAX_WRITE_BATCH {
+            self.core.counters.record_rejected_write();
+            return Err(ServiceError::Protocol(format!(
+                "write batch of {} ops exceeds the {MAX_WRITE_BATCH}-op ceiling",
+                batch.len()
+            )));
+        }
+        if batch.is_empty() {
+            return Ok(live.epoch());
+        }
+        let epoch = live.commit(batch);
+        self.core.counters.record_writes(batch.len() as u64);
+        Ok(epoch)
+    }
+
+    /// Forces a compaction of the live graph's delta overlay into a fresh
+    /// flat base (see [`LiveGraph::compact`]) and returns the epoch that
+    /// published it. Errors mirror [`QueryService::apply_writes`].
+    pub fn compact(&self) -> std::result::Result<Epoch, ServiceError> {
+        let Some(live) = self.core.engine.live_graph() else {
+            return Err(ServiceError::ReadOnly);
+        };
+        if self.core.queue.is_closed() {
+            return Err(ServiceError::ShuttingDown);
+        }
+        Ok(live.compact())
     }
 
     /// Submits one request, blocking while the queue is full (backpressure).
@@ -1442,6 +1522,74 @@ mod tests {
         assert!(report.outcomes.is_empty());
         assert_eq!(report.stats.queries, 0);
         assert_eq!(report.stats.mean_latency, Duration::ZERO);
+    }
+
+    /// The write path end to end: a live service answers, accepts a write
+    /// batch, serves the new triple on the next query, and enforces write
+    /// admission control (read-only services, over-ceiling batches, and
+    /// post-shutdown writes are all refused with typed errors).
+    #[test]
+    fn live_service_applies_writes_and_enforces_admission() {
+        use kgstore::{LiveGraph, WriteBatch};
+        let (g, reg) = setup();
+        let q = parse_query("SELECT ?s WHERE { ?s <type> <big> }", g.dictionary()).unwrap();
+        let base = Arc::try_unwrap(g).unwrap_or_else(|a| a.flattened());
+        let live = Arc::new(LiveGraph::new(base));
+        let service = QueryService::live(
+            Arc::clone(&live),
+            reg.clone(),
+            ServiceConfig::with_threads(2),
+        );
+
+        let before = service.run_batch(&[QueryJob::specqp(q.clone(), 50)]);
+        let n = before.outcomes[0].answers.len();
+
+        // Empty batch: a no-op, no epoch bump.
+        let e0 = service.apply_writes(&WriteBatch::new()).unwrap();
+        assert_eq!(e0, kgstore::Epoch::ZERO);
+
+        let mut batch = WriteBatch::new();
+        batch.assert("fresh", "type", "big", 999.0);
+        let e1 = service.apply_writes(&batch).unwrap();
+        assert_eq!(e1.value(), 1);
+        let after = service.run_batch(&[QueryJob::specqp(q.clone(), 50)]);
+        assert_eq!(after.outcomes[0].answers.len(), n + 1);
+
+        // Over-ceiling batch: refused before touching the writer lock.
+        let mut huge = WriteBatch::new();
+        for i in 0..=MAX_WRITE_BATCH {
+            huge.assert(&format!("x{i}"), "type", "big", 1.0);
+        }
+        assert!(matches!(
+            service.apply_writes(&huge),
+            Err(ServiceError::Protocol(_))
+        ));
+
+        let stats = service.lifetime_stats();
+        assert_eq!(stats.write_batches, 1);
+        assert_eq!(stats.write_ops, 1);
+        assert_eq!(stats.rejected_writes, 1);
+
+        // Forced compaction folds the delta; answers are unchanged.
+        let e2 = service.compact().unwrap();
+        assert!(e2 > e1);
+        let folded = service.run_batch(&[QueryJob::specqp(q.clone(), 50)]);
+        assert_eq!(folded.outcomes[0].answers, after.outcomes[0].answers);
+
+        // Shutdown closes the write path too.
+        service.shutdown();
+        assert_eq!(
+            service.apply_writes(&batch).unwrap_err(),
+            ServiceError::ShuttingDown
+        );
+        assert_eq!(service.compact().unwrap_err(), ServiceError::ShuttingDown);
+
+        // A read-only service refuses writes outright.
+        let (g2, reg2) = setup();
+        let ro = QueryService::new(g2, reg2, ServiceConfig::with_threads(1));
+        assert_eq!(ro.apply_writes(&batch).unwrap_err(), ServiceError::ReadOnly);
+        assert_eq!(ro.compact().unwrap_err(), ServiceError::ReadOnly);
+        assert_eq!(ro.lifetime_stats().rejected_writes, 1);
     }
 
     #[test]

@@ -92,6 +92,12 @@ impl<T> BoundedQueue<T> {
         self.state.lock().expect("queue poisoned").items.is_empty()
     }
 
+    /// `true` once [`close`](BoundedQueue::close) has been called — new
+    /// pushes are refused, queued items still drain.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+
     /// Blocks until there is room, then enqueues `item`. Returns `Err(item)`
     /// if the queue was closed in the meantime.
     pub fn push(&self, item: T) -> Result<(), T> {

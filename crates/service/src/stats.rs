@@ -136,6 +136,14 @@ pub struct ServiceStats {
     /// Executions that panicked (caught; surfaced as
     /// [`ServiceError::Panicked`](crate::ServiceError::Panicked)).
     pub panicked: u64,
+    /// Write batches committed through
+    /// [`apply_writes`](crate::QueryService::apply_writes).
+    pub write_batches: u64,
+    /// Individual write operations across all committed batches.
+    pub write_ops: u64,
+    /// Write batches refused by admission control (read-only service,
+    /// shutdown, or an over-ceiling batch).
+    pub rejected_writes: u64,
     /// Per-mode lifetime latency breakdown, indexed by
     /// [`ExecMode::index`] (`None` for modes never executed).
     pub per_mode: [Option<ModeTotals>; 3],
@@ -157,6 +165,9 @@ pub struct LifetimeCounters {
     rejected_queue_full: AtomicU64,
     rejected_shutdown: AtomicU64,
     panicked: AtomicU64,
+    write_batches: AtomicU64,
+    write_ops: AtomicU64,
+    rejected_writes: AtomicU64,
     per_mode: [ModeCounters; 3],
 }
 
@@ -176,6 +187,9 @@ impl LifetimeCounters {
             rejected_queue_full: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
+            write_batches: AtomicU64::new(0),
+            write_ops: AtomicU64::new(0),
+            rejected_writes: AtomicU64::new(0),
             per_mode: [
                 ModeCounters::new(),
                 ModeCounters::new(),
@@ -198,6 +212,15 @@ impl LifetimeCounters {
 
     pub(crate) fn record_rejected_shutdown(&self) {
         self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_writes(&self, ops: u64) {
+        self.write_batches.fetch_add(1, Ordering::Relaxed);
+        self.write_ops.fetch_add(ops, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected_write(&self) {
+        self.rejected_writes.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_panicked(&self) {
@@ -250,6 +273,9 @@ impl LifetimeCounters {
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             panicked: self.panicked.load(Ordering::Relaxed),
+            write_batches: self.write_batches.load(Ordering::Relaxed),
+            write_ops: self.write_ops.load(Ordering::Relaxed),
+            rejected_writes: self.rejected_writes.load(Ordering::Relaxed),
             per_mode,
         }
     }

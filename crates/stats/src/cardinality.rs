@@ -22,6 +22,12 @@ use std::sync::RwLock;
 pub trait CardinalityEstimator: Send + Sync {
     /// Expected (or exact) answer count of the join of `patterns`.
     fn cardinality(&self, graph: &KnowledgeGraph, patterns: &[TriplePattern]) -> f64;
+
+    /// Drops any memoized counts. The engine calls this when the graph
+    /// version changes (a new live-write [`Epoch`](kgstore::Epoch)), since
+    /// counts memoized against an older version no longer describe the data.
+    /// Stateless estimators can keep the default no-op.
+    fn invalidate(&self) {}
 }
 
 /// One pattern's slot in a [`QueryKey`]: constant components plus the
@@ -240,6 +246,13 @@ impl CardinalityEstimator for ExactCardinality {
             .insert(key, n);
         n
     }
+
+    fn invalidate(&self) {
+        self.cache
+            .write()
+            .expect("cardinality cache poisoned")
+            .clear();
+    }
 }
 
 /// Independence-assumption estimator: `n = Π mᵢ · Π φ`, with one selectivity
@@ -323,6 +336,13 @@ impl CardinalityEstimator for IndependenceEstimator {
             }
         }
         n
+    }
+
+    fn invalidate(&self) {
+        self.distinct_cache
+            .write()
+            .expect("distinct cache poisoned")
+            .clear();
     }
 }
 

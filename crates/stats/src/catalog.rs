@@ -175,6 +175,24 @@ impl StatsCatalog {
         flips
     }
 
+    /// Drops every cached [`PatternStats`] entry and bumps the generation.
+    ///
+    /// Called when the underlying graph *changes* — the engine invokes this
+    /// on observing a new [`Epoch`](kgstore::Epoch) from a live graph — so
+    /// cardinalities and score distributions are re-derived from the new
+    /// version on next use, and the generation bump makes the plan cache
+    /// drop plans estimated against the old version on sight. The
+    /// speculation ledger is deliberately **kept**: offender evidence is
+    /// about pattern shapes, not a particular version, and drift is exactly
+    /// when that evidence earns its keep.
+    pub fn invalidate_stats(&self) {
+        let mut cache = self.cache.write().expect("stats cache poisoned");
+        cache.clear();
+        // Bump while holding the cache lock so a concurrent planner never
+        // observes stale stats under the new generation.
+        self.generation.fetch_add(1, Ordering::AcqRel);
+    }
+
     /// The recorded outcomes for a pattern shape (all-zero when the ledger
     /// has never seen it).
     pub fn speculation_outcome(&self, key: &StatsKey) -> SpeculationOutcome {

@@ -6,9 +6,9 @@
 use kgstore::KnowledgeGraphBuilder;
 use relax::RelaxationRegistry;
 use specqp_server::{
-    ErrorCode, QuotaConfig, Server, ServerConfig, SpecQpClient, WireResponse, OP_QUERY,
+    ErrorCode, QuotaConfig, Server, ServerConfig, SpecQpClient, WireResponse, WireWriteOp, OP_QUERY,
 };
-use specqp_service::{ExecMode, QueryService, ServiceConfig};
+use specqp_service::{ExecMode, LiveGraph, QueryService, ServiceConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -73,8 +73,9 @@ fn loopback_roundtrip_returns_ranked_answers() {
         assert!(w[0].score >= w[1].score, "answers must be rank-ordered");
     }
     // The wire answers match an in-process run bit-for-bit.
+    let graph = service.engine().graph();
     let direct = service.engine().run_specqp(
-        &sparql::parse_query(SINGERS, service.engine().graph().dictionary()).unwrap(),
+        &sparql::parse_query(SINGERS, graph.dictionary()).unwrap(),
         5,
     );
     for (wire, local) in answers.iter().zip(&direct.answers) {
@@ -319,6 +320,7 @@ fn concurrent_connections_share_the_service() {
                         WireResponse::Error { code, .. } => {
                             panic!("closed-loop client {c} rejected: {code:?}")
                         }
+                        other => panic!("unexpected reply: {other:?}"),
                     }
                 }
                 got
@@ -330,6 +332,100 @@ fn concurrent_connections_share_the_service() {
     let stats = server.stats();
     assert_eq!(stats.service.completed, 100);
     assert!(stats.connections >= 4);
+    server.shutdown();
+}
+
+/// Live writes over the wire: `WRITE` commits a new epoch synchronously,
+/// `WRITE_OK` carries the epoch value, later queries on the same connection
+/// see the committed (and masked) triples, and a read-only server rejects
+/// writes with a typed `Protocol` error instead of dropping the connection.
+#[test]
+fn wire_writes_commit_and_read_only_rejects() {
+    // A service over an immutable graph refuses writes but keeps serving.
+    let service = test_service(2, 8);
+    let server =
+        Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = SpecQpClient::connect(server.local_addr()).unwrap();
+    client
+        .send_writes(
+            vec![WireWriteOp::Assert {
+                s: "nope".into(),
+                p: "rdf:type".into(),
+                o: "singer".into(),
+                score: 1.0,
+            }],
+            1,
+        )
+        .unwrap();
+    match client.recv().unwrap() {
+        WireResponse::Error { code, message, .. } => {
+            assert_eq!(code, ErrorCode::Protocol);
+            assert!(message.contains("read-only"), "names the cause: {message}");
+        }
+        other => panic!("expected read-only rejection, got {other:?}"),
+    }
+    expect_answers(
+        client
+            .roundtrip(SINGERS, ExecMode::SpecQp, 2, 0, 1)
+            .unwrap(),
+    );
+    server.shutdown();
+
+    // A live service commits the batch atomically under one epoch.
+    let mut b = KnowledgeGraphBuilder::new();
+    b.add("shakira", "rdf:type", "singer", 100.0);
+    let live = Arc::new(LiveGraph::new(b.build()));
+    let service = Arc::new(QueryService::live(
+        Arc::clone(&live),
+        Arc::new(RelaxationRegistry::new()),
+        ServiceConfig::with_threads(2),
+    ));
+    let server =
+        Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = SpecQpClient::connect(server.local_addr()).unwrap();
+
+    let before = expect_answers(
+        client
+            .roundtrip(SINGERS, ExecMode::SpecQp, 10, 0, 1)
+            .unwrap(),
+    );
+    assert_eq!(before.len(), 1);
+    assert_eq!(before[0].bindings[0].1, "shakira");
+
+    let epoch = client
+        .apply_writes(
+            vec![
+                WireWriteOp::Assert {
+                    s: "beyonce".into(),
+                    p: "rdf:type".into(),
+                    o: "singer".into(),
+                    score: 120.0,
+                },
+                WireWriteOp::Retract {
+                    s: "shakira".into(),
+                    p: "rdf:type".into(),
+                    o: "singer".into(),
+                },
+            ],
+            1,
+        )
+        .unwrap();
+    assert!(epoch >= 1, "commit bumps the epoch");
+    assert_eq!(
+        epoch,
+        live.epoch().value(),
+        "WRITE_OK carries the new epoch"
+    );
+
+    // Queries admitted after WRITE_OK pin the committed version: the new
+    // triple is visible, the retracted one is masked.
+    let after = expect_answers(
+        client
+            .roundtrip(SINGERS, ExecMode::SpecQp, 10, 0, 1)
+            .unwrap(),
+    );
+    assert_eq!(after.len(), 1);
+    assert_eq!(after[0].bindings[0].1, "beyonce");
     server.shutdown();
 }
 
