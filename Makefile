@@ -21,6 +21,7 @@ test:
 	SPECQP_SPEC=fallback $(CARGO) test -q --workspace
 	SPECQP_EXEC=block SPECQP_MORSELS=4 $(CARGO) test -q --workspace
 	SPECQP_CHURN=1 $(CARGO) test -q --workspace
+	SPECQP_LEARNED=1 $(CARGO) test -q --workspace
 	env -u RUST_TEST_THREADS $(CARGO) test -q --release --test integration_service
 	env -u RUST_TEST_THREADS $(CARGO) test -q --release --test integration_server
 	env -u RUST_TEST_THREADS $(CARGO) test -q --release -p specqp_service
@@ -37,17 +38,19 @@ example:
 
 # The weekly bench-smoke job in one command.
 smoke:
-	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --block-size 128 --quality --server --morsels 4 --churn --json BENCH_probe.json
+	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --block-size 128 --quality --server --morsels 4 --churn --learned --json BENCH_probe.json
 
 # The CI bench-regression job: probe the current tree, gate against the
 # committed baseline (3x noise tolerance), and check the snapshot speedup,
 # the block-executor speedup, the speculation quality floor, the wire
 # front-end's overload behavior (shed with RetryAfter, p99 bounded), the
 # morsel-parallel + snapshot v2 floors (answers bit-identical always; the 2x
-# speedup floor applies only when cores >= workers), and the live-writes
-# churn floors (answers epoch-stable, post-compaction load >= 5x).
+# speedup floor applies only when cores >= workers), the live-writes
+# churn floors (answers epoch-stable, post-compaction load >= 5x), and the
+# learned-prediction floors (cold engine byte-identical to histograms,
+# taught mis-speculation rate < 0.06 and <= static, overhead <= 1.25x).
 gate:
-	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --block-size 128 --quality --server --morsels 4 --churn --json target/BENCH_current.json
+	$(CARGO) run --release -p bench --bin probe -- xkg 2 10 --service 4 --block-size 128 --quality --server --morsels 4 --churn --learned --json target/BENCH_current.json
 	$(CARGO) run --release -p bench --bin bench_gate -- regression BENCH_probe.json target/BENCH_current.json 3
 	$(CARGO) run --release -p bench --bin bench_gate -- snapshot target/BENCH_current.json 3
 	$(CARGO) run --release -p bench --bin bench_gate -- block target/BENCH_current.json 1.3
@@ -55,6 +58,7 @@ gate:
 	$(CARGO) run --release -p bench --bin bench_gate -- overload BENCH_probe.json target/BENCH_current.json 3
 	$(CARGO) run --release -p bench --bin bench_gate -- parallel target/BENCH_current.json 2 5
 	$(CARGO) run --release -p bench --bin bench_gate -- churn target/BENCH_current.json 5
+	$(CARGO) run --release -p bench --bin bench_gate -- learned target/BENCH_current.json 0.06 1.25
 
 # The speculation quality gate alone: precision@k vs TriniT must stay
 # >= 0.95 with the fallback lifecycle enabled, at <= 1.25x runtime overhead.

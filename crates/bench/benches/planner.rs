@@ -28,6 +28,7 @@ fn bench_planner(c: &mut Criterion) {
             &exact,
             registry,
             RefitMode::TwoBucket,
+            false,
         );
         let _ = plan_query(
             &ds.graph,
@@ -37,6 +38,7 @@ fn bench_planner(c: &mut Criterion) {
             &indep,
             registry,
             RefitMode::TwoBucket,
+            false,
         );
     }
 
@@ -55,6 +57,7 @@ fn bench_planner(c: &mut Criterion) {
                         &exact,
                         registry,
                         RefitMode::TwoBucket,
+                        false,
                     )
                     .relaxed_count()
                 })

@@ -726,6 +726,15 @@ impl QueryService {
         self.core.counters.snapshot()
     }
 
+    /// Current learned-predictor counters on the engine's catalog:
+    /// observations fed back by verified runs, confident predictions served
+    /// to PLANGEN, and material revisions (each of which bumped the catalog
+    /// generation). All zeros unless the engine runs with
+    /// [`specqp::EngineConfig::learned`] (`SPECQP_LEARNED=1`).
+    pub fn learned_snapshot(&self) -> specqp::LearnedCounters {
+        self.core.engine.catalog().learned_counters()
+    }
+
     /// Commits one write batch to the live graph and returns the epoch it
     /// published — the write-path analogue of [`QueryService::try_submit`],
     /// with its own admission control:
@@ -934,6 +943,21 @@ pub fn percentile(sorted: &[Duration], q: f64) -> Duration {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// `total / queries` without the old `queries as u32` truncation: a lifetime
+/// counter past `u32::MAX` used to wrap the divisor — producing a wildly
+/// wrong mean or, on an exact multiple of 2³², a division by zero. The
+/// division is done in `u128` nanoseconds, which cannot overflow
+/// (`Duration::MAX` is < 2¹⁵⁰ ns) and loses no precision.
+pub fn mean_latency(total: Duration, queries: u64) -> Duration {
+    if queries == 0 {
+        return Duration::ZERO;
+    }
+    let nanos = total.as_nanos() / queries as u128;
+    // A mean cannot exceed the u64::MAX-second total it came from, but
+    // saturate rather than panic on absurd inputs.
+    Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
+}
+
 /// Aggregates per-query latencies into a [`BatchStats`] — factored out of
 /// the service so the percentile math is unit-testable on hand-built
 /// samples. The per-mode breakdown and speculation totals start empty; the
@@ -957,11 +981,7 @@ pub fn batch_stats(
         } else {
             queries as f64 / wall.as_secs_f64()
         },
-        mean_latency: if queries == 0 {
-            Duration::ZERO
-        } else {
-            total / queries as u32
-        },
+        mean_latency: mean_latency(total, queries as u64),
         p50_latency: percentile(&sorted, 0.50),
         p95_latency: percentile(&sorted, 0.95),
         p99_latency: percentile(&sorted, 0.99),
@@ -992,7 +1012,7 @@ pub fn mode_breakdown(jobs: &[QueryJob], latencies: &[Duration]) -> [Option<Mode
         out[mode.index()] = Some(ModeLatency {
             mode,
             queries,
-            mean_latency: total / queries as u32,
+            mean_latency: mean_latency(total, queries as u64),
             p50_latency: percentile(&bucket, 0.50),
             p95_latency: percentile(&bucket, 0.95),
             max_latency: *bucket.last().expect("non-empty bucket"),
@@ -1394,6 +1414,32 @@ mod tests {
         assert!(stats.p99_latency <= stats.max_latency);
     }
 
+    /// Regression: the mean used to be computed as `total / queries as u32`,
+    /// so a lifetime counter past `u32::MAX` wrapped the divisor — e.g.
+    /// `u32::MAX + 2` queries divided by 1 — and an exact multiple of 2³²
+    /// divided by zero. The division must happen in full width.
+    #[test]
+    fn mean_latency_survives_counts_beyond_u32() {
+        let n = u32::MAX as u64 + 2;
+        // n queries of 1ms each: the mean is exactly 1ms. Under the old
+        // truncation the divisor wrapped to 1 and the "mean" was the total.
+        let total = Duration::from_millis(n);
+        assert_eq!(mean_latency(total, n), Duration::from_millis(1));
+        // An exact multiple of 2³² used to divide by zero.
+        let n = (u32::MAX as u64 + 1) * 2;
+        assert_eq!(
+            mean_latency(Duration::from_millis(n), n),
+            Duration::from_millis(1)
+        );
+        // Degenerate inputs stay sane.
+        assert_eq!(mean_latency(Duration::ZERO, 0), Duration::ZERO);
+        assert_eq!(mean_latency(Duration::from_secs(5), 0), Duration::ZERO);
+        assert_eq!(
+            mean_latency(Duration::from_micros(2500 * 4), 4),
+            Duration::from_micros(2500)
+        );
+    }
+
     /// Config plumb-through: a service built with a block-execution engine
     /// config answers exactly like the row-mode service.
     #[test]
@@ -1423,6 +1469,29 @@ mod tests {
                 assert_eq!(a.answers, b.answers, "size {size}");
             }
         }
+    }
+
+    /// The learned-predictor counters surface: a learned service counts one
+    /// observation per verified Spec-QP run; a default service stays at 0.
+    #[test]
+    fn learned_snapshot_counts_observations() {
+        use specqp::{EngineConfig, SpeculationPolicy};
+        let (g, reg) = setup();
+        let q = parse_query(
+            "SELECT ?s WHERE { ?s <type> <big> . ?s <type> <small> }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let mut cfg = ServiceConfig::with_threads(2);
+        cfg.engine = EngineConfig::default()
+            .with_speculation(SpeculationPolicy::Fallback { max_stages: 3 })
+            .with_learned(true);
+        let svc = QueryService::new(g.clone(), reg.clone(), cfg);
+        assert_eq!(svc.learned_snapshot().observations, 0);
+        let jobs: Vec<QueryJob> = (0..4).map(|_| QueryJob::specqp(q.clone(), 5)).collect();
+        let _ = svc.run_batch(&jobs);
+        let counters = svc.learned_snapshot();
+        assert_eq!(counters.observations, 4, "one observation per run");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! plan that pre-dates what the catalog has since learned.
 
 use crate::histogram::PatternStats;
+use crate::learned::{LearnedCounters, LearnedModels, LearnedObservation, QueryShapeKey};
 use kgstore::{KnowledgeGraph, PatternKey};
 use sparql::{StatsKey, TriplePattern};
 use specqp_common::FxHashMap;
@@ -74,6 +75,7 @@ impl SpeculationOutcome {
 pub struct StatsCatalog {
     cache: RwLock<FxHashMap<StatsKey, Option<PatternStats>>>,
     ledger: RwLock<FxHashMap<StatsKey, SpeculationOutcome>>,
+    learned: RwLock<LearnedModels>,
     generation: AtomicU64,
 }
 
@@ -175,6 +177,57 @@ impl StatsCatalog {
         flips
     }
 
+    /// Absorbs one verified run's learned observation (see
+    /// [`crate::learned`]): the observed k-th score teaches the query
+    /// shape's k-th model, each relaxed pattern's observed contribution
+    /// teaches its relaxed-best model. Every **material revision** of a
+    /// gated prediction bumps the catalog generation — while still holding
+    /// the learned write lock, so a concurrent planner never observes the
+    /// revised prediction under the old generation (the same ordering
+    /// contract [`write_verdicts`](Self::record_speculations) upholds for
+    /// ledger bias flips). Returns the number of revisions.
+    pub fn record_learned(&self, obs: LearnedObservation) -> u64 {
+        let mut learned = self.learned.write().expect("learned models poisoned");
+        let revisions = learned.record(obs);
+        for _ in 0..revisions {
+            self.generation.fetch_add(1, Ordering::AcqRel);
+        }
+        revisions
+    }
+
+    /// The learned k-th-score prediction for a query shape, when its
+    /// confidence gate is open (`None` ⇒ fall back to the histogram
+    /// estimate).
+    pub fn learned_kth(&self, shape: &QueryShapeKey, k: usize) -> Option<f64> {
+        self.learned
+            .read()
+            .expect("learned models poisoned")
+            .kth(shape, k)
+    }
+
+    /// The learned relaxed-best prediction for one pattern of a query
+    /// shape, when its confidence gate is open.
+    pub fn learned_relaxed_best(
+        &self,
+        shape: &QueryShapeKey,
+        key: &StatsKey,
+        k: usize,
+    ) -> Option<f64> {
+        self.learned
+            .read()
+            .expect("learned models poisoned")
+            .relaxed_best(shape, key, k)
+    }
+
+    /// Cumulative learned-layer counters (observations, served predictions,
+    /// material revisions).
+    pub fn learned_counters(&self) -> LearnedCounters {
+        self.learned
+            .read()
+            .expect("learned models poisoned")
+            .counters()
+    }
+
     /// Drops every cached [`PatternStats`] entry and bumps the generation.
     ///
     /// Called when the underlying graph *changes* — the engine invokes this
@@ -184,10 +237,16 @@ impl StatsCatalog {
     /// drop plans estimated against the old version on sight. The
     /// speculation ledger is deliberately **kept**: offender evidence is
     /// about pattern shapes, not a particular version, and drift is exactly
-    /// when that evidence earns its keep.
+    /// when that evidence earns its keep. The **learned models** are
+    /// dropped: their observations were drawn from the old version's score
+    /// distributions, which a write batch may have reshaped arbitrarily.
     pub fn invalidate_stats(&self) {
         let mut cache = self.cache.write().expect("stats cache poisoned");
         cache.clear();
+        self.learned
+            .write()
+            .expect("learned models poisoned")
+            .clear();
         // Bump while holding the cache lock so a concurrent planner never
         // observes stale stats under the new generation.
         self.generation.fetch_add(1, Ordering::AcqRel);
@@ -436,6 +495,148 @@ mod tests {
         let b = TriplePattern::new(Var(9), ty, o).stats_key();
         c.record_speculation(a, true);
         assert!(c.repeat_offender(&b), "renamed variable shares the entry");
+    }
+
+    #[test]
+    fn learned_revisions_bump_generation_and_epoch_clears_models() {
+        use crate::learned::{FeatureVector, LearnedObservation, QueryShapeKey};
+
+        let c = StatsCatalog::new();
+        let key = TriplePattern::new(Var(0), specqp_common::TermId(1), specqp_common::TermId(2))
+            .stats_key();
+        let shape = QueryShapeKey::new(vec![key]);
+        let obs = || LearnedObservation {
+            shape: shape.clone(),
+            features: FeatureVector::default(),
+            k: 10,
+            kth_score: Some(1.5),
+            relaxed_best: vec![(key, 0.6)],
+        };
+        assert_eq!(c.learned_kth(&shape, 10), None);
+        assert_eq!(c.record_learned(obs()), 0, "below the gate: no revision");
+        assert_eq!(c.record_learned(obs()), 0);
+        assert_eq!(c.generation(), 0, "closed gates never invalidate plans");
+        // Third consistent observation opens both gates: two revisions, two
+        // generation bumps.
+        assert_eq!(c.record_learned(obs()), 2);
+        assert_eq!(c.generation(), 2);
+        let kth = c.learned_kth(&shape, 10).expect("gate open");
+        assert!((kth - 1.5).abs() < 0.01);
+        let rb = c.learned_relaxed_best(&shape, &key, 10).expect("gate open");
+        assert!((rb - 0.6).abs() < 0.01);
+        // Steady state: identical evidence revises nothing.
+        assert_eq!(c.record_learned(obs()), 0);
+        assert_eq!(c.generation(), 2);
+        let counters = c.learned_counters();
+        assert_eq!(counters.observations, 4);
+        assert_eq!(counters.revisions, 2);
+        assert!(counters.predictions >= 2);
+
+        // An epoch change drops the models (their observations came from
+        // the old version) and the predictions with them.
+        c.invalidate_stats();
+        assert_eq!(c.learned_kth(&shape, 10), None);
+        assert_eq!(c.learned_relaxed_best(&shape, &key, 10), None);
+    }
+
+    /// Satellite stress test: a `settled_clean` verdict racing a
+    /// `record_speculation` offense must never lose a generation bump — the
+    /// plan cache relies on "bias visible ⇒ generation already bumped" to
+    /// never serve a plan from the older generation.
+    ///
+    /// The test hammers one key from offense/clean writer threads while an
+    /// observer snapshots the bias bracketed by two generation reads, then
+    /// checks two invariants:
+    /// * accounting: the sum of flip counts returned by all writers equals
+    ///   the final generation (every flip paid exactly one bump, none lost);
+    /// * ordering: whenever the observer sees the bias *change* between two
+    ///   snapshots, a generation read *after* the new bias must exceed every
+    ///   generation read *before* the old bias was last observed — the flip
+    ///   happened after that earlier read, so its bump must be visible by
+    ///   now. A changed bias that fails this is exactly the lost-bump bug.
+    ///   (Comparing a *pre*-bias generation read against the new bias would
+    ///   be a false positive: a writer can flip between the two reads, which
+    ///   only makes a plan stamp conservatively old — the safe direction.)
+    #[test]
+    fn concurrent_verdicts_never_lose_a_generation_bump() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let c = Arc::new(StatsCatalog::new());
+        let key = TriplePattern::new(Var(0), specqp_common::TermId(77), specqp_common::TermId(78))
+            .stats_key();
+        let stop = Arc::new(AtomicBool::new(false));
+        const ROUNDS: usize = 400;
+
+        let mut writers = Vec::new();
+        for t in 0..4 {
+            let c = Arc::clone(&c);
+            writers.push(std::thread::spawn(move || {
+                let mut flips = 0u64;
+                for i in 0..ROUNDS {
+                    // Two offense threads, two exoneration threads; mix the
+                    // passive and probe paths so the read-lock fast path
+                    // races the write path.
+                    let mis = t < 2;
+                    flips += if (i + t) % 2 == 0 {
+                        c.record_speculations([(key, mis)])
+                    } else {
+                        c.record_probes([(key, mis)])
+                    };
+                }
+                flips
+            }));
+        }
+        let observer = {
+            let c = Arc::clone(&c);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // `plan_on` reads the generation before consulting the bias,
+                // so a plan's stamp is at most the pre-flip generation; the
+                // cache drops the plan once the current generation passes the
+                // stamp. The matching invariant observable here: once a new
+                // bias is visible, the generation must have advanced past
+                // anything read while the old bias was still current.
+                let mut last_pre = c.generation();
+                let mut last_bias = c.repeat_offender(&key);
+                let mut violations = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let pre = c.generation();
+                    let bias = c.repeat_offender(&key);
+                    let post = c.generation();
+                    // Any flip producing `bias` happened after `last_bias`
+                    // was read, hence after `last_pre` was read — so its
+                    // bump must already be visible in `post`.
+                    if bias != last_bias && post <= last_pre {
+                        violations += 1;
+                    }
+                    last_pre = pre;
+                    last_bias = bias;
+                }
+                violations
+            })
+        };
+
+        let mut total_flips = 0u64;
+        for w in writers {
+            total_flips += w.join().expect("writer panicked");
+        }
+        stop.store(true, Ordering::Release);
+        let violations = observer.join().expect("observer panicked");
+
+        assert_eq!(
+            c.generation(),
+            total_flips,
+            "every flip must pay exactly one generation bump — a lost bump \
+             would let the plan cache serve a pre-flip plan"
+        );
+        assert_eq!(violations, 0, "bias changed without a generation bump");
+        // Sanity: the counts add up to everything the writers sent.
+        let outcome = c.speculation_outcome(&key);
+        assert_eq!(
+            outcome.mis_speculations + outcome.clean_prunes,
+            (4 * ROUNDS) as u64
+        );
     }
 
     #[test]

@@ -243,6 +243,47 @@ mod tests {
         assert!(e.expected_top_score().is_none());
     }
 
+    /// Pins the `None`-propagation contract of [`QueryEstimate`] across all
+    /// degenerate inputs: a dead distribution or an unfillable rank must
+    /// surface as `None` (never a panic, never a leaked `Some`), because
+    /// PLANGEN reads `None` as "the original query cannot fill the top-k".
+    #[test]
+    fn degenerate_ranks_propagate_none() {
+        let g = graph();
+        let catalog = StatsCatalog::new();
+        let card = ExactCardinality::new();
+        let est = ScoreEstimator::new(&catalog, &card);
+
+        // An empty pattern list has no distribution and no answers.
+        let empty = est.estimate(&g, &[]);
+        assert!(empty.dist.is_none());
+        assert_eq!(empty.n, 0.0);
+        assert!(empty.expected_top_score().is_none());
+        assert!(empty.expected_score_at_rank(1_000_000).is_none());
+
+        // dist == None after a zero-match convolution: every rank is None,
+        // including rank 1 and absurdly deep ranks.
+        let none = QueryEstimate { dist: None, n: 0.0 };
+        for rank in [1, 2, 50, usize::MAX] {
+            assert!(none.expected_score_at_rank(rank).is_none());
+        }
+
+        // n == 0 with a live distribution (cannot arise from `estimate`,
+        // which normalizes to dist=None, but the struct is public): rank 1
+        // already exceeds the answer count.
+        let hollow = QueryEstimate {
+            dist: Some(PiecewiseConstantPdf::new(vec![0.0, 1.0], vec![1.0])),
+            n: 0.0,
+        };
+        assert!(hollow.expected_score_at_rank(1).is_none());
+
+        // rank > n on a healthy estimate.
+        let e = est.estimate_original(&g, &[pat(&g, "big")]);
+        assert_eq!(e.n, 100.0);
+        assert!(e.expected_score_at_rank(100).is_some());
+        assert!(e.expected_score_at_rank(101).is_none());
+    }
+
     #[test]
     fn refit_two_bucket_preserves_shape() {
         let u = PiecewiseConstantPdf::new(vec![0.0, 1.0], vec![1.0]);

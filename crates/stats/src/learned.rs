@@ -1,0 +1,510 @@
+//! Online learned score predictions from the speculation ledger
+//! (ROADMAP item 3).
+//!
+//! PLANGEN's `E_Q(k)` / `E_{Q'}(1)` predictions come from static two-bucket
+//! histograms. Every verified speculative run, however, *observes* the real
+//! quantities those estimates try to predict: the k-th best score the query
+//! actually produced, and the best answer score each relaxed pattern's
+//! relaxations actually contributed. This module closes that loop:
+//!
+//! * [`FeatureVector`] — the per-query-shape features extracted at
+//!   observation time (predicate selectivity, score skew, σᵣ, `k`, join
+//!   arity, relaxation-rule fan-out);
+//! * [`OnlineModel`] — an incremental ridge regression per shape bucket over
+//!   the regressors `[1, ln(1+k)]`: within a bucket every other feature is
+//!   constant (the bucket *is* the shape), so `k` is the one axis the model
+//!   generalizes over, by interpolation only — predictions outside the
+//!   observed `k` range are refused;
+//! * a **confidence gate**: a bucket predicts only once it holds at least
+//!   [`MIN_SAMPLES`] observations and its residual spread is within
+//!   [`MAX_RELATIVE_SPREAD`] of the prediction. Below the gate the caller
+//!   falls back to the static histogram estimate, byte-identically.
+//!
+//! [`LearnedModels`] holds two tables keyed by the canonical
+//! [`QueryShapeKey`]: the k-th-score model per query shape, and the
+//! relaxed-best model per (query shape, pattern). The
+//! [`StatsCatalog`](crate::StatsCatalog) owns one `LearnedModels` behind a
+//! lock, bumps its generation whenever an observation **materially revises**
+//! a gated prediction (so the plan cache drops plans built on the since-
+//! revised estimate), and clears the models on
+//! [`invalidate_stats`](crate::StatsCatalog::invalidate_stats) — a new graph
+//! epoch changes the score distributions the observations were drawn from.
+
+use crate::histogram::PatternStats;
+use sparql::StatsKey;
+use specqp_common::FxHashMap;
+
+/// Observations a bucket needs before its predictions pass the gate.
+pub const MIN_SAMPLES: u64 = 3;
+
+/// Maximum residual spread, relative to the prediction, the gate accepts:
+/// `sqrt(RSS/n) / max(|prediction|, ε) ≤ 0.25`.
+pub const MAX_RELATIVE_SPREAD: f64 = 0.25;
+
+/// Relative movement of a gated prediction that counts as a **material
+/// revision** (and therefore bumps the catalog generation): 5%.
+pub const REVISION_THRESHOLD: f64 = 0.05;
+
+/// Ridge regularizer — keeps the 2×2 solve well-conditioned when the bucket
+/// has only seen one `k` value (the regressor matrix is then rank-1).
+const RIDGE_LAMBDA: f64 = 1e-3;
+
+/// Floor for relative comparisons near zero.
+const EPS: f64 = 1e-9;
+
+/// Per-query-shape features extracted from the statistics that were current
+/// when the observation was made. Within one [`QueryShapeKey`] bucket every
+/// component except `k` is constant, so the vector doubles as the bucket's
+/// identity/drift record; `k` is the regression axis.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FeatureVector {
+    /// Selectivity proxy: `Σ ln(1 + mᵢ)` over the query's patterns.
+    pub selectivity: f64,
+    /// Score skew: mean head-mass ratio `Sᵢᵣ / Sᵢₘ` over the patterns.
+    pub skew: f64,
+    /// Mean 80%-mass boundary `σᵢᵣ` over the patterns.
+    pub sigma: f64,
+    /// The requested rank `k`.
+    pub k: f64,
+    /// Join arity (number of triple patterns).
+    pub arity: f64,
+    /// Total relaxation-rule fan-out over the patterns.
+    pub fanout: f64,
+}
+
+impl FeatureVector {
+    /// Extracts the features from the per-pattern statistics of a query
+    /// (entries are `None` for patterns with no matches), the requested `k`
+    /// and the total relaxation-rule fan-out.
+    pub fn from_stats(stats: &[Option<PatternStats>], k: usize, fanout: usize) -> Self {
+        let arity = stats.len();
+        let mut selectivity = 0.0;
+        let mut skew = 0.0;
+        let mut sigma = 0.0;
+        let mut present = 0usize;
+        for s in stats.iter().flatten() {
+            selectivity += (1.0 + s.m as f64).ln();
+            if s.s_m > EPS {
+                skew += s.s_r / s.s_m;
+            }
+            sigma += s.sigma_r;
+            present += 1;
+        }
+        if present > 0 {
+            skew /= present as f64;
+            sigma /= present as f64;
+        }
+        FeatureVector {
+            selectivity,
+            skew,
+            sigma,
+            k: k as f64,
+            arity: arity as f64,
+            fanout: fanout as f64,
+        }
+    }
+}
+
+/// Canonical identity of a query's pattern multiset: the patterns'
+/// [`StatsKey`]s, sorted. Variable names and pattern order are erased, so
+/// `{?x a b . ?x c d}` and `{?y c d . ?y a b}` share one learned bucket —
+/// the same erasure the plan cache's `QueryShape` performs.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct QueryShapeKey(Vec<StatsKey>);
+
+impl QueryShapeKey {
+    /// Builds the canonical key from the query's pattern stats keys.
+    pub fn new(mut keys: Vec<StatsKey>) -> Self {
+        keys.sort_unstable();
+        QueryShapeKey(keys)
+    }
+
+    /// The sorted pattern keys.
+    pub fn keys(&self) -> &[StatsKey] {
+        &self.0
+    }
+}
+
+/// One shape bucket: an incremental ridge regression of the observed score
+/// on `x = ln(1+k)`, kept as sufficient statistics so observations stream in
+/// O(1) and the 2×2 solve happens at predict time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineModel {
+    n: u64,
+    sx: f64,
+    sxx: f64,
+    sy: f64,
+    sxy: f64,
+    syy: f64,
+    x_min: f64,
+    x_max: f64,
+    /// Features of the first observation — the bucket's context record.
+    features: FeatureVector,
+}
+
+impl OnlineModel {
+    fn regressor(k: usize) -> f64 {
+        (1.0 + k as f64).ln()
+    }
+
+    /// Number of observations absorbed.
+    pub fn samples(&self) -> u64 {
+        self.n
+    }
+
+    /// The features recorded with the bucket's first observation.
+    pub fn features(&self) -> FeatureVector {
+        self.features
+    }
+
+    /// Solves the ridge system and returns `(prediction_at_x, rms_residual)`.
+    fn solve(&self, x: f64) -> (f64, f64) {
+        let n = self.n as f64;
+        let det = (n + RIDGE_LAMBDA) * (self.sxx + RIDGE_LAMBDA) - self.sx * self.sx;
+        let w0 = ((self.sxx + RIDGE_LAMBDA) * self.sy - self.sx * self.sxy) / det;
+        let w1 = ((n + RIDGE_LAMBDA) * self.sxy - self.sx * self.sy) / det;
+        let pred = (w0 + w1 * x).max(0.0);
+        let rss = (self.syy - w0 * self.sy - w1 * self.sxy).max(0.0);
+        (pred, (rss / n).sqrt())
+    }
+
+    /// The gated prediction for rank `k`: `None` until the bucket holds
+    /// [`MIN_SAMPLES`] observations, whenever `k` falls outside the observed
+    /// range (no extrapolation — the residuals say nothing about it), or
+    /// when the residual spread exceeds [`MAX_RELATIVE_SPREAD`] relative to
+    /// the prediction.
+    pub fn predict(&self, k: usize) -> Option<f64> {
+        if self.n < MIN_SAMPLES {
+            return None;
+        }
+        let x = Self::regressor(k);
+        if x < self.x_min - EPS || x > self.x_max + EPS {
+            return None;
+        }
+        let (pred, spread) = self.solve(x);
+        if spread > MAX_RELATIVE_SPREAD * pred.abs().max(EPS) {
+            return None;
+        }
+        Some(pred)
+    }
+
+    /// Absorbs one observation `(k, score)`. Returns `true` when the
+    /// **gated** prediction at this `k` materially revised: the gate flipped
+    /// (open↔closed) or a confident value moved by more than
+    /// [`REVISION_THRESHOLD`] relative — the signals after which plans built
+    /// on the old prediction must be dropped.
+    pub fn observe(&mut self, features: FeatureVector, k: usize, score: f64) -> bool {
+        let before = self.predict(k);
+        let x = Self::regressor(k);
+        if self.n == 0 {
+            self.features = features;
+            self.x_min = x;
+            self.x_max = x;
+        } else {
+            self.x_min = self.x_min.min(x);
+            self.x_max = self.x_max.max(x);
+        }
+        self.n += 1;
+        self.sx += x;
+        self.sxx += x * x;
+        self.sy += score;
+        self.sxy += x * score;
+        self.syy += score * score;
+        let after = self.predict(k);
+        match (before, after) {
+            (None, None) => false,
+            (Some(b), Some(a)) => (a - b).abs() > REVISION_THRESHOLD * b.abs().max(EPS),
+            _ => true,
+        }
+    }
+}
+
+/// One verified run's worth of learned evidence, recorded in a single
+/// catalog write.
+#[derive(Clone, Debug)]
+pub struct LearnedObservation {
+    /// The query's canonical shape.
+    pub shape: QueryShapeKey,
+    /// Features current at observation time.
+    pub features: FeatureVector,
+    /// The requested rank.
+    pub k: usize,
+    /// The observed k-th best score — only when the top-k actually filled
+    /// (an under-filled run has no k-th score to learn from).
+    pub kth_score: Option<f64>,
+    /// Per relaxed pattern (with registered rules): the best final-answer
+    /// score its relaxations contributed, `0.0` when they contributed
+    /// nothing — the observation of `E_{Q'}(1)`.
+    pub relaxed_best: Vec<(StatsKey, f64)>,
+}
+
+/// Cumulative counters for the learned layer (service/bench observability).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LearnedCounters {
+    /// Observations absorbed ([`LearnedModels::record`] calls).
+    pub observations: u64,
+    /// Gated predictions served to the planner.
+    pub predictions: u64,
+    /// Material revisions (each bumped the catalog generation).
+    pub revisions: u64,
+}
+
+/// The two learned tables: k-th-score models per query shape and
+/// relaxed-best models per (query shape, pattern).
+///
+/// Predictions are `&self` (the catalog serves them under a read lock on
+/// the planning hot path — the served-prediction counter is atomic for that
+/// reason); observations are `&mut self` (one write lock per verified run).
+#[derive(Debug, Default)]
+pub struct LearnedModels {
+    kth: FxHashMap<QueryShapeKey, OnlineModel>,
+    relaxed: FxHashMap<QueryShapeKey, FxHashMap<StatsKey, OnlineModel>>,
+    observations: u64,
+    revisions: u64,
+    predictions: std::sync::atomic::AtomicU64,
+}
+
+impl LearnedModels {
+    /// Absorbs one run's observation; returns the number of material
+    /// revisions (the caller bumps its generation once per revision).
+    pub fn record(&mut self, obs: LearnedObservation) -> u64 {
+        let mut revisions = 0u64;
+        self.observations += 1;
+        if let Some(score) = obs.kth_score {
+            let model = self.kth.entry(obs.shape.clone()).or_default();
+            if model.observe(obs.features, obs.k, score) {
+                revisions += 1;
+            }
+        }
+        if !obs.relaxed_best.is_empty() {
+            let per_pattern = self.relaxed.entry(obs.shape).or_default();
+            for (key, score) in obs.relaxed_best {
+                let model = per_pattern.entry(key).or_default();
+                if model.observe(obs.features, obs.k, score) {
+                    revisions += 1;
+                }
+            }
+        }
+        self.revisions += revisions;
+        revisions
+    }
+
+    fn count_prediction(&self) {
+        self.predictions
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Gated k-th-score prediction for a query shape.
+    pub fn kth(&self, shape: &QueryShapeKey, k: usize) -> Option<f64> {
+        let p = self.kth.get(shape)?.predict(k);
+        if p.is_some() {
+            self.count_prediction();
+        }
+        p
+    }
+
+    /// Gated relaxed-best prediction for one pattern of a query shape.
+    pub fn relaxed_best(&self, shape: &QueryShapeKey, key: &StatsKey, k: usize) -> Option<f64> {
+        let p = self.relaxed.get(shape)?.get(key)?.predict(k);
+        if p.is_some() {
+            self.count_prediction();
+        }
+        p
+    }
+
+    /// Number of (k-th, relaxed-best) buckets.
+    pub fn len(&self) -> (usize, usize) {
+        (self.kth.len(), self.relaxed.values().map(|m| m.len()).sum())
+    }
+
+    /// `true` when no bucket exists yet.
+    pub fn is_empty(&self) -> bool {
+        self.kth.is_empty() && self.relaxed.is_empty()
+    }
+
+    /// The cumulative counters.
+    pub fn counters(&self) -> LearnedCounters {
+        LearnedCounters {
+            observations: self.observations,
+            predictions: self.predictions.load(std::sync::atomic::Ordering::Relaxed),
+            revisions: self.revisions,
+        }
+    }
+
+    /// Drops every bucket (graph epoch changed — the distributions the
+    /// observations came from no longer exist). Counters survive; they are
+    /// lifetime totals.
+    pub fn clear(&mut self) {
+        self.kth.clear();
+        self.relaxed.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparql::{TriplePattern, Var};
+    use specqp_common::TermId;
+
+    fn key(o: u32) -> StatsKey {
+        TriplePattern::new(Var(0), TermId(1), TermId(o)).stats_key()
+    }
+
+    fn shape(os: &[u32]) -> QueryShapeKey {
+        QueryShapeKey::new(os.iter().map(|&o| key(o)).collect())
+    }
+
+    fn feats() -> FeatureVector {
+        FeatureVector {
+            selectivity: 3.0,
+            skew: 0.8,
+            sigma: 0.3,
+            k: 10.0,
+            arity: 2.0,
+            fanout: 1.0,
+        }
+    }
+
+    #[test]
+    fn shape_key_erases_pattern_order() {
+        assert_eq!(shape(&[2, 3]), shape(&[3, 2]));
+        assert_ne!(shape(&[2, 3]), shape(&[2, 4]));
+    }
+
+    #[test]
+    fn gate_stays_closed_under_min_samples() {
+        let mut m = OnlineModel::default();
+        assert!(!m.observe(feats(), 10, 1.5));
+        assert!(!m.observe(feats(), 10, 1.5));
+        assert_eq!(m.predict(10), None, "2 < MIN_SAMPLES");
+        // The third consistent observation opens the gate — a revision.
+        assert!(m.observe(feats(), 10, 1.5));
+        let p = m.predict(10).expect("gate open");
+        assert!(
+            (p - 1.5).abs() < 0.01,
+            "calibrated to the observations: {p}"
+        );
+    }
+
+    #[test]
+    fn stable_observations_do_not_keep_revising() {
+        let mut m = OnlineModel::default();
+        for _ in 0..2 {
+            m.observe(feats(), 10, 2.0);
+        }
+        assert!(m.observe(feats(), 10, 2.0), "gate opens once");
+        for _ in 0..10 {
+            assert!(
+                !m.observe(feats(), 10, 2.0),
+                "identical evidence must not bump the generation forever"
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_bucket_never_passes_the_gate() {
+        let mut m = OnlineModel::default();
+        for (i, y) in [0.1, 3.0, 0.2, 2.5, 0.05].iter().enumerate() {
+            m.observe(feats(), 10, *y);
+            assert_eq!(m.predict(10), None, "spread too wide at obs {i}");
+        }
+    }
+
+    #[test]
+    fn no_extrapolation_outside_observed_k_range() {
+        let mut m = OnlineModel::default();
+        for k in [5, 10, 20] {
+            m.observe(feats(), k, 1.0);
+        }
+        assert!(m.predict(10).is_some(), "interpolation is allowed");
+        assert!(m.predict(5).is_some() && m.predict(20).is_some());
+        assert_eq!(m.predict(3), None, "below the observed range");
+        assert_eq!(m.predict(40), None, "above the observed range");
+    }
+
+    #[test]
+    fn regression_tracks_k_dependence() {
+        // Score falls with rank: y = 2 - 0.5·ln(1+k).
+        let mut m = OnlineModel::default();
+        for k in [1, 4, 9, 16, 25] {
+            let y = 2.0 - 0.5 * (1.0 + k as f64).ln();
+            m.observe(feats(), k, y);
+        }
+        let p9 = m.predict(9).expect("confident fit");
+        assert!((p9 - (2.0 - 0.5 * 10.0_f64.ln())).abs() < 0.05, "{p9}");
+        let p4 = m.predict(4).unwrap();
+        assert!(p4 > p9, "shallower ranks predict higher scores");
+    }
+
+    #[test]
+    fn zero_scores_are_confidently_zero() {
+        // A futile relaxation contributes nothing, run after run: the model
+        // must confidently predict 0 (which is what lets PLANGEN prune).
+        let mut m = OnlineModel::default();
+        for _ in 0..3 {
+            m.observe(feats(), 10, 0.0);
+        }
+        assert_eq!(m.predict(10), Some(0.0));
+    }
+
+    #[test]
+    fn material_value_move_is_a_revision() {
+        let mut m = OnlineModel::default();
+        for _ in 0..5 {
+            m.observe(feats(), 10, 1.0);
+        }
+        assert!(m.predict(10).is_some());
+        // A big swing either revises the value or closes the gate — both
+        // are material.
+        let revised = m.observe(feats(), 10, 3.0);
+        assert!(revised);
+    }
+
+    #[test]
+    fn models_route_to_separate_buckets() {
+        let mut models = LearnedModels::default();
+        let s = shape(&[2, 3]);
+        for _ in 0..3 {
+            models.record(LearnedObservation {
+                shape: s.clone(),
+                features: feats(),
+                k: 10,
+                kth_score: Some(1.2),
+                relaxed_best: vec![(key(2), 0.0), (key(3), 0.7)],
+            });
+        }
+        assert_eq!(models.len(), (1, 2));
+        let kth = models.kth(&s, 10).expect("confident after 3 samples");
+        assert!((kth - 1.2).abs() < 0.01, "{kth}");
+        assert_eq!(models.relaxed_best(&s, &key(2), 10), Some(0.0));
+        let rb = models.relaxed_best(&s, &key(3), 10).unwrap();
+        assert!((rb - 0.7).abs() < 0.01);
+        assert_eq!(models.kth(&shape(&[9]), 10), None, "unknown shape");
+        let c = models.counters();
+        assert_eq!(c.observations, 3);
+        assert!(c.predictions >= 3);
+        assert!(c.revisions >= 1, "the gate opened at least once");
+
+        models.clear();
+        assert!(models.is_empty());
+        assert_eq!(models.kth(&s, 10), None, "cleared on epoch change");
+        assert_eq!(models.counters().observations, 3, "counters are lifetime");
+    }
+
+    #[test]
+    fn feature_extraction_from_stats() {
+        let a = PatternStats {
+            m: 99,
+            sigma_r: 0.4,
+            s_r: 8.0,
+            s_m: 10.0,
+        };
+        let f = FeatureVector::from_stats(&[Some(a), None], 7, 3);
+        assert!((f.selectivity - 100.0_f64.ln()).abs() < 1e-9);
+        assert!((f.skew - 0.8).abs() < 1e-9);
+        assert!((f.sigma - 0.4).abs() < 1e-9);
+        assert_eq!(f.k, 7.0);
+        assert_eq!(f.arity, 2.0);
+        assert_eq!(f.fanout, 3.0);
+    }
+}

@@ -84,4 +84,15 @@ mod tests {
         let u = PiecewiseConstantPdf::new(vec![0.0, 1.0], vec![1.0]);
         let _ = expected_score_at_rank(&u, 5.0, 0);
     }
+
+    #[test]
+    fn non_finite_n_is_none() {
+        // Cardinality estimates are arithmetic over floats — a degenerate
+        // estimator can hand us NaN or ∞. Both must refuse to predict
+        // rather than produce a garbage quantile argument.
+        let u = PiecewiseConstantPdf::new(vec![0.0, 1.0], vec![1.0]);
+        assert!(expected_score_at_rank(&u, f64::NAN, 1).is_none());
+        assert!(expected_score_at_rank(&u, f64::INFINITY, 1).is_none());
+        assert!(expected_score_at_rank(&u, f64::NEG_INFINITY, 1).is_none());
+    }
 }
